@@ -1,0 +1,1 @@
+bin/sa_attack.ml: Agreement Arg Clones Cmd Cmdliner Fmt List Lowerbound Spec Term Theorem2

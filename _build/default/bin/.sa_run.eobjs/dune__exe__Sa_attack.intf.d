@@ -1,0 +1,1 @@
+bin/sa_attack.mli:

@@ -1,0 +1,1 @@
+bin/sa_run.ml: Agreement Arg Cmd Cmdliner Fmt List Shm Spec String Term

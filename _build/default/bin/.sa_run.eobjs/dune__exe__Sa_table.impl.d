@@ -1,0 +1,1 @@
+bin/sa_table.ml: Agreement Arg Cmd Cmdliner Fmt Shm Term

@@ -1,0 +1,131 @@
+(* sa-run: run any of the set-agreement algorithms under a chosen
+   scheduler and report decisions, safety, and space usage.
+
+   Examples:
+     sa_run -n 5 -m 1 -k 2
+     sa_run -n 5 -m 2 -k 3 --algo repeated --rounds 4 --sched random:7
+     sa_run -n 4 -m 1 -k 2 --algo anonymous --impl collect --trace *)
+
+open Cmdliner
+
+type algo = One_shot | Repeated | Anonymous | Baseline
+
+let algo_conv =
+  Arg.enum
+    [ ("oneshot", One_shot); ("repeated", Repeated); ("anonymous", Anonymous);
+      ("baseline", Baseline) ]
+
+let impl_conv =
+  Arg.enum
+    [
+      ("atomic", `Atomic);
+      ("collect", `Collect);   (* register-level double collect *)
+      ("sw", `Sw);             (* n single-writer registers *)
+    ]
+
+(* scheduler spec: name[:arg] *)
+let parse_sched spec ~n =
+  match String.split_on_char ':' spec with
+  | [ "round-robin" ] -> Ok (Shm.Schedule.round_robin n)
+  | [ "quantum"; q ] -> Ok (Shm.Schedule.quantum_round_robin ~quantum:(int_of_string q) n)
+  | [ "quantum" ] -> Ok (Shm.Schedule.quantum_round_robin ~quantum:300 n)
+  | [ "random"; s ] -> Ok (Shm.Schedule.random ~seed:(int_of_string s) n)
+  | [ "random" ] -> Ok (Shm.Schedule.random ~seed:0 n)
+  | [ "solo"; p ] -> Ok (Shm.Schedule.solo (int_of_string p))
+  | [ "m-bounded"; s ] ->
+    Ok (Shm.Schedule.m_bounded ~seed:(int_of_string s) ~m:1 ~prefix:100 n)
+  | _ -> Error (Fmt.str "unknown scheduler %S" spec)
+
+let run algo n m k impl sched_spec rounds trace diagram max_steps =
+  let params = Agreement.Params.make ~n ~m ~k in
+  let sched =
+    match parse_sched sched_spec ~n with
+    | Ok s -> s
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+  in
+  let impl =
+    match impl with
+    | `Atomic -> Agreement.Instances.Atomic
+    | `Collect -> Agreement.Instances.Double_collect
+    | `Sw -> Agreement.Instances.Sw_based
+  in
+  let input_fn pid instance = Shm.Value.Int ((100 * instance) + pid) in
+  let config =
+    match algo with
+    | One_shot -> Agreement.Instances.oneshot ~impl params
+    | Repeated -> Agreement.Instances.repeated ~impl params
+    | Baseline -> Agreement.Instances.baseline ~impl params
+    | Anonymous ->
+      Agreement.Instances.anonymous
+        ~anonymous_collect:(impl = Agreement.Instances.Double_collect)
+        params
+  in
+  let rounds = match algo with One_shot | Baseline -> 1 | Repeated | Anonymous -> rounds in
+  let inputs = Shm.Exec.repeated_inputs ~rounds input_fn in
+  let result =
+    Shm.Exec.run ~record:(trace || diagram) ~sched ~inputs ~max_steps config
+  in
+  if trace then
+    Fmt.pr "@[<v>--- trace ---@,%a@,-------------@]@." Shm.Exec.pp_trace
+      result.Shm.Exec.trace;
+  if diagram then
+    Fmt.pr "@[<v>--- space-time diagram (first 80 steps) ---@,%a@]@."
+      (fun ppf -> Shm.Diagram.pp ~len:80 ~n ppf)
+      result.Shm.Exec.trace;
+  Fmt.pr "algorithm: %s over %s snapshot, scheduler: %s@."
+    (match algo with
+    | One_shot -> "one-shot (Fig. 3)"
+    | Repeated -> "repeated (Fig. 4)"
+    | Anonymous -> "anonymous (Fig. 5)"
+    | Baseline -> "DFGR'13 baseline")
+    (Agreement.Instances.impl_name impl)
+    (Shm.Schedule.name sched);
+  Spec.Properties.by_instance result.Shm.Exec.config
+  |> List.iter (fun (inst, ins, outs) ->
+         Fmt.pr "instance %d: in {%a} out {%a}@." inst
+           Fmt.(list ~sep:comma Shm.Value.pp)
+           (Spec.Properties.distinct_values ins)
+           Fmt.(list ~sep:comma Shm.Value.pp)
+           (Spec.Properties.distinct_values outs));
+  (match Spec.Properties.check_safety ~k result.Shm.Exec.config with
+  | Ok () -> Fmt.pr "safety: OK@."
+  | Error e -> Fmt.pr "safety: VIOLATED — %s@." e);
+  Fmt.pr "stopped: %s after %d steps; registers written: %d@."
+    (match result.Shm.Exec.stopped with
+    | Shm.Exec.All_quiescent -> "quiescent"
+    | Shm.Exec.Fuel_exhausted -> "fuel exhausted")
+    result.Shm.Exec.steps
+    (Agreement.Runner.registers_used result)
+
+let cmd =
+  let algo =
+    Arg.(value & opt algo_conv One_shot & info [ "algo"; "a" ] ~doc:"Algorithm to run.")
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
+  let m = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Obstruction bound.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement bound.") in
+  let impl =
+    Arg.(value & opt impl_conv `Atomic & info [ "impl" ] ~doc:"Snapshot implementation.")
+  in
+  let sched =
+    Arg.(
+      value & opt string "quantum:300"
+      & info [ "sched"; "s" ]
+          ~doc:"Scheduler: round-robin | quantum[:Q] | random[:SEED] | solo:P | m-bounded:SEED.")
+  in
+  let rounds = Arg.(value & opt int 3 & info [ "rounds"; "r" ] ~doc:"Instances (repeated).") in
+  let trace = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the full trace.") in
+  let diagram =
+    Arg.(value & flag & info [ "diagram"; "d" ] ~doc:"Print a space-time diagram.")
+  in
+  let max_steps =
+    Arg.(value & opt int 500_000 & info [ "max-steps" ] ~doc:"Step budget.")
+  in
+  Cmd.v
+    (Cmd.info "sa_run" ~doc:"Run m-obstruction-free k-set agreement in the simulator")
+    Term.(
+      const run $ algo $ n $ m $ k $ impl $ sched $ rounds $ trace $ diagram $ max_steps)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Agreement Fmt Instances List Lowerbound Params Spec Theorem2

@@ -1,0 +1,1 @@
+examples/anonymous_demo.ml: Agreement Fmt Instances List Lowerbound Params Runner Shm Spec

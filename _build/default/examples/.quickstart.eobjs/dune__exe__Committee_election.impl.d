@@ -1,0 +1,1 @@
+examples/committee_election.ml: Agreement Array Fmt Fun Instances List Params Printf Runner Shm Spec

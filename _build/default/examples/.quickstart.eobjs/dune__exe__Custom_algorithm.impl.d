@@ -1,0 +1,1 @@
+examples/custom_algorithm.ml: Array Config Exec Fmt Hashtbl List Option Program Schedule Shm Spec String Value

@@ -1,0 +1,1 @@
+examples/native_demo.ml: Agreement Array Fmt List Native Shm Spec Unix

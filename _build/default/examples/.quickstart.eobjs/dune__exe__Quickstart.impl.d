@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agreement Array Fmt List Shm Spec

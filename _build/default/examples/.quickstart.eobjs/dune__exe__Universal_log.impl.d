@@ -1,0 +1,1 @@
+examples/universal_log.ml: Agreement Fmt Ledger List Rsm Shm Spec Universal

@@ -1,0 +1,1 @@
+examples/verification_demo.ml: Agreement Array Dump Fmt Instances List Params Shm Spec

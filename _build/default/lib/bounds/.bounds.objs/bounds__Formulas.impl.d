@@ -1,0 +1,1 @@
+lib/bounds/formulas.ml: Agreement

@@ -1,0 +1,36 @@
+(* Step-complexity facts about the Figure 3 family, stated as closed
+   forms and verified exactly by the test suite.
+
+   The paper proves space bounds; step complexity is not its focus, but
+   the solo (uncontended) costs fall out of the algorithm's structure
+   and make good executable documentation:
+
+   - A solo process on a fresh one-shot system performs exactly
+     r iterations (update + scan) before its deciding scan: it writes
+     each of the r components once, and the r-th scan is the first with
+     no ⊥.  With the invocation and the response step that is
+     2r + 2 simulator steps.
+
+   - From an arbitrary reachable state, a process that runs alone
+     decides within at most (r + 2) iterations: at most one adoption
+     (after which its preference equals a duplicated value and the
+     erratum rule advances i forever) plus a full cycle overwriting
+     every component, plus the deciding iteration.  Hence at most
+     2(r + 2) + 2 steps including invocation and response.  This is the
+     quantitative content of m-obstruction-freedom for m = 1. *)
+
+(* Exact solo cost of a fresh one-shot Propose (simulator steps,
+   including the Invoke and the Output steps). *)
+let solo_oneshot_steps ~r = (2 * r) + 2
+
+(* Upper bound on the solo cost of finishing a Propose from any
+   reachable configuration. *)
+let solo_completion_bound ~r = (2 * (r + 2)) + 2
+
+(* The baseline uses the same loop over 2(n−k) components. *)
+let solo_baseline_steps ~n ~k = solo_oneshot_steps ~r:(2 * (n - k))
+
+(* Quantum needed by [Schedule.quantum_round_robin] so that every burst
+   completes at least one operation — what the tests and examples use
+   to turn obstruction-freedom into guaranteed termination. *)
+let sufficient_quantum ~r = solo_completion_bound ~r + 2

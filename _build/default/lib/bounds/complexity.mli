@@ -1,0 +1,19 @@
+(** Step-complexity facts about the Figure 3 family, stated as closed
+    forms and verified exactly by the test suite (see the
+    implementation comment for the derivations). *)
+
+(** Exact solo cost of a fresh one-shot Propose: 2r + 2 simulator steps
+    including the Invoke and Output steps. *)
+val solo_oneshot_steps : r:int -> int
+
+(** Upper bound on finishing a Propose solo from any reachable
+    configuration: 2(r+2) + 2 steps — the quantitative content of
+    obstruction-freedom. *)
+val solo_completion_bound : r:int -> int
+
+(** The DFGR'13 baseline's solo cost (same loop, 2(n−k) components). *)
+val solo_baseline_steps : n:int -> k:int -> int
+
+(** A round-robin quantum large enough that every burst completes at
+    least one operation. *)
+val sufficient_quantum : r:int -> int

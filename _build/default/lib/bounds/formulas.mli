@@ -1,0 +1,30 @@
+(** The closed forms of Figure 1, the paper's results table, plus the
+    corollaries of Sections 1 and 4.1.  The bench harness prints these
+    next to measured register counts. *)
+
+type cell = {
+  label : string;
+  lower : Agreement.Params.t -> float;  (** registers (real-valued: √ bounds) *)
+  upper : Agreement.Params.t -> float;
+}
+
+(** Row 1: Theorem 2 lower, Theorem 8 upper. *)
+val repeated_non_anonymous : cell
+
+(** Row 1': lower 2 (from DFGR'13), upper Theorem 7. *)
+val oneshot_non_anonymous : cell
+
+(** Row 2: Theorem 2 lower, Theorem 11 upper. *)
+val repeated_anonymous : cell
+
+(** Row 2': Theorem 10 lower, Theorem 11 (minus H) upper. *)
+val oneshot_anonymous : cell
+
+val all : cell list
+
+(** m = k = 1: both bounds collapse to n ("repeated consensus requires
+    exactly n registers"). *)
+val repeated_consensus_exact : n:int -> int * int
+
+(** Section 4.1: (2(n−k), n−k+2) at m = 1. *)
+val dfgr13_comparison : n:int -> k:int -> int * int

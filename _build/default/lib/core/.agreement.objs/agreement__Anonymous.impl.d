@@ -1,0 +1,1 @@
+lib/core/anonymous.ml: Array Fmt List Params Program Shm Snapshot Value View

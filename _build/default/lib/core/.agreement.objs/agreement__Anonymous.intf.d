@@ -1,0 +1,1 @@
+lib/core/anonymous.mli: Params Shm Snapshot

@@ -1,0 +1,1 @@
+lib/core/anonymous_oneshot.ml: Array Fun Params Program Shm Snapshot Value View

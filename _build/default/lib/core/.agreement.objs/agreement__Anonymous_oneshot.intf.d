@@ -1,0 +1,1 @@
+lib/core/anonymous_oneshot.mli: Params Shm Snapshot

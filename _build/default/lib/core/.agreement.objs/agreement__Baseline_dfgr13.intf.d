@@ -1,0 +1,1 @@
+lib/core/baseline_dfgr13.mli: Shm Snapshot

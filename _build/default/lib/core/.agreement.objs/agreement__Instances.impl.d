@@ -1,0 +1,1 @@
+lib/core/instances.ml: Anonymous Anonymous_oneshot Array Baseline_dfgr13 Oneshot Option Params Repeated Shm Snapshot

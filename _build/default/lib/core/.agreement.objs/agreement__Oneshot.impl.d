@@ -1,0 +1,1 @@
+lib/core/oneshot.ml: Array Program Shm Snapshot Value View

@@ -1,0 +1,1 @@
+lib/core/oneshot.mli: Shm Snapshot

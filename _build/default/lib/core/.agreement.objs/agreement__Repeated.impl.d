@@ -1,0 +1,1 @@
+lib/core/repeated.ml: Array Fmt List Program Shm Snapshot Value View

@@ -1,0 +1,1 @@
+lib/core/repeated.mli: Shm Snapshot

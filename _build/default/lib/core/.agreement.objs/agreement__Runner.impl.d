@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Config Exec Instances List Memory Option Params Schedule Shm Value

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Fmt List Rng Shm Value

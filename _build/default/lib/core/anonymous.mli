@@ -1,0 +1,34 @@
+(** Figure 5: anonymous m-obstruction-free repeated k-set agreement
+    with r = (m+1)(n−k) + m² snapshot components plus one register H.
+
+    No identifiers anywhere: entries are (pref, t, history), and every
+    process runs the same program text.  Each Propose races two
+    threads — the set-agreement loop and a watcher of H, where fast
+    processes publish their histories — interleaved fairly at
+    shared-memory-step granularity ([par]); the first to output wins
+    the operation.  The watcher is what keeps starving processes live
+    over the merely non-blocking anonymous snapshot. *)
+
+type tuple = { pref : Shm.Value.t; t : int; history : Shm.Value.t list }
+
+val encode : tuple -> Shm.Value.t
+val decode : Shm.Value.t -> tuple option
+
+(** Fair interleaving of two programs; the first [Yield] wins. *)
+val par : Shm.Program.t -> Shm.Program.t -> Shm.Program.t
+
+(** Line 23: [Some w] iff the view decides instance [t] with the most
+    frequent value [w]. *)
+val decide_check : m:int -> t:int -> Shm.Value.t array -> Shm.Value.t option
+
+(** Lines 27–28: the first value with ≥ ℓ copies when the current
+    preference has fewer than ℓ. *)
+val adoption :
+  ell:int -> t:int -> pref:Shm.Value.t -> Shm.Value.t array -> Shm.Value.t option
+
+(** The process program.  [h_reg] is the index of register H.  The same
+    program text serves every process; the only per-process distinction
+    is the freshness seed hidden inside an anonymous snapshot [api],
+    which the algorithm itself never observes. *)
+val program :
+  params:Params.t -> api:Snapshot.Snap_api.t -> h_reg:int -> Shm.Program.t

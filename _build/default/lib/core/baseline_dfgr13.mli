@@ -1,0 +1,20 @@
+(** The DFGR'13 baseline: 1-obstruction-free k-set agreement with
+    2(n−k) registers (Delporte-Gallet, Fauconnier, Gafni, Rajsbaum,
+    NETYS 2013), reconstructed as the Figure 3 machinery run with m = 1
+    over 2(n−k) components — the same algorithm family with the
+    register budget the paper compares against in Section 4.1.
+
+    The reconstruction is correct whenever 2(n−k) ≥ n−k+2, i.e.
+    n−k ≥ 2; the corner n = k+1 (where DFGR'13 needs only 2 registers)
+    is the gap the paper's conclusion leaves open. *)
+
+(** 2(n−k). *)
+val components : n:int -> k:int -> int
+
+(** Whether the reconstruction applies (n−k ≥ 2). *)
+val supported : n:int -> k:int -> bool
+
+(** The process program; raises [Invalid_argument] outside the
+    supported domain. *)
+val program :
+  n:int -> k:int -> pid:int -> api:Snapshot.Snap_api.t -> Shm.Program.t

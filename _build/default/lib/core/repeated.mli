@@ -1,0 +1,31 @@
+(** Figure 4: repeated m-obstruction-free k-set agreement over the same
+    r = n + 2m − k component snapshot as Figure 3.
+
+    Entries are tuples (pref, id, t, history); persistent locals i, t
+    and history survive across Propose invocations.  A process decides
+    instance t only when every entry is a tuple of instance exactly t
+    and at most m distinct tuples are present — or by adopting the
+    history of a process seen in a higher instance (line 15's
+    shortcut). *)
+
+type tuple = { pref : Shm.Value.t; id : int; t : int; history : Shm.Value.t list }
+
+val encode : tuple -> Shm.Value.t
+
+(** [None] on ⊥; raises on non-tuple junk. *)
+val decode : Shm.Value.t -> tuple option
+
+(** Line 15: the entry of the highest instance > t, if any. *)
+val find_higher : t:int -> Shm.Value.t array -> tuple option
+
+(** Line 17: [Some w] iff the view decides instance [t] with output
+    [w]. *)
+val decide_check : m:int -> t:int -> Shm.Value.t array -> Shm.Value.t option
+
+(** Line 22 (with the Figure 3 erratum repair): [Some w] iff the
+    process adopts [w]. *)
+val adopt_check :
+  own:tuple -> i:int -> t:int -> Shm.Value.t array -> Shm.Value.t option
+
+(** The full process program: one [Await] per Propose, forever. *)
+val program : m:int -> pid:int -> api:Snapshot.Snap_api.t -> Shm.Program.t

@@ -1,0 +1,55 @@
+(** High-level run helpers: one call from parameters to a finished
+    execution, for tests, examples and the bench harness. *)
+
+(** Default inputs: pid+1 in instance 1, 100·instance + pid later, so
+    instances have disjoint input domains. *)
+val default_input : pid:int -> instance:int -> Shm.Value.t
+
+(** Run the one-shot algorithm (Figure 3).  Defaults: atomic snapshot,
+    round-robin schedule, inputs pid+1, 200k step budget. *)
+val run_oneshot :
+  ?impl:Instances.impl ->
+  ?r:int ->
+  ?sched:Shm.Schedule.t ->
+  ?max_steps:int ->
+  ?inputs:Shm.Value.t array ->
+  Params.t ->
+  Shm.Exec.result
+
+(** Run the repeated algorithm (Figure 4) for [rounds] instances. *)
+val run_repeated :
+  ?impl:Instances.impl ->
+  ?r:int ->
+  ?sched:Shm.Schedule.t ->
+  ?max_steps:int ->
+  ?rounds:int ->
+  ?input_fn:(int -> int -> Shm.Value.t) ->
+  Params.t ->
+  Shm.Exec.result
+
+(** Run the DFGR'13 baseline. *)
+val run_baseline :
+  ?impl:Instances.impl ->
+  ?sched:Shm.Schedule.t ->
+  ?max_steps:int ->
+  ?inputs:Shm.Value.t array ->
+  Params.t ->
+  Shm.Exec.result
+
+(** Run the anonymous repeated algorithm (Figure 5). *)
+val run_anonymous :
+  ?r:int ->
+  ?anonymous_collect:bool ->
+  ?seed:int ->
+  ?sched:Shm.Schedule.t ->
+  ?max_steps:int ->
+  ?rounds:int ->
+  ?input_fn:(int -> int -> Shm.Value.t) ->
+  Params.t ->
+  Shm.Exec.result
+
+(** Outputs of one instance, with multiplicity, in completion order. *)
+val outputs_of_instance : Shm.Exec.result -> instance:int -> Shm.Value.t list
+
+(** Registers actually written during the run — the space measure. *)
+val registers_used : Shm.Exec.result -> int

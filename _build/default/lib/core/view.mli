@@ -1,0 +1,27 @@
+(** Predicates on scan views shared by the algorithms of Figures 3–5.
+    A "view" is the vector returned by a snapshot scan; the paper's
+    decision and adoption rules are counting arguments on such vectors. *)
+
+(** |{s\[j\] : 0 ≤ j < r}| — the number of distinct entries. *)
+val distinct_count : Shm.Value.t array -> int
+
+val contains_bot : Shm.Value.t array -> bool
+
+(** min\{j1 : ∃ j2 > j1 such that s\[j1\] = s\[j2\]\} — the index both
+    Figure 3 (line 12) and Figure 4 (line 23) use to pick a duplicated
+    entry deterministically.  [eligible] restricts which entries may
+    serve as the j1 candidate (Figure 4 requires duplicated
+    {e t-tuples}). *)
+val min_duplicate_index :
+  ?eligible:(Shm.Value.t -> bool) -> Shm.Value.t array -> int option
+
+(** Number of entries satisfying the predicate. *)
+val count : (Shm.Value.t -> bool) -> Shm.Value.t array -> int
+
+(** Entries satisfying the predicate, with multiplicity, index order. *)
+val filter : (Shm.Value.t -> bool) -> Shm.Value.t array -> Shm.Value.t list
+
+(** Most frequent projection of the entries; ties broken by first
+    occurrence (Figure 5 line 24).  [None] on the empty view. *)
+val most_frequent :
+  project:(Shm.Value.t -> Shm.Value.t) -> Shm.Value.t array -> Shm.Value.t option

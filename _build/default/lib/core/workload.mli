@@ -1,0 +1,20 @@
+(** Input workload generators: named proposal patterns for the bench
+    harness and tests (identical inputs collapse instantly, two-camp
+    inputs maximize preference flapping, distinct inputs exercise
+    adoption chains). *)
+
+type t =
+  | Distinct                (** every process proposes its own value *)
+  | Identical               (** everyone proposes the same value *)
+  | Two_camps               (** half propose A, half propose B *)
+  | Skewed                  (** ~80% popular value, rest distinct *)
+  | Binary_random of int    (** seeded coin flip per process *)
+
+val name : t -> string
+val all : t list
+
+(** Proposal vector for a one-shot task over [n] processes. *)
+val inputs : t -> n:int -> Shm.Value.t array
+
+(** Number of distinct values in the workload. *)
+val distinct_inputs : t -> n:int -> int

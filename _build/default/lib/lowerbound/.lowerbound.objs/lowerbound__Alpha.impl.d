@@ -1,0 +1,1 @@
+lib/lowerbound/alpha.ml: Config Fmt List Option Program Schedule Shm Spec Value

@@ -1,0 +1,1 @@
+lib/lowerbound/clones.ml: Agreement Config Fmt List Option Program Shm Spec Value

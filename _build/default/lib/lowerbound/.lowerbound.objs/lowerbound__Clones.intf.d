@@ -1,0 +1,1 @@
+lib/lowerbound/clones.mli: Agreement Format Shm

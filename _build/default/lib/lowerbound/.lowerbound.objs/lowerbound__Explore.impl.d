@@ -1,0 +1,1 @@
+lib/lowerbound/explore.ml: Config List Option Program Schedule Shm

@@ -1,0 +1,1 @@
+lib/lowerbound/explore.mli: Shm

@@ -1,0 +1,1 @@
+lib/lowerbound/gamma.ml: Config Explore Fmt List Schedule Shm Spec

@@ -1,0 +1,1 @@
+lib/lowerbound/gamma.mli: Explore Shm

@@ -1,0 +1,1 @@
+lib/lowerbound/lemma1.ml: Config Gamma List Option Program Shm Spec Value

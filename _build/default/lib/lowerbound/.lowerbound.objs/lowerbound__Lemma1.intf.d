@@ -1,0 +1,1 @@
+lib/lowerbound/lemma1.mli: Shm

@@ -1,0 +1,1 @@
+lib/lowerbound/lemma9.ml: Agreement Alpha Config Fmt List Program Shm Spec Value

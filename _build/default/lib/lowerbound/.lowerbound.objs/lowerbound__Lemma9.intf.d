@@ -1,0 +1,1 @@
+lib/lowerbound/lemma9.mli: Agreement Format Shm

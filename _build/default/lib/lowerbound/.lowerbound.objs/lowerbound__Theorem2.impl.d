@@ -1,0 +1,1 @@
+lib/lowerbound/theorem2.ml: Agreement Config Explore Fmt Fun Gamma List Shm Value

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem2.mli: Agreement Format Shm

@@ -1,0 +1,138 @@
+(* α(V)-execution search with schedule recording (Section 5 / Lemma 9).
+
+   Lemma 9 fixes, for every m-element value set V, an execution α(V) by
+   m processes that outputs all of V, and glues such executions
+   together.  The gluing replays fragments of α(V) inside another
+   configuration, so unlike the Lemma 1 search — which only needs the
+   final configuration — this module records the *schedule* (the exact
+   step sequence) of the execution it finds, and can replay it.
+
+   A recorded step also carries the shared-memory operation the process
+   was poised at, so replays verify they have not diverged from the
+   original execution: the gluing's correctness rests on each fragment
+   being byte-for-byte the original α(V), and a divergence would mean
+   the block-write resets failed to restore the group's view. *)
+
+open Shm
+
+type step =
+  | Inv of int                         (* invoke pid's next operation *)
+  | Move of int * Program.op option    (* step pid; expected poised op *)
+
+type alpha = {
+  schedule : step list;      (* the full recorded execution *)
+  reg_order : int list;      (* distinct registers in first-write order *)
+  outputs : Value.t list;    (* distinct outputs of instance 1 *)
+}
+
+exception Replay_diverged of string
+
+(* Drive [config] under [sched], recording steps, until [stop] or the
+   budget runs out.  Only used for the search; replay is separate. *)
+let record_run ~inputs ~sched ~max_steps ~stop config =
+  let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
+  let rec go config steps acc =
+    if stop config then Some (config, List.rev acc)
+    else if steps >= max_steps then None
+    else
+      let runnable pid = Config.runnable config ~has_input pid in
+      match sched.Schedule.next ~step:steps ~runnable with
+      | None -> if stop config then Some (config, List.rev acc) else None
+      | Some pid -> (
+        match Config.proc config pid with
+        | Program.Await _ ->
+          let inst = Config.instance config pid + 1 in
+          let config, _ = Config.invoke config pid (Option.get (inputs ~pid ~instance:inst)) in
+          go config (steps + 1) (Inv pid :: acc)
+        | Program.Stop -> go config (steps + 1) acc
+        | Program.Op (op, _) ->
+          let config, _ = Config.step config pid in
+          go config (steps + 1) (Move (pid, Some op) :: acc)
+        | Program.Yield _ ->
+          let config, _ = Config.step config pid in
+          go config (steps + 1) (Move (pid, None) :: acc))
+  in
+  go config 0 []
+
+let reg_order_of schedule =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Move (_, Some (Program.Write (reg, _))) when not (List.mem reg acc) -> reg :: acc
+      | Move _ | Inv _ -> acc)
+    [] schedule
+  |> List.rev
+
+(* [search config ~procs ~values]: find an execution by [procs] (each
+   proposing its value) outputting all of [values] in instance 1, and
+   record it.  Tries bursty and uniform random schedules. *)
+let search ?(max_steps = 30_000) ?(tries = 3000) ~procs ~values config =
+  let inputs ~pid ~instance =
+    if instance = 1 then List.assoc_opt pid (List.combine procs values) else None
+  in
+  let want = List.length values in
+  let stop c =
+    List.for_all (fun pid -> Spec.Properties.completed_ops c pid >= 1) procs
+  in
+  let distinct c =
+    Config.outputs c
+    |> List.filter_map (fun (pid, inst, v) ->
+           if inst = 1 && List.mem pid procs then Some v else None)
+    |> Spec.Properties.distinct_values
+  in
+  let rec try_seed seed =
+    if seed >= tries then None
+    else
+      let sched =
+        if seed mod 3 = 0 then
+          Schedule.eventually_only ~seed ~survivors:procs ~prefix:0 1
+        else Schedule.bursty_random ~seed ~burst_max:(3 + (seed mod 10)) procs
+      in
+      match record_run ~inputs ~sched ~max_steps ~stop config with
+      | Some (c, schedule) when List.length (distinct c) >= want ->
+        Some
+          {
+            schedule;
+            reg_order = reg_order_of schedule;
+            outputs = distinct c;
+          }
+      | Some _ | None -> try_seed (seed + 1)
+  in
+  try_seed 0
+
+(* Rename the processes of a recorded schedule — anonymity makes the
+   renamed schedule produce the isomorphic execution when the new
+   processes run the same (identical) program with their own inputs. *)
+let map_pids f schedule =
+  List.map
+    (function Inv pid -> Inv (f pid) | Move (pid, op) -> Move (f pid, op))
+    schedule
+
+(* Replay one step on [config]; verifies the poised operation matches
+   the recording (same kind and same target register for writes). *)
+let replay_step ~inputs config step =
+  match step with
+  | Inv pid -> (
+    match Config.proc config pid with
+    | Program.Await _ ->
+      let inst = Config.instance config pid + 1 in
+      fst (Config.invoke config pid (Option.get (inputs ~pid ~instance:inst)))
+    | _ -> raise (Replay_diverged (Fmt.str "p%d should be idle" pid)))
+  | Move (pid, expected) -> (
+    match (Config.proc config pid, expected) with
+    | Program.Op (Program.Write (r1, _), _), Some (Program.Write (r2, _)) when r1 = r2
+      ->
+      fst (Config.step config pid)
+    | Program.Op (Program.Read r1, _), Some (Program.Read r2) when r1 = r2 ->
+      fst (Config.step config pid)
+    | Program.Op (Program.Scan (o1, l1), _), Some (Program.Scan (o2, l2))
+      when o1 = o2 && l1 = l2 ->
+      fst (Config.step config pid)
+    | Program.Yield _, None -> fst (Config.step config pid)
+    | actual, _ ->
+      raise
+        (Replay_diverged
+           (Fmt.str "p%d poised at %s, recording disagrees" pid
+              (match Program.poised_op actual with
+              | Some op -> Fmt.str "%a" Program.pp_op op
+              | None -> "response/idle"))))

@@ -1,0 +1,44 @@
+(** α(V)-execution search with schedule recording (Section 5/Lemma 9).
+
+    The Lemma 9 gluing replays fragments of a fixed execution α(V)
+    inside another configuration, so this search records the exact step
+    sequence of the execution it finds and can replay it with
+    divergence checking. *)
+
+type step =
+  | Inv of int                              (** invoke pid's next operation *)
+  | Move of int * Shm.Program.op option     (** step pid; expected poised op *)
+
+type alpha = {
+  schedule : step list;        (** the full recorded execution *)
+  reg_order : int list;        (** distinct registers, first-write order *)
+  outputs : Shm.Value.t list;  (** distinct outputs of instance 1 *)
+}
+
+exception Replay_diverged of string
+
+(** First-write register order of a recorded schedule. *)
+val reg_order_of : step list -> int list
+
+(** [search config ~procs ~values]: find and record an execution by
+    [procs] (proposing [values] pointwise) that outputs all of [values]
+    in instance 1. *)
+val search :
+  ?max_steps:int ->
+  ?tries:int ->
+  procs:int list ->
+  values:Shm.Value.t list ->
+  Shm.Config.t ->
+  alpha option
+
+(** Rename the processes of a schedule; anonymity makes the renamed
+    schedule isomorphic when run by identically-programmed processes. *)
+val map_pids : (int -> int) -> step list -> step list
+
+(** Replay one recorded step, verifying the poised operation matches
+    the recording.  Raises {!Replay_diverged} on mismatch. *)
+val replay_step :
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  Shm.Config.t ->
+  step ->
+  Shm.Config.t

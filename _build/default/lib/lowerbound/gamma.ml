@@ -1,0 +1,155 @@
+(* γ-fragment construction (proof of Theorem 2, final paragraphs):
+   from a configuration D, a group Q of at most m processes runs — alone
+   — until each has completed every instance below the designated fresh
+   instance T, and then executes its T-th Propose with its own (unique)
+   input so that the group outputs |Q| distinct values.
+
+   Lemma 1 guarantees such an execution exists for any correct
+   m-obstruction-free algorithm; it is non-constructive, so we search:
+   solo completion runs for the catch-up phase, then a family of
+   staggered interleavings plus randomized schedules for the
+   distinct-output phase (DESIGN.md, substitution 4).  Every step is
+   guarded by the allowed-register predicate: an escape is returned to
+   the caller, which treats it as the δ-fragment of the Figure 2 loop.
+
+   For m = 1 the search is deterministic: a solo process at a fresh
+   instance can only ever see (and by Validity only ever output) its own
+   input. *)
+
+open Shm
+
+type result =
+  | Ok_gamma of Config.t       (* group done; |Q| distinct outputs at T *)
+  | Escape of Explore.escape   (* poised write outside the allowed set *)
+  | Failed of string           (* search budget exhausted *)
+
+(* Phase 1: run [pid] solo until it has completed [ops] operations. *)
+let complete_ops ~allowed ~inputs ~max_steps pid ~ops config =
+  let stop config = Spec.Properties.completed_ops config pid >= ops in
+  Explore.run ~allowed ~inputs ~sched:(Schedule.solo pid) ~max_steps ~stop config
+
+(* A plan is a sequence of scheduling directives executed under guard. *)
+type directive =
+  | Burst of int * int  (* pid, raw step count (skipped when done) *)
+  | Finish of int       (* pid runs solo until T operations complete *)
+
+let run_plan ~allowed ~inputs ~max_steps ~t plan config =
+  let rec go config = function
+    | [] -> `Done config
+    | Burst (pid, steps) :: rest -> (
+      let stop c = Spec.Properties.completed_ops c pid >= t in
+      match
+        Explore.run ~allowed ~inputs ~sched:(Schedule.solo pid) ~max_steps:steps ~stop
+          config
+      with
+      | Explore.Escaped e -> `Escape e
+      | Explore.Stopped c | Explore.Quiescent c | Explore.Fuel c -> go c rest)
+    | Finish pid :: rest -> (
+      match complete_ops ~allowed ~inputs ~max_steps pid ~ops:t config with
+      | Explore.Escaped e -> `Escape e
+      | Explore.Stopped c -> go c rest
+      | Explore.Quiescent c | Explore.Fuel c -> `Stuck c)
+  in
+  go config plan
+
+(* Distinct values output at instance [t] by processes in [procs]. *)
+let distinct_at config ~procs ~t =
+  Config.outputs config
+  |> List.filter_map (fun (pid, inst, v) ->
+         if inst = t && List.mem pid procs then Some v else None)
+  |> Spec.Properties.distinct_values
+
+let permutations xs =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l -> (x :: l) :: List.map (fun r -> y :: r) (insert x ys)
+  in
+  List.fold_left (fun acc x -> List.concat_map (insert x) acc) [ [] ] xs
+
+(* Candidate plans for the distinct-output phase.  The staggered family
+   plants early entries for the trailing processes so that their own
+   tuples are already duplicated when they take their deciding scan;
+   randomized interleavings cover the rest. *)
+let candidate_plans ~procs =
+  let staggered =
+    List.concat_map
+      (fun perm ->
+        List.map
+          (fun burst ->
+            let heads =
+              List.mapi (fun i pid -> Burst (pid, burst * (i + 1))) (List.tl perm)
+            in
+            heads @ List.map (fun pid -> Finish pid) perm)
+          [ 1; 2; 3; 4; 6; 9; 14 ])
+      (permutations procs)
+  in
+  let solo_orders =
+    List.map (fun perm -> List.map (fun p -> Finish p) perm) (permutations procs)
+  in
+  solo_orders @ staggered
+
+(* Randomized fallback: drive the group until everyone finished instance
+   [t], under either a uniform random scheduler or a bursty-random one —
+   the bursts produce the plant-then-fill interleavings that yield many
+   distinct outputs. *)
+let random_attempt ~allowed ~inputs ~max_steps ~t ~procs ~seed config =
+  let stop c = List.for_all (fun pid -> Spec.Properties.completed_ops c pid >= t) procs in
+  let sched =
+    if seed mod 3 = 0 then Schedule.eventually_only ~seed ~survivors:procs ~prefix:0 1
+    else Schedule.bursty_random ~seed ~burst_max:(3 + (seed mod 10)) procs
+  in
+  match Explore.run ~allowed ~inputs ~sched ~max_steps ~stop config with
+  | Explore.Escaped e -> `Escape e
+  | Explore.Stopped c -> `Done c
+  | Explore.Quiescent c | Explore.Fuel c -> `Stuck c
+
+(* Build the full γ fragment.  [t] is the fresh instance; [want] is the
+   number of distinct outputs required (|Q|, from Lemma 1). *)
+let build ~allowed ~inputs ~max_steps ~t ~procs ?(tries = 60) config =
+  let want = List.length procs in
+  (* Phase 1: catch up to instance t−1, one process at a time. *)
+  let rec catch_up config = function
+    | [] -> `Done config
+    | pid :: rest -> (
+      match complete_ops ~allowed ~inputs ~max_steps pid ~ops:(t - 1) config with
+      | Explore.Escaped e -> `Escape e
+      | Explore.Stopped c -> catch_up c rest
+      | Explore.Quiescent c | Explore.Fuel c ->
+        if Spec.Properties.completed_ops c pid >= t - 1 then catch_up c rest
+        else `Stuck pid)
+  in
+  match catch_up config procs with
+  | `Escape e -> Escape e
+  | `Stuck pid -> Failed (Fmt.str "p%d could not complete %d instances" pid (t - 1))
+  | `Done config -> (
+    (* Phase 2: find an interleaving of the T-th Proposes with [want]
+       distinct outputs.  Escapes at this phase are still δ-fragments
+       for the caller. *)
+    let check c = List.length (distinct_at c ~procs ~t) >= want in
+    let rec try_plans escape_seen = function
+      | [] -> (
+        (* randomized fallback *)
+        let rec try_seeds seed =
+          if seed >= tries then
+            match escape_seen with
+            | Some e -> Escape e
+            | None -> Failed "no interleaving with enough distinct outputs found"
+          else
+            match random_attempt ~allowed ~inputs ~max_steps ~t ~procs ~seed config with
+            | `Escape e -> Escape e
+            | `Done c when check c -> Ok_gamma c
+            | `Done _ | `Stuck _ -> try_seeds (seed + 1)
+        in
+        try_seeds 0)
+      | plan :: rest -> (
+        match run_plan ~allowed ~inputs ~max_steps ~t plan config with
+        | `Escape e ->
+          (* Remember the escape but keep trying: another interleaving
+             may stay confined and succeed; if nothing succeeds the
+             caller gets this escape as its δ. *)
+          let escape_seen = match escape_seen with Some _ -> escape_seen | None -> Some e in
+          try_plans escape_seen rest
+        | `Done c when check c -> Ok_gamma c
+        | `Done _ | `Stuck _ -> try_plans escape_seen rest)
+    in
+    try_plans None (candidate_plans ~procs))

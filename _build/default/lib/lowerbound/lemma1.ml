@@ -1,0 +1,110 @@
+(* Lemma 1, executable: "for any set V of m input values and any set Q
+   of m processes, there is an execution in which only processes in Q
+   take steps and all values in V are output."
+
+   The paper derives this non-constructively from the wait-free
+   impossibility of (m−1)-set agreement among m processes [2,10,11]; we
+   realize it as a schedule search (the same engine the Theorem 2
+   adversary uses for its γ fragments).  [find] returns a concrete
+   execution — a configuration whose output record contains all of V —
+   or reports that the bounded search failed.
+
+   The dual boundary is also observable: an algorithm tuned for
+   m-obstruction-freedom need not terminate when m+1 processes run
+   forever (k-set agreement has no m-obstruction-free solution for
+   m > k, Section 2.1), and [non_termination_witness] searches for a
+   schedule exhibiting exactly that. *)
+
+open Shm
+
+type outcome =
+  | Found of { config : Config.t; outputs : Value.t list }
+  | Search_failed of string
+
+(* [find ~procs ~values config]: drive only [procs], process i proposing
+   values.(i), until all of [values] appear among the outputs of
+   instance 1.  The system must be fresh (no invocations yet). *)
+let find ?(max_steps = 30_000) ?(tries = 80) ~procs ~values config =
+  if List.length procs <> List.length values then
+    invalid_arg "Lemma1.find: |procs| must equal |values|";
+  let inputs ~pid ~instance =
+    if instance = 1 then
+      List.assoc_opt pid (List.combine procs values)
+    else None
+  in
+  match
+    Gamma.build ~allowed:(fun _ -> true) ~inputs ~max_steps ~t:1 ~procs ~tries config
+  with
+  | Gamma.Ok_gamma config ->
+    Found { config; outputs = Gamma.distinct_at config ~procs ~t:1 }
+  | Gamma.Escape _ -> assert false (* allowed is total *)
+  | Gamma.Failed msg -> Search_failed msg
+
+(* [spoiler_witness ~a ~b config]: the textbook valency-style adaptive
+   adversary against a 1-obstruction-free algorithm, demonstrating that
+   m+1 = 2 perpetually-running processes need not terminate (the m ≤ k
+   boundary of Section 2.1).
+
+   Oblivious schedules (lockstep, random, bursts) almost always converge
+   against Figure 3, so the adversary must be *adaptive*: it runs [a]
+   alone — obstruction-freedom means a would decide — and, exactly when
+   a's next scan would make it decide (detected by stepping a cloned
+   configuration), it interleaves one write-plus-scan of [b].  The fresh
+   foreign pair makes a's scan see two distinct pairs again (> m = 1),
+   so a never decides; b's own scan happens right after its write, when
+   the memory is mixed, so b never decides either.  Both take infinitely
+   many steps; neither terminates.  Returns the diverging configuration
+   after [horizon] steps, or None if the adversary failed (some process
+   decided — which is what happens when the algorithm is run with
+   m ≥ 2). *)
+let spoiler_witness ?(horizon = 20_000) ~a ~b ~inputs config =
+  (* stepping [pid]'s poised scan on a clone: would it decide? *)
+  let decide_imminent config pid =
+    match Config.proc config pid with
+    | Program.Op (Program.Scan _, _) ->
+      let c, _ = Config.step config pid in
+      (match Config.proc c pid with
+      | Program.Yield _ -> true
+      | Program.Stop | Program.Op _ | Program.Await _ -> false)
+    | Program.Stop | Program.Op _ | Program.Yield _ | Program.Await _ -> false
+  in
+  let invoke_if_idle config pid =
+    match Config.proc config pid with
+    | Program.Await _ ->
+      let inst = Config.instance config pid + 1 in
+      fst (Config.invoke config pid (Option.get (inputs ~pid ~instance:inst)))
+    | Program.Stop | Program.Op _ | Program.Yield _ -> config
+  in
+  let config = invoke_if_idle (invoke_if_idle config a) b in
+  let decided config pid = Spec.Properties.completed_ops config pid > 0 in
+  (* Interrupt: let b perform its poised write, and its following scan
+     only if that scan would not decide (so b stays poised at a write
+     for the next interrupt).  Returns None when b cannot safely move —
+     the adversary has lost and a will be allowed to decide. *)
+  let interrupt config =
+    match Config.proc config b with
+    | Program.Op (Program.Write _, _) ->
+      let config, _ = Config.step config b in
+      if decide_imminent config b then Some config
+      else (
+        match Config.proc config b with
+        | Program.Op (Program.Scan _, _) -> Some (fst (Config.step config b))
+        | Program.Stop | Program.Op _ | Program.Yield _ | Program.Await _ -> Some config)
+    | Program.Stop | Program.Op _ | Program.Yield _ | Program.Await _ -> None
+  in
+  let rec go config steps =
+    if decided config a || decided config b then None
+    else if steps >= horizon then Some config
+    else if decide_imminent config a then begin
+      match interrupt config with
+      | Some config' when not (decide_imminent config' a) -> go config' (steps + 2)
+      | Some _ | None ->
+        (* cannot avert the decision: a decides, the adversary loses *)
+        let config, _ = Config.step config a in
+        go config (steps + 1)
+    end
+    else
+      let config, _ = Config.step config a in
+      go config (steps + 1)
+  in
+  go config 0

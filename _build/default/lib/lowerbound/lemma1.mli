@@ -1,0 +1,35 @@
+(** Lemma 1, executable: for any set V of m values and any set Q of m
+    processes, find an execution in which only Q takes steps and all of
+    V is output.  The paper derives existence from the set-agreement
+    impossibility; here it is a schedule search, and the m ≤ k boundary
+    it rests on is demonstrated by an adaptive adversary. *)
+
+type outcome =
+  | Found of { config : Shm.Config.t; outputs : Shm.Value.t list }
+  | Search_failed of string
+
+(** [find ~procs ~values config]: drive only [procs], process i
+    proposing [values]'s i-th element, until all of [values] appear
+    among the outputs of instance 1.  The system must be fresh. *)
+val find :
+  ?max_steps:int ->
+  ?tries:int ->
+  procs:int list ->
+  values:Shm.Value.t list ->
+  Shm.Config.t ->
+  outcome
+
+(** The valency-style adaptive adversary against a 1-obstruction-free
+    algorithm: runs [a] alone and, exactly when a's next scan would
+    decide (detected on a cloned configuration), interleaves one
+    write(+scan) of [b].  Returns the diverging configuration after
+    [horizon] steps — a witness that m+1 perpetually-running processes
+    need not terminate — or [None] if some process decided (which is
+    what happens when the algorithm is run with m ≥ 2). *)
+val spoiler_witness :
+  ?horizon:int ->
+  a:int ->
+  b:int ->
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  Shm.Config.t ->
+  Shm.Config.t option

@@ -1,0 +1,1 @@
+lib/native/native_agreement.ml: Agreement Array Domain Native_snapshot Shm

@@ -1,0 +1,1 @@
+lib/native/native_agreement.mli: Agreement Shm

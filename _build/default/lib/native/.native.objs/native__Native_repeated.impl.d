@@ -1,0 +1,1 @@
+lib/native/native_repeated.ml: Agreement Array Domain List Native_snapshot Shm

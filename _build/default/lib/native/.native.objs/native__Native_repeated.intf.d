@@ -1,0 +1,1 @@
+lib/native/native_repeated.mli: Agreement Shm

@@ -1,0 +1,1 @@
+lib/native/native_snapshot.ml: Array Atomic Shm

@@ -1,0 +1,1 @@
+lib/native/native_snapshot.mli: Shm

@@ -1,0 +1,108 @@
+(* Figure 4 on real multicore shared memory: repeated k-set agreement
+   across OCaml 5 domains.
+
+   As with Native_agreement, the decision logic is shared with the
+   simulator — Agreement.Repeated's encode/decode and the find_higher /
+   decide_check / adopt_check predicates are applied to views returned
+   by the native double-collect snapshot.  Each domain keeps the
+   persistent locals of Figure 4 (location i, instance t, history) in
+   its own heap; the shared state is exactly the r = n+2m−k atomics. *)
+
+type t = {
+  snap : Native_snapshot.t;
+  m : int;
+  n : int;
+  k : int;
+}
+
+let create ~(params : Agreement.Params.t) =
+  {
+    snap = Native_snapshot.create ~components:(Agreement.Params.r_oneshot params);
+    m = params.Agreement.Params.m;
+    n = params.Agreement.Params.n;
+    k = params.Agreement.Params.k;
+  }
+
+let registers t = Native_snapshot.components t.snap
+
+(* Per-domain session carrying Figure 4's persistent locals. *)
+type session = {
+  obj : t;
+  h : Native_snapshot.handle;
+  pid : int;
+  rng : Shm.Rng.t;
+  mutable i : int;
+  mutable t_inst : int;
+  mutable history : Shm.Value.t list;
+}
+
+let session obj ~pid ~seed =
+  {
+    obj;
+    h = Native_snapshot.handle obj.snap ~pid;
+    pid;
+    rng = Shm.Rng.create (seed + (97 * pid));
+    i = 0;
+    t_inst = 0;
+    history = [];
+  }
+
+let nth_output history t =
+  match List.nth_opt history (t - 1) with
+  | Some w -> w
+  | None -> invalid_arg "Native_repeated: adopted history shorter than instance"
+
+(* One Propose, following Figure 4 with backoff between full cycles. *)
+let propose s v =
+  let r = registers s.obj in
+  s.t_inst <- s.t_inst + 1;
+  let t = s.t_inst in
+  if List.length s.history >= t then nth_output s.history t
+  else begin
+    let backoff_window = ref 1 in
+    let backoff () =
+      for _ = 1 to (Shm.Rng.int s.rng !backoff_window + 1) * 50 do
+        Domain.cpu_relax ()
+      done;
+      if !backoff_window < 4096 then backoff_window := !backoff_window * 2
+    in
+    let rec loop pref iters =
+      let own =
+        { Agreement.Repeated.pref; id = s.pid; t; history = s.history }
+      in
+      Native_snapshot.update s.h s.i (Agreement.Repeated.encode own);
+      let view = Native_snapshot.scan ~on_retry:(fun _ -> Domain.cpu_relax ()) s.h in
+      match Agreement.Repeated.find_higher ~t view with
+      | Some tu ->
+        s.history <- tu.Agreement.Repeated.history;
+        nth_output tu.Agreement.Repeated.history t
+      | None -> (
+        match Agreement.Repeated.decide_check ~m:s.obj.m ~t view with
+        | Some w ->
+          s.history <- s.history @ [ w ];
+          w
+        | None ->
+          let pref =
+            match Agreement.Repeated.adopt_check ~own ~i:s.i ~t view with
+            | Some w -> w
+            | None ->
+              s.i <- (s.i + 1) mod r;
+              pref
+          in
+          if iters mod r = r - 1 then backoff ();
+          loop pref (iters + 1))
+    in
+    loop v 0
+  end
+
+(* Run [rounds] instances across n domains; returns decisions as
+   [| pid |].(round-1). *)
+let run ?(seed = 0) ~(params : Agreement.Params.t) ~rounds input =
+  let obj = create ~params in
+  let domains =
+    Array.init obj.n (fun pid ->
+        Domain.spawn (fun () ->
+            let s = session obj ~pid ~seed in
+            Array.init rounds (fun j -> propose s (input ~pid ~round:(j + 1)))))
+  in
+  (obj, Array.map Domain.join domains)

@@ -1,0 +1,27 @@
+(** Figure 4 on real multicore shared memory: repeated k-set agreement
+    across OCaml 5 domains, sharing the simulator's decision predicates
+    (Agreement.Repeated) and using randomized exponential backoff for
+    progress.  Shared state: exactly n+2m−k atomics, independent of the
+    number of instances executed. *)
+
+type t
+
+val create : params:Agreement.Params.t -> t
+val registers : t -> int
+
+(** A domain's session, carrying Figure 4's persistent locals. *)
+type session
+
+val session : t -> pid:int -> seed:int -> session
+
+(** One Propose; call successive instances from the same session. *)
+val propose : session -> Shm.Value.t -> Shm.Value.t
+
+(** Run [rounds] instances across n domains; [input ~pid ~round] is the
+    proposal.  Result: per-pid array of per-round decisions. *)
+val run :
+  ?seed:int ->
+  params:Agreement.Params.t ->
+  rounds:int ->
+  (pid:int -> round:int -> Shm.Value.t) ->
+  t * Shm.Value.t array array

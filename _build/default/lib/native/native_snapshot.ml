@@ -1,0 +1,67 @@
+(* A real shared-memory snapshot over OCaml 5 atomics.
+
+   Everything else in this repository runs inside the simulator, where
+   every interleaving is schedulable and space is counted exactly.  This
+   module is the bridge to actual hardware shared memory: an
+   r-component multi-writer snapshot implemented over an
+   [entry Atomic.t array] with the same double-collect construction as
+   Snapshot.Double_collect — each entry carries a (pid, seq) freshness
+   tag; a scan retries until two consecutive collects are identical and
+   linearizes between them; updates are single atomic stores.
+
+   Entries are immutable OCaml values, so a torn read is impossible and
+   [Atomic.get]/[Atomic.set] give exactly the MWMR atomic registers of
+   the paper's model.  The object is non-blocking, which is the honest
+   register-level guarantee (Theorem 7's wait-free object would need
+   the Afek construction; the algorithms only need scans to complete
+   once contention drops — see Native_agreement's backoff). *)
+
+type entry = { tag_pid : int; tag_seq : int; v : Shm.Value.t }
+
+type t = {
+  cells : entry option Atomic.t array;
+}
+
+let create ~components =
+  { cells = Array.init components (fun _ -> Atomic.make None) }
+
+let components t = Array.length t.cells
+
+(* Per-process handle carrying the local freshness counter. *)
+type handle = { snap : t; pid : int; mutable seq : int }
+
+let handle t ~pid = { snap = t; pid; seq = 0 }
+
+let update h i v =
+  h.seq <- h.seq + 1;
+  Atomic.set h.snap.cells.(i) (Some { tag_pid = h.pid; tag_seq = h.seq; v })
+
+let collect t = Array.map Atomic.get t.cells
+
+let same_collect a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a
+    ||
+    (match (a.(i), b.(i)) with
+    | None, None -> true
+    | Some x, Some y -> x.tag_pid = y.tag_pid && x.tag_seq = y.tag_seq
+    | None, Some _ | Some _, None -> false)
+    && go (i + 1)
+  in
+  go 0
+
+(* Non-blocking scan: retry until a clean double collect.  [on_retry]
+   lets the caller back off between attempts. *)
+let scan ?(on_retry = fun _attempt -> ()) h =
+  let rec attempt n prev =
+    let cur = collect h.snap in
+    match prev with
+    | Some p when same_collect p cur ->
+      Array.map (function Some e -> e.v | None -> Shm.Value.Bot) cur
+    | Some _ | None ->
+      on_retry n;
+      attempt (n + 1) (Some cur)
+  in
+  attempt 0 None

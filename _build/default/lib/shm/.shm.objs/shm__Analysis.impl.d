@@ -1,0 +1,1 @@
+lib/shm/analysis.ml: Array Event Fmt List

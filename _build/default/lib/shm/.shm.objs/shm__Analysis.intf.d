@@ -1,0 +1,1 @@
+lib/shm/analysis.mli: Event Format

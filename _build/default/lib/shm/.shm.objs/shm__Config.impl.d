@@ -1,0 +1,1 @@
+lib/shm/config.ml: Array Event Fmt List Memory Program Value

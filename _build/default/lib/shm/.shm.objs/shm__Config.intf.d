@@ -1,0 +1,1 @@
+lib/shm/config.mli: Event Format Memory Program Value

@@ -1,0 +1,1 @@
+lib/shm/diagram.ml: Array Event Fmt List String

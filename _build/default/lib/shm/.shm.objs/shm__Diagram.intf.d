@@ -1,0 +1,1 @@
+lib/shm/diagram.mli: Event Format

@@ -1,0 +1,1 @@
+lib/shm/event.mli: Format Value

@@ -1,0 +1,1 @@
+lib/shm/exec.ml: Array Config Event Fmt List Option Program Schedule

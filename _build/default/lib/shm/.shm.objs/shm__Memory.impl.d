@@ -1,0 +1,1 @@
+lib/shm/memory.ml: Array Fmt Int Map Set Value

@@ -1,0 +1,1 @@
+lib/shm/memory.mli: Format Int Set Value

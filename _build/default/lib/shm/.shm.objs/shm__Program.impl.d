@@ -1,0 +1,1 @@
+lib/shm/program.ml: Fmt Value

@@ -1,0 +1,1 @@
+lib/shm/rng.ml: Array Int64 List

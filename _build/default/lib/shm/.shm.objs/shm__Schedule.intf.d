@@ -1,0 +1,1 @@
+lib/shm/schedule.mli:

@@ -1,0 +1,1 @@
+lib/shm/value.ml: Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/shm/value.mli: Format

@@ -1,0 +1,70 @@
+(* Trace analysis: aggregate statistics over recorded executions.
+
+   Used by the bench harness (register heat maps, contention metrics)
+   and by tests that assert structural facts about executions — e.g.
+   that a solo run touches every component, or that crash survivors
+   account for all late steps. *)
+
+type t = {
+  steps_per_process : int array;   (* shared-memory + response steps *)
+  writes_per_register : int array;
+  reads_per_register : int array;  (* scans count one read per covered register *)
+  invocations : int;
+  outputs : int;
+  total_steps : int;
+}
+
+let of_trace ~n ~registers trace =
+  let steps = Array.make n 0 in
+  let writes = Array.make registers 0 in
+  let reads = Array.make registers 0 in
+  let invocations = ref 0 and outputs = ref 0 and total = ref 0 in
+  List.iter
+    (fun ev ->
+      incr total;
+      let pid = Event.pid ev in
+      if pid < n then steps.(pid) <- steps.(pid) + 1;
+      match ev with
+      | Event.Invoke _ -> incr invocations
+      | Event.Output _ -> incr outputs
+      | Event.Did_write { reg; _ } -> if reg < registers then writes.(reg) <- writes.(reg) + 1
+      | Event.Did_read { reg; _ } -> if reg < registers then reads.(reg) <- reads.(reg) + 1
+      | Event.Did_scan { off; len; _ } ->
+        for r = off to min (off + len) registers - 1 do
+          reads.(r) <- reads.(r) + 1
+        done)
+    trace;
+  {
+    steps_per_process = steps;
+    writes_per_register = writes;
+    reads_per_register = reads;
+    invocations = !invocations;
+    outputs = !outputs;
+    total_steps = !total;
+  }
+
+(* Processes that took at least one step. *)
+let active_processes t =
+  Array.to_list t.steps_per_process
+  |> List.mapi (fun pid s -> (pid, s))
+  |> List.filter (fun (_, s) -> s > 0)
+  |> List.map fst
+
+(* Contention metric: the write-count imbalance across registers —
+   max writes / mean writes over written registers (1.0 = perfectly
+   even).  Register-efficient algorithms cycle evenly. *)
+let write_skew t =
+  let written = Array.to_list t.writes_per_register |> List.filter (fun w -> w > 0) in
+  match written with
+  | [] -> 0.
+  | _ ->
+    let total = List.fold_left ( + ) 0 written in
+    let mean = float_of_int total /. float_of_int (List.length written) in
+    float_of_int (List.fold_left max 0 written) /. mean
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>steps/process: %a@,writes/register: %a@,invocations: %d, outputs: %d@]"
+    Fmt.(array ~sep:(any " ") int)
+    t.steps_per_process
+    Fmt.(array ~sep:(any " ") int)
+    t.writes_per_register t.invocations t.outputs

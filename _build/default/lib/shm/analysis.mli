@@ -1,0 +1,22 @@
+(** Trace analysis: aggregate statistics over recorded executions, for
+    the bench harness (register heat maps, contention metrics) and for
+    tests asserting structural facts about executions. *)
+
+type t = {
+  steps_per_process : int array;
+  writes_per_register : int array;
+  reads_per_register : int array;  (** scans count one read per register *)
+  invocations : int;
+  outputs : int;
+  total_steps : int;
+}
+
+val of_trace : n:int -> registers:int -> Event.t list -> t
+
+(** Processes that took at least one step. *)
+val active_processes : t -> int list
+
+(** Write imbalance across written registers: max/mean (1.0 = even). *)
+val write_skew : t -> float
+
+val pp : Format.formatter -> t -> unit

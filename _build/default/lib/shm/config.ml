@@ -1,0 +1,147 @@
+(* Configurations: the global state of the simulated system.
+
+   A configuration is a pure value — persistent memory plus one program
+   per process plus the input/output record — so executions can branch:
+   the Theorem 2 adversary repeatedly clones a configuration, explores a
+   fragment, and discards or splices it.
+
+   [inputs] and [outputs] are accumulated in reverse chronological
+   order; they are all the property checkers need (Validity and
+   k-Agreement are predicates on In_i / Out_i). *)
+
+type t = {
+  mem : Memory.t;
+  procs : Program.t array;
+  instance : int array;                     (* completed+current invocation count *)
+  inputs : (int * int * Value.t) list;      (* (pid, instance, input), reversed *)
+  outputs : (int * int * Value.t) list;     (* (pid, instance, output), reversed *)
+}
+
+let create ~registers ~procs =
+  {
+    mem = Memory.create registers;
+    procs = Array.copy procs;
+    instance = Array.make (Array.length procs) 0;
+    inputs = [];
+    outputs = [];
+  }
+
+let n t = Array.length t.procs
+
+let mem t = t.mem
+
+let proc t pid = t.procs.(pid)
+
+let instance t pid = t.instance.(pid)
+
+let inputs t = List.rev t.inputs
+
+let outputs t = List.rev t.outputs
+
+let set_proc t pid p =
+  let procs = Array.copy t.procs in
+  procs.(pid) <- p;
+  { t with procs }
+
+(* A process is runnable when it is poised to take a step, or idle with
+   an invocation available (decided by the caller via [has_input]). *)
+let runnable t ~has_input pid =
+  match t.procs.(pid) with
+  | Program.Stop -> false
+  | Program.Await _ -> has_input pid (t.instance.(pid) + 1)
+  | Program.Op _ | Program.Yield _ -> true
+
+(* Invoke the next operation of an idle process with input [v]. *)
+let invoke t pid v =
+  match t.procs.(pid) with
+  | Program.Await k ->
+    let inst = t.instance.(pid) + 1 in
+    let procs = Array.copy t.procs in
+    procs.(pid) <- k v;
+    let instance = Array.copy t.instance in
+    instance.(pid) <- inst;
+    let t = { t with procs; instance; inputs = (pid, inst, v) :: t.inputs } in
+    (t, Event.Invoke { pid; instance = inst; input = v })
+  | Program.Stop | Program.Op _ | Program.Yield _ ->
+    invalid_arg (Fmt.str "Config.invoke: p%d is not idle" pid)
+
+(* Perform one step of an active process. *)
+let step t pid =
+  match t.procs.(pid) with
+  | Program.Stop -> invalid_arg (Fmt.str "Config.step: p%d halted" pid)
+  | Program.Await _ -> invalid_arg (Fmt.str "Config.step: p%d idle" pid)
+  | Program.Yield (v, rest) ->
+    let inst = t.instance.(pid) in
+    let t = set_proc t pid rest in
+    let t = { t with outputs = (pid, inst, v) :: t.outputs } in
+    (t, Event.Output { pid; instance = inst; value = v })
+  | Program.Op (Program.Read r, k) ->
+    let v = Memory.read t.mem r in
+    let t = { (set_proc t pid (k (Program.RVal v))) with mem = Memory.count_read t.mem 1 } in
+    (t, Event.Did_read { pid; reg = r; value = v })
+  | Program.Op (Program.Write (r, v), k) ->
+    let mem = Memory.write t.mem r v in
+    let t = { (set_proc t pid (k Program.RUnit)) with mem } in
+    (t, Event.Did_write { pid; reg = r; value = v })
+  | Program.Op (Program.Scan (off, len), k) ->
+    let vec = Memory.scan t.mem ~off ~len in
+    let t =
+      { (set_proc t pid (k (Program.RVec vec))) with mem = Memory.count_read t.mem len }
+    in
+    (t, Event.Did_scan { pid; off; len })
+
+(* Clone support for the anonymous lower bound (Section 5): slot [to_]
+   takes on the exact local state of [from_].  In an anonymous system a
+   clone that shadows a process step-for-step (reading the same values,
+   writing the same values immediately after) has, at every moment, the
+   same local state as the original; installing that state directly is
+   operationally indistinguishable from having run the clone alongside,
+   because the shadow's reads are invisible and its writes duplicate
+   values already present.  See DESIGN.md, substitution on clones. *)
+let clone_proc t ~from_ ~to_ =
+  let procs = Array.copy t.procs in
+  procs.(to_) <- t.procs.(from_);
+  let instance = Array.copy t.instance in
+  instance.(to_) <- t.instance.(from_);
+  { t with procs; instance }
+
+(* Install an explicit program into a slot; the lower-bound machinery
+   uses this to plant a clone paused at an earlier point of a process's
+   execution (a snapshot of its local state at that point). *)
+let plant t ~slot program ~instance:inst =
+  let procs = Array.copy t.procs in
+  procs.(slot) <- program;
+  let instance = Array.copy t.instance in
+  instance.(slot) <- inst;
+  { t with procs; instance }
+
+(* Splice helper for the lower-bound constructions: a block write by
+   process set [writers] to registers [regs] (each process performs the
+   single write it is poised to do).  Fails if some process is not
+   poised to write. *)
+let block_write t writers =
+  List.fold_left
+    (fun (t, evs) pid ->
+      match Program.poised_write (proc t pid) with
+      | Some _ ->
+        let t, ev = step t pid in
+        (t, ev :: evs)
+      | None ->
+        invalid_arg (Fmt.str "Config.block_write: p%d is not poised to write" pid))
+    (t, []) writers
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>memory:@,%a@,procs:@," Memory.pp t.mem;
+  Array.iteri
+    (fun pid p ->
+      let status =
+        if Program.is_halted p then "halted"
+        else if Program.is_idle p then "idle"
+        else
+          match Program.poised_op p with
+          | Some op -> Fmt.str "poised: %a" Program.pp_op op
+          | None -> "active"
+      in
+      Fmt.pf ppf "p%d (#%d): %s@," pid t.instance.(pid) status)
+    t.procs;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,59 @@
+(** Configurations: the global state of the simulated system.
+
+    A configuration is a pure value — persistent memory plus one
+    program per process plus the input/output record — so executions
+    branch freely: the Theorem 2 adversary clones a configuration,
+    explores a fragment, and discards or splices it. *)
+
+type t
+
+(** [create ~registers ~procs] is the initial configuration: all
+    registers ⊥, process [pid] running [procs.(pid)]. *)
+val create : registers:int -> procs:Program.t array -> t
+
+val n : t -> int
+val mem : t -> Memory.t
+val proc : t -> int -> Program.t
+
+(** Number of invocations process [pid] has begun (0 initially). *)
+val instance : t -> int -> int
+
+(** All invocations [(pid, instance, input)], chronological. *)
+val inputs : t -> (int * int * Value.t) list
+
+(** All outputs [(pid, instance, output)], chronological. *)
+val outputs : t -> (int * int * Value.t) list
+
+(** Replace one process's program (low-level; prefer {!step}). *)
+val set_proc : t -> int -> Program.t -> t
+
+(** [runnable t ~has_input pid]: poised at a step, or idle with an
+    invocation available according to [has_input pid next_instance]. *)
+val runnable : t -> has_input:(int -> int -> bool) -> int -> bool
+
+(** Invoke the next operation of an idle process with the given input.
+    Raises [Invalid_argument] if the process is not idle. *)
+val invoke : t -> int -> Value.t -> t * Event.t
+
+(** Perform one step of an active process.  Raises [Invalid_argument]
+    on idle or halted processes. *)
+val step : t -> int -> t * Event.t
+
+(** {1 Lower-bound machinery support} *)
+
+(** [clone_proc t ~from_ ~to_]: slot [to_] takes on the exact local
+    state of [from_].  Legitimate in anonymous systems, where a clone
+    shadowing a process step-for-step has the same local state at every
+    moment (see the Section 5 construction). *)
+val clone_proc : t -> from_:int -> to_:int -> t
+
+(** [plant t ~slot program ~instance]: install an explicit program
+    (a snapshot of some process's earlier local state) into a slot. *)
+val plant : t -> slot:int -> Program.t -> instance:int -> t
+
+(** [block_write t writers]: each process of [writers] performs the
+    single write it is poised at — the paper's block write.  Raises
+    [Invalid_argument] if some process is not poised at a write. *)
+val block_write : t -> int list -> t * Event.t list
+
+val pp : Format.formatter -> t -> unit

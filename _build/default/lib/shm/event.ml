@@ -1,0 +1,30 @@
+(* Execution events, recorded for trace inspection and property checking.
+
+   [instance] numbers operations per process, starting at 1 for the
+   first invocation, matching the paper's "i-th invocation of Propose". *)
+
+type t =
+  | Invoke of { pid : int; instance : int; input : Value.t }
+  | Did_read of { pid : int; reg : int; value : Value.t }
+  | Did_write of { pid : int; reg : int; value : Value.t }
+  | Did_scan of { pid : int; off : int; len : int }
+  | Output of { pid : int; instance : int; value : Value.t }
+
+let pid = function
+  | Invoke { pid; _ }
+  | Did_read { pid; _ }
+  | Did_write { pid; _ }
+  | Did_scan { pid; _ }
+  | Output { pid; _ } -> pid
+
+let pp ppf = function
+  | Invoke { pid; instance; input } ->
+    Fmt.pf ppf "p%d: invoke #%d Propose(%a)" pid instance Value.pp input
+  | Did_read { pid; reg; value } ->
+    Fmt.pf ppf "p%d: read R%d -> %a" pid reg Value.pp value
+  | Did_write { pid; reg; value } ->
+    Fmt.pf ppf "p%d: write R%d := %a" pid reg Value.pp value
+  | Did_scan { pid; off; len } ->
+    Fmt.pf ppf "p%d: scan [%d..%d]" pid off (off + len - 1)
+  | Output { pid; instance; value } ->
+    Fmt.pf ppf "p%d: output #%d -> %a" pid instance Value.pp value

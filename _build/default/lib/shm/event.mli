@@ -1,0 +1,15 @@
+(** Execution events, recorded for trace inspection and property
+    checking.  [instance] numbers operations per process starting at 1,
+    matching the paper's "i-th invocation of Propose". *)
+
+type t =
+  | Invoke of { pid : int; instance : int; input : Value.t }
+  | Did_read of { pid : int; reg : int; value : Value.t }
+  | Did_write of { pid : int; reg : int; value : Value.t }
+  | Did_scan of { pid : int; off : int; len : int }
+  | Output of { pid : int; instance : int; value : Value.t }
+
+(** The process performing the event. *)
+val pid : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(* The execution runner: drives a configuration under a scheduler.
+
+   Invocation policy: when the scheduler picks an idle process, the
+   runner invokes that process's next operation using [inputs] (a pure
+   function from (pid, instance) to the input value, or None when the
+   process has no further operations — one-shot tasks return None for
+   instance 2). *)
+
+type stop_reason =
+  | All_quiescent   (* no process is runnable: every live process finished *)
+  | Fuel_exhausted  (* max_steps reached with runnable processes left *)
+
+type result = {
+  config : Config.t;
+  steps : int;
+  stopped : stop_reason;
+  trace : Event.t list;  (* chronological; empty unless [record] *)
+}
+
+let run ?(record = false) ?(max_steps = 1_000_000) ~sched ~inputs config =
+  let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
+  let rec go config step trace =
+    if step >= max_steps then
+      { config; steps = step; stopped = Fuel_exhausted; trace = List.rev trace }
+    else
+      let runnable pid = Config.runnable config ~has_input pid in
+      match sched.Schedule.next ~step ~runnable with
+      | None -> { config; steps = step; stopped = All_quiescent; trace = List.rev trace }
+      | Some pid ->
+        let config, ev =
+          match Config.proc config pid with
+          | Program.Await _ ->
+            let inst = Config.instance config pid + 1 in
+            let input =
+              match inputs ~pid ~instance:inst with
+              | Some v -> v
+              | None -> invalid_arg "Exec.run: scheduler picked process with no input"
+            in
+            Config.invoke config pid input
+          | Program.Stop ->
+            invalid_arg "Exec.run: scheduler picked a halted process"
+          | Program.Op _ | Program.Yield _ -> Config.step config pid
+        in
+        go config (step + 1) (if record then ev :: trace else trace)
+  in
+  go config 0 []
+
+(* Convenience input functions. *)
+
+(* One-shot: process [pid] proposes [inputs.(pid)] once. *)
+let oneshot_inputs values ~pid ~instance =
+  if instance = 1 && pid < Array.length values then Some values.(pid) else None
+
+(* Repeated: [rounds] instances; instance i of pid proposes f pid i. *)
+let repeated_inputs ~rounds f ~pid ~instance =
+  if instance >= 1 && instance <= rounds then Some (f pid instance) else None
+
+let pp_trace ppf trace =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Event.pp) trace

@@ -1,0 +1,69 @@
+(* Shared register memory with exact space accounting.
+
+   The memory is a persistent map from register index to value, so that
+   configurations can be cloned and replayed — the lower-bound adversary
+   of Theorem 2 depends on this.  [written] records the set of registers
+   that have ever been written, which is the space measure the paper
+   reports: an algorithm "uses" a register iff some execution writes it
+   (registers that are only read never need to exist distinctly). *)
+
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+type t = {
+  size : int;              (* number of allocated registers *)
+  regs : Value.t Imap.t;   (* sparse: absent entries read as ⊥ *)
+  written : Iset.t;        (* registers written at least once *)
+  write_count : int;       (* total number of write steps *)
+  read_count : int;        (* total number of read steps (scan = len reads) *)
+}
+
+let create size =
+  if size < 0 then invalid_arg "Memory.create: negative size";
+  { size; regs = Imap.empty; written = Iset.empty; write_count = 0; read_count = 0 }
+
+let size t = t.size
+
+let check t r op =
+  if r < 0 || r >= t.size then
+    invalid_arg (Fmt.str "Memory.%s: register %d out of range [0,%d)" op r t.size)
+
+let read t r =
+  check t r "read";
+  match Imap.find_opt r t.regs with Some v -> v | None -> Value.Bot
+
+let write t r v =
+  check t r "write";
+  {
+    t with
+    regs = Imap.add r v t.regs;
+    written = Iset.add r t.written;
+    write_count = t.write_count + 1;
+  }
+
+(* Atomic multi-read of [len] consecutive registers starting at [off];
+   used to give snapshot objects their atomic-scan semantics. *)
+let scan t ~off ~len =
+  if len < 0 then invalid_arg "Memory.scan: negative length";
+  if off < 0 || off + len > t.size then
+    invalid_arg (Fmt.str "Memory.scan: range [%d,%d) out of [0,%d)" off (off + len) t.size);
+  Array.init len (fun i ->
+      match Imap.find_opt (off + i) t.regs with Some v -> v | None -> Value.Bot)
+
+let count_read t n = { t with read_count = t.read_count + n }
+
+let written_set t = t.written
+
+let num_written t = Iset.cardinal t.written
+
+let write_count t = t.write_count
+
+let read_count t = t.read_count
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  for r = 0 to t.size - 1 do
+    let v = match Imap.find_opt r t.regs with Some v -> v | None -> Value.Bot in
+    Fmt.pf ppf "R%d = %a@," r Value.pp v
+  done;
+  Fmt.pf ppf "@]"

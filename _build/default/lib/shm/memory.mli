@@ -1,0 +1,41 @@
+(** Shared register memory with exact space accounting.
+
+    The memory is a persistent map from register index to value, so
+    configurations can be cloned and replayed — the Theorem 2 adversary
+    depends on this.  The space measure reported by the experiments is
+    {!num_written}: an algorithm "uses" a register iff some execution
+    writes it. *)
+
+type t
+
+(** [create size] allocates registers [0 .. size-1], all holding ⊥. *)
+val create : int -> t
+
+val size : t -> int
+
+(** [read t r] is the current value of register [r].  Bounds-checked. *)
+val read : t -> int -> Value.t
+
+(** [write t r v] is the memory after the write; [t] is unchanged. *)
+val write : t -> int -> Value.t -> t
+
+(** [scan t ~off ~len] is an atomic multi-read of [len] consecutive
+    registers starting at [off] — the primitive behind atomic snapshot
+    objects. *)
+val scan : t -> off:int -> len:int -> Value.t array
+
+(** [count_read t n] bumps the read counter by [n] (bookkeeping only). *)
+val count_read : t -> int -> t
+
+(** {1 Space and step accounting} *)
+
+(** Registers written at least once. *)
+val written_set : t -> Set.Make(Int).t
+
+(** |{!written_set}| — the paper's space measure. *)
+val num_written : t -> int
+
+val write_count : t -> int
+val read_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* Process programs as a free monad over shared-memory operations.
+
+   A process is a pure value of type [t]: the head constructor is the
+   step the process is poised to perform, and continuations produce the
+   rest of the program.  This representation gives us, for free, the
+   three things the paper's proofs need from the model:
+
+   - determinism: the next step is a function of the local state;
+   - clonability: configurations are persistent values, so the
+     Theorem 2 adversary can branch executions and splice fragments;
+   - poised-step inspection: "process q is poised to write register R"
+     (the covering argument) is a pattern match on the head.
+
+   [Yield] is the response step of the current operation (step kind (4)
+   in Section 2 of the paper): the process outputs a value and proceeds.
+   [Await] models an idle process: it performs no step until the
+   environment invokes its next operation with an input value. *)
+
+type op =
+  | Read of int                  (* read one register *)
+  | Write of int * Value.t       (* write one register *)
+  | Scan of int * int            (* atomic scan: offset, length *)
+
+type res =
+  | RUnit
+  | RVal of Value.t
+  | RVec of Value.t array
+
+type t =
+  | Stop                          (* halted: takes no more steps *)
+  | Op of op * (res -> t)         (* poised to perform a shared-memory step *)
+  | Yield of Value.t * t          (* respond to current operation with a value *)
+  | Await of (Value.t -> t)       (* idle: waiting for the next invocation *)
+
+(* Smart constructors hide the [res] unpacking. *)
+
+let read r k =
+  Op (Read r, function RVal v -> k v | RUnit | RVec _ -> assert false)
+
+let write r v k =
+  Op (Write (r, v), function RUnit -> k () | RVal _ | RVec _ -> assert false)
+
+let scan ~off ~len k =
+  Op (Scan (off, len), function RVec a -> k a | RUnit | RVal _ -> assert false)
+
+let yield v rest = Yield (v, rest)
+
+let await k = Await k
+
+let stop = Stop
+
+let pp_op ppf = function
+  | Read r -> Fmt.pf ppf "read R%d" r
+  | Write (r, v) -> Fmt.pf ppf "write R%d := %a" r Value.pp v
+  | Scan (off, len) -> Fmt.pf ppf "scan [%d..%d]" off (off + len - 1)
+
+(* Poised-step inspection, used by the lower-bound constructions. *)
+
+let poised_op = function Op (o, _) -> Some o | Stop | Yield _ | Await _ -> None
+
+let poised_write = function
+  | Op (Write (r, _), _) -> Some r
+  | Stop | Op ((Read _ | Scan _), _) | Yield _ | Await _ -> None
+
+let is_idle = function Await _ -> true | Stop | Op _ | Yield _ -> false
+
+let is_halted = function Stop -> true | Op _ | Yield _ | Await _ -> false
+
+let is_active = function Op _ | Yield _ -> true | Stop | Await _ -> false

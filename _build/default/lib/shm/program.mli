@@ -1,0 +1,53 @@
+(** Process programs as a free monad over shared-memory operations.
+
+    A process is a pure value of type {!t}: the head constructor is the
+    step the process is poised to perform, and continuations produce
+    the rest of the program.  This representation gives the model the
+    three properties the paper's proofs need:
+
+    - determinism: the next step is a function of the local state;
+    - clonability: configurations are persistent values, so the
+      Theorem 2 adversary can branch executions and splice fragments;
+    - poised-step inspection: "process q is poised to write register R"
+      (the covering argument) is a pattern match on the head. *)
+
+type op =
+  | Read of int                 (** read one register *)
+  | Write of int * Value.t      (** write one register *)
+  | Scan of int * int           (** atomic scan: offset, length *)
+
+type res =
+  | RUnit
+  | RVal of Value.t
+  | RVec of Value.t array
+
+type t =
+  | Stop                        (** halted: takes no more steps *)
+  | Op of op * (res -> t)       (** poised at a shared-memory step *)
+  | Yield of Value.t * t
+      (** respond to the current operation with an output value — step
+          kind (4) of the paper's model *)
+  | Await of (Value.t -> t)
+      (** idle: waits for the next invocation, which carries the input *)
+
+(** {1 Smart constructors} *)
+
+val read : int -> (Value.t -> t) -> t
+val write : int -> Value.t -> (unit -> t) -> t
+val scan : off:int -> len:int -> (Value.t array -> t) -> t
+val yield : Value.t -> t -> t
+val await : (Value.t -> t) -> t
+val stop : t
+
+val pp_op : Format.formatter -> op -> unit
+
+(** {1 Poised-step inspection} *)
+
+val poised_op : t -> op option
+
+(** [poised_write p] is [Some r] iff the head step is a write to [r]. *)
+val poised_write : t -> int option
+
+val is_idle : t -> bool
+val is_halted : t -> bool
+val is_active : t -> bool

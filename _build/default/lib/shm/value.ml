@@ -1,0 +1,88 @@
+(* Universal register value type.
+
+   Registers in the simulated shared memory hold values of this single
+   type so that configurations are first-class, comparable, printable
+   data.  The algorithms in the paper store tuples such as [(pref, id)]
+   (Figure 3) or [(pref, id, t, history)] (Figure 4); these are encoded
+   with [Pair] and [List]. *)
+
+type t =
+  | Bot                       (* the initial value ⊥ of every register *)
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+let bot = Bot
+
+let int i = Int i
+
+let str s = Str s
+
+let pair a b = Pair (a, b)
+
+let list vs = List vs
+
+(* Encoding of small tuples as right-nested pairs, so that structural
+   equality matches the paper's tuple equality. *)
+let tuple = function
+  | [] -> List []
+  | [ v ] -> v
+  | vs -> List vs
+
+let rec equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, y1), Pair (x2, y2) -> equal x1 x2 && equal y1 y2
+  | List xs, List ys ->
+    (try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | (Bot | Int _ | Str _ | Pair _ | List _), _ -> false
+
+let rec compare a b =
+  let tag = function
+    | Bot -> 0
+    | Int _ -> 1
+    | Str _ -> 2
+    | Pair _ -> 3
+    | List _ -> 4
+  in
+  match a, b with
+  | Bot, Bot -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | List xs, List ys -> List.compare compare xs ys
+  | _, _ -> Stdlib.compare (tag a) (tag b)
+
+let rec pp ppf = function
+  | Bot -> Fmt.string ppf "⊥"
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (a, b) -> Fmt.pf ppf "(%a,%a)" pp a pp b
+  | List vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ";") pp) vs
+
+let to_string v = Fmt.str "%a" pp v
+
+let is_bot = function Bot -> true | Int _ | Str _ | Pair _ | List _ -> false
+
+(* Accessors used by the algorithms; they fail loudly on encoding bugs. *)
+
+let to_int = function
+  | Int i -> i
+  | v -> invalid_arg (Fmt.str "Value.to_int: %a" pp v)
+
+let fst = function
+  | Pair (a, _) -> a
+  | v -> invalid_arg (Fmt.str "Value.fst: %a" pp v)
+
+let snd = function
+  | Pair (_, b) -> b
+  | v -> invalid_arg (Fmt.str "Value.snd: %a" pp v)
+
+let to_list = function
+  | List vs -> vs
+  | v -> invalid_arg (Fmt.str "Value.to_list: %a" pp v)

@@ -1,0 +1,54 @@
+(** Universal register value type.
+
+    Every simulated register holds a value of this single type, so
+    configurations are first-class, comparable, printable data.  The
+    paper's algorithms store tuples such as [(pref, id)] (Figure 3) or
+    [(pref, id, t, history)] (Figure 4); encode them with {!Pair} and
+    {!List}. *)
+
+type t =
+  | Bot  (** the initial value ⊥ of every register *)
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+(** {1 Constructors} *)
+
+val bot : t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+(** [tuple vs] encodes a small tuple; a singleton list is the value
+    itself, anything else a {!List}. *)
+val tuple : t list -> t
+
+(** {1 Comparison and printing} *)
+
+(** Structural equality; matches the paper's tuple equality. *)
+val equal : t -> t -> bool
+
+(** A total order consistent with {!equal} (used for sorting and
+    deduplication; the order itself is arbitrary but fixed). *)
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Accessors}
+
+    These fail loudly ([Invalid_argument]) on encoding bugs. *)
+
+val is_bot : t -> bool
+val to_int : t -> int
+
+(** First component of a {!Pair}. *)
+val fst : t -> t
+
+(** Second component of a {!Pair}. *)
+val snd : t -> t
+
+(** Elements of a {!List}. *)
+val to_list : t -> t list

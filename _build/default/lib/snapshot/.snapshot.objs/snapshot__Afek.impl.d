@@ -1,0 +1,1 @@
+lib/snapshot/afek.ml: Array Fmt List Shm Snap_api

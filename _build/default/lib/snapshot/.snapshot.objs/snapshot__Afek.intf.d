@@ -1,0 +1,1 @@
+lib/snapshot/afek.mli: Shm Snap_api

@@ -1,0 +1,1 @@
+lib/snapshot/atomic.ml: Shm Snap_api

@@ -1,0 +1,1 @@
+lib/snapshot/atomic.mli: Snap_api

@@ -1,0 +1,1 @@
+lib/snapshot/double_collect.ml: Array Fmt Int64 List Shm Snap_api

@@ -1,0 +1,1 @@
+lib/snapshot/double_collect.mli: Snap_api

@@ -1,0 +1,1 @@
+lib/snapshot/mw_from_sw.ml: Afek Array Fmt List Shm Snap_api

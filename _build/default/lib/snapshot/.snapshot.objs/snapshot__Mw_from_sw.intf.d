@@ -1,0 +1,1 @@
+lib/snapshot/mw_from_sw.mli: Snap_api

@@ -1,0 +1,19 @@
+(* Atomic snapshot: each component is one register, scans are one atomic
+   simulator step.  This is the object the paper's algorithms are
+   specified against; its register footprint is exactly the component
+   count, which is what Figure 1's upper bounds report. *)
+
+let rec make ~off ~len : Snap_api.t =
+  let update i v k =
+    if i < 0 || i >= len then invalid_arg "Atomic.update: component out of range";
+    Shm.Program.write (off + i) v (fun () -> k (make ~off ~len))
+  in
+  let scan k = Shm.Program.scan ~off ~len (fun view -> k (make ~off ~len) view) in
+  { Snap_api.components = len; update; scan }
+
+let footprint ~len =
+  {
+    Snap_api.registers = len;
+    wait_free = true;
+    description = "atomic snapshot (components = registers, scan atomic)";
+  }

@@ -1,0 +1,10 @@
+(** Atomic snapshot: each component is one register, scans are a single
+    atomic simulator step.  This is the object the paper's algorithms
+    are specified against; its register footprint is exactly the
+    component count, which is what Figure 1's upper bounds report. *)
+
+(** [make ~off ~len] is a [len]-component snapshot over registers
+    [off .. off+len-1]. *)
+val make : off:int -> len:int -> Snap_api.t
+
+val footprint : len:int -> Snap_api.footprint

@@ -1,0 +1,78 @@
+(* Wait-free r-component multi-writer snapshot from n single-writer
+   registers — the [min(n+2m−k, n)] branch of Theorems 7 and 8: when
+   n < n+2m−k, "the snapshot can be implemented from n single-writer
+   registers [1, 13]".
+
+   Construction (standard, cf. Vitányi–Awerbuch timestamps layered under
+   an Afek et al. single-writer snapshot):
+
+   - process p's SW segment holds p's *row*: for every component j, the
+     timestamped value (ts, p, v) of p's last update to j;
+   - update(j, v): take an SW scan, compute ts = 1 + max timestamp seen
+     for j, install the new row with an SW update (which itself embeds a
+     scan for helping — we reuse one scan for both purposes is unsound,
+     Afek's update performs its own embedded scan);
+   - scan(): one SW scan; component j's value is the maximum-(ts, pid)
+     entry among all rows.
+
+   Writes are totally ordered by (ts, pid); a write beginning after
+   another's end sees its timestamp in the SW scan and exceeds it, and
+   scans are atomic SW scans, so the simulated object is linearizable
+   and wait-free.  Register footprint: exactly n. *)
+
+type slot = { ts : int; owner : int; v : Shm.Value.t }
+
+let encode_slot { ts; owner; v } =
+  Shm.Value.Pair (Shm.Value.Pair (Shm.Value.Int ts, Shm.Value.Int owner), v)
+
+let decode_slot = function
+  | Shm.Value.Pair (Shm.Value.Pair (Shm.Value.Int ts, Shm.Value.Int owner), v) ->
+    { ts; owner; v }
+  | v -> invalid_arg (Fmt.str "Mw_from_sw.decode_slot: %a" Shm.Value.pp v)
+
+let empty_slot = { ts = 0; owner = -1; v = Shm.Value.Bot }
+
+let encode_row row = Shm.Value.List (Array.to_list (Array.map encode_slot row))
+
+let decode_row ~components = function
+  | Shm.Value.Bot -> Array.make components empty_slot
+  | Shm.Value.List slots -> Array.of_list (List.map decode_slot slots)
+  | v -> invalid_arg (Fmt.str "Mw_from_sw.decode_row: %a" Shm.Value.pp v)
+
+let slot_newer a b = a.ts > b.ts || (a.ts = b.ts && a.owner > b.owner)
+
+(* The freshest entry for component [j] across all rows. *)
+let freshest rows j =
+  Array.fold_left
+    (fun best row -> if slot_newer row.(j) best then row.(j) else best)
+    empty_slot rows
+
+let make ~off ~n ~components ~pid : Snap_api.t =
+  let decode_all segments = Array.map (decode_row ~components) segments in
+  let rec api (seq, row) : Snap_api.t =
+    let update j v k =
+      if j < 0 || j >= components then invalid_arg "Mw_from_sw.update: component out of range";
+      Afek.scan ~off ~n (fun segments ->
+          let rows = decode_all segments in
+          let ts = 1 + (freshest rows j).ts in
+          let row' = Array.copy row in
+          row'.(j) <- { ts; owner = pid; v };
+          Afek.update ~off ~n ~pid ~seq (encode_row row') (fun seq' ->
+              k (api (seq', row'))))
+    in
+    let scan k =
+      Afek.scan ~off ~n (fun segments ->
+          let rows = decode_all segments in
+          let view = Array.init components (fun j -> (freshest rows j).v) in
+          k (api (seq, row)) view)
+    in
+    { Snap_api.components; update; scan }
+  in
+  api (0, Array.make components empty_slot)
+
+let footprint ~n =
+  {
+    Snap_api.registers = n;
+    wait_free = true;
+    description = "wait-free MW snapshot from n single-writer registers";
+  }

@@ -1,0 +1,14 @@
+(** Wait-free r-component multi-writer snapshot from n single-writer
+    registers — the [min(n+2m−k, n)] branch of Theorems 7 and 8.
+
+    Each process's single-writer segment holds its row of timestamped
+    last-writes to every component (Vitányi–Awerbuch-style timestamps)
+    under an {!Afek} single-writer snapshot; component values are the
+    maximum-(ts, pid) entries across rows.  Linearizable and wait-free;
+    register footprint exactly [n]. *)
+
+(** [make ~off ~n ~components ~pid] is process [pid]'s handle on the
+    shared object living in registers [off .. off+n-1]. *)
+val make : off:int -> n:int -> components:int -> pid:int -> Snap_api.t
+
+val footprint : n:int -> Snap_api.footprint

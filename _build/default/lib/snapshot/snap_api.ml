@@ -1,0 +1,31 @@
+(* Abstract snapshot-object interface, in continuation-passing style.
+
+   Every set-agreement algorithm in this repository is written against
+   this interface and can therefore run over any of the implementations:
+
+   - [Atomic]: scan is one atomic simulator step (the paper's model —
+     Theorems 7/8/11 count snapshot components as registers, citing
+     register implementations [1,5,13]);
+   - [Double_collect]: honest register-level non-blocking snapshot;
+   - [Mw_from_sw]: wait-free snapshot from n single-writer registers
+     (the [min(·, n)] branch of Theorem 7).
+
+   The API value is threaded through continuations ([update] passes a
+   possibly-updated API to its continuation) so implementations can
+   carry purely functional local state — sequence numbers, cached rows —
+   without mutation.  Programs stay clonable values, which the
+   lower-bound machinery requires. *)
+
+type t = {
+  components : int;
+      (* number of snapshot components; component indices are
+         [0 .. components-1] *)
+  update : int -> Shm.Value.t -> (t -> Shm.Program.t) -> Shm.Program.t;
+      (* [update i v k]: write [v] to component [i], continue with [k]. *)
+  scan : (t -> Shm.Value.t array -> Shm.Program.t) -> Shm.Program.t;
+      (* [scan k]: pass an atomic view of all components to [k]. *)
+}
+
+(* Description of how many raw registers an implementation consumes, for
+   the space-accounting experiments. *)
+type footprint = { registers : int; wait_free : bool; description : string }

@@ -1,0 +1,26 @@
+(** Abstract snapshot-object interface, in continuation-passing style.
+
+    Every set-agreement algorithm in this repository is written against
+    this interface and can therefore run over any implementation:
+    {!Atomic} (the paper's cost model), {!Double_collect} (honest
+    register-level, non-blocking), or {!Mw_from_sw} (wait-free from n
+    single-writer registers — the [min(·, n)] branch of Theorem 7).
+
+    The API value is threaded through continuations so implementations
+    can carry purely functional local state — sequence numbers, cached
+    rows — without mutation; programs stay clonable values, which the
+    lower-bound machinery requires. *)
+
+type t = {
+  components : int;
+      (** number of snapshot components, indexed [0 .. components-1] *)
+  update : int -> Shm.Value.t -> (t -> Shm.Program.t) -> Shm.Program.t;
+      (** [update i v k]: write [v] to component [i], continue with [k]
+          applied to the (possibly state-advanced) API. *)
+  scan : (t -> Shm.Value.t array -> Shm.Program.t) -> Shm.Program.t;
+      (** [scan k]: pass an atomic view of all components to [k]. *)
+}
+
+(** How many raw registers an implementation consumes, for the
+    space-accounting experiments. *)
+type footprint = { registers : int; wait_free : bool; description : string }

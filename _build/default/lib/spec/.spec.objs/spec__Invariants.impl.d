@@ -1,0 +1,1 @@
+lib/spec/invariants.ml: Array Event Fmt Hashtbl List Shm Value

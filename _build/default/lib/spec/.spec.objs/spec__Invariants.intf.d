@@ -1,0 +1,1 @@
+lib/spec/invariants.mli: Format Shm

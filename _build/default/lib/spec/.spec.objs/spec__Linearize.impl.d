@@ -1,0 +1,1 @@
+lib/spec/linearize.ml: Array Event Fmt Hashtbl List Shm Value

@@ -1,0 +1,1 @@
+lib/spec/linearize.mli: Format Shm

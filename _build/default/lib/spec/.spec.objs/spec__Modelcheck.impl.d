@@ -1,0 +1,1 @@
+lib/spec/modelcheck.ml: Config Exec Fmt Fun List Option Program Schedule Shm

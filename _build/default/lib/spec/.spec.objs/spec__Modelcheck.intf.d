@@ -1,0 +1,1 @@
+lib/spec/modelcheck.mli: Format Shm

@@ -1,0 +1,1 @@
+lib/spec/properties.ml: Config Fmt Fun List Shm String Value

@@ -1,0 +1,1 @@
+lib/spec/stress.ml: Config Exec Fmt Fun List Properties Schedule Shm

@@ -1,0 +1,1 @@
+lib/spec/stress.mli: Format Shm

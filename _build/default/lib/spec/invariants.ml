@@ -1,0 +1,92 @@
+(* Runtime checks of the paper's key data-structure invariants.
+
+   The correctness proofs hinge on invariants about what the snapshot
+   object A may contain; running the algorithms with trace recording
+   lets us check those invariants hold in *every* reachable
+   configuration of an execution, not just at the end:
+
+   - Lemma 3 (one-shot): for each process identifier id, all pairs in A
+     carrying id have the same value.
+   - Lemma 12 (repeated): for each id and instance t, all t-tuples in A
+     carrying id are identical.
+
+   The checker replays a recorded trace, maintaining the register state,
+   and evaluates the invariant after every write. *)
+
+open Shm
+
+type violation = {
+  at_step : int;
+  register : int;
+  message : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "step %d (write to R%d): %s" v.at_step v.register v.message
+
+(* Replay [trace] over [registers] registers; after every write, call
+   [check state] where state is the current register array; collect all
+   reported problems. *)
+let replay ~registers ~check trace =
+  let state = Array.make registers Value.Bot in
+  let violations = ref [] in
+  List.iteri
+    (fun step ev ->
+      match ev with
+      | Event.Did_write { reg; value; _ } ->
+        if reg < registers then begin
+          state.(reg) <- value;
+          match check state with
+          | Some message -> violations := { at_step = step; register = reg; message } :: !violations
+          | None -> ()
+        end
+      | Event.Did_read _ | Event.Did_scan _ | Event.Invoke _ | Event.Output _ -> ())
+    trace;
+  List.rev !violations
+
+(* Lemma 3: one-shot pairs (value, id) — same id ⟹ same value. *)
+let lemma3_pairs state =
+  let seen = Hashtbl.create 7 in
+  let bad = ref None in
+  Array.iter
+    (fun v ->
+      match v with
+      | Value.Pair (value, Value.Int id) -> (
+        match Hashtbl.find_opt seen id with
+        | Some other when not (Value.equal other value) ->
+          bad :=
+            Some
+              (Fmt.str "id %d holds both %a and %a (Lemma 3)" id Value.pp other Value.pp
+                 value)
+        | Some _ -> ()
+        | None -> Hashtbl.add seen id value)
+      | Value.Bot -> ()
+      | _ -> ())
+    state;
+  !bad
+
+(* Lemma 12: repeated tuples (value, id, t, history) — same (id, t) ⟹
+   identical tuple. *)
+let lemma12_tuples state =
+  let seen = Hashtbl.create 7 in
+  let bad = ref None in
+  Array.iter
+    (fun v ->
+      match v with
+      | Value.List [ _; Value.Int id; Value.Int t; _ ] -> (
+        match Hashtbl.find_opt seen (id, t) with
+        | Some other when not (Value.equal other v) ->
+          bad :=
+            Some
+              (Fmt.str "(id %d, t %d) holds two distinct tuples %a / %a (Lemma 12)" id t
+                 Value.pp other Value.pp v)
+        | Some _ -> ()
+        | None -> Hashtbl.add seen (id, t) v)
+      | Value.Bot -> ()
+      | _ -> ())
+    state;
+  !bad
+
+let check_lemma3 ~registers trace = replay ~registers ~check:lemma3_pairs trace
+
+let check_lemma12 ~registers trace = replay ~registers ~check:lemma12_tuples trace

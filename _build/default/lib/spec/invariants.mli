@@ -1,0 +1,25 @@
+(** Runtime checks of the paper's key data-structure invariants, over
+    recorded traces: Lemma 3 (one-shot: all pairs in A with the same id
+    carry the same value) and Lemma 12 (repeated: all t-tuples in A
+    with the same id are identical), evaluated after every write. *)
+
+type violation = { at_step : int; register : int; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Replay a trace over [registers] registers, calling [check] on the
+    register state after every write. *)
+val replay :
+  registers:int ->
+  check:(Shm.Value.t array -> string option) ->
+  Shm.Event.t list ->
+  violation list
+
+(** Lemma 3 on a register state (one-shot (value, id) pairs). *)
+val lemma3_pairs : Shm.Value.t array -> string option
+
+(** Lemma 12 on a register state (repeated 4-tuples). *)
+val lemma12_tuples : Shm.Value.t array -> string option
+
+val check_lemma3 : registers:int -> Shm.Event.t list -> violation list
+val check_lemma12 : registers:int -> Shm.Event.t list -> violation list

@@ -1,0 +1,140 @@
+(* A Wing–Gong-style linearizability checker for snapshot histories.
+
+   A history is a set of completed operations — updates and scans — with
+   real-time intervals taken from the simulator's global step counter.
+   The checker searches for a total order that (a) respects real time
+   (if o1 finishes before o2 starts, o1 precedes o2) and (b) is a legal
+   sequential snapshot history (each scan returns exactly the latest
+   value written to every component, ⊥ if none).
+
+   Histories produced by the test harnesses are small (tens of
+   operations), so a memoized depth-first search is ample. *)
+
+open Shm
+
+type op =
+  | Update of { i : int; v : Value.t }
+  | Scan of { view : Value.t array }
+
+type event = {
+  pid : int;
+  op : op;
+  start : int;   (* global step index of the operation's first step *)
+  finish : int;  (* global step index of its last step *)
+}
+
+let pp_event ppf e =
+  match e.op with
+  | Update { i; v } ->
+    Fmt.pf ppf "p%d: update(%d,%a) @[%d,%d]" e.pid i Value.pp v e.start e.finish
+  | Scan { view } ->
+    Fmt.pf ppf "p%d: scan->[%a] @[%d,%d]" e.pid
+      Fmt.(array ~sep:(any ";") Value.pp)
+      view e.start e.finish
+
+(* [check ~components events] returns true iff the history is
+   linearizable as an atomic snapshot object. *)
+let check ~components events =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  (* The memo key must pair the linearized set with the component state:
+     two different orders of same-component updates cover the same set
+     but leave different states, and only one of them may admit a
+     completion. *)
+  let module Key = struct
+    type t = bool array * Value.t array
+
+    let equal = ( = )
+    let hash (k : t) = Hashtbl.hash k
+  end in
+  let module Memo = Hashtbl.Make (Key) in
+  let failed = Memo.create 97 in
+  (* state: current component values; done_: linearized set *)
+  let rec search done_ state remaining =
+    if remaining = 0 then true
+    else if Memo.mem failed (done_, state) then false
+    else begin
+      (* earliest finish among not-yet-linearized ops *)
+      let min_finish = ref max_int in
+      for j = 0 to n - 1 do
+        if (not done_.(j)) && events.(j).finish < !min_finish then
+          min_finish := events.(j).finish
+      done;
+      let ok = ref false in
+      let j = ref 0 in
+      while (not !ok) && !j < n do
+        let idx = !j in
+        incr j;
+        if (not done_.(idx)) && events.(idx).start <= !min_finish then begin
+          (* events.(idx) may be linearized next *)
+          match events.(idx).op with
+          | Update { i; v } ->
+            let prev = state.(i) in
+            state.(i) <- v;
+            done_.(idx) <- true;
+            if search done_ state (remaining - 1) then ok := true
+            else begin
+              done_.(idx) <- false;
+              state.(i) <- prev
+            end
+          | Scan { view } ->
+            let matches =
+              Array.length view = components
+              &&
+              let rec go i =
+                i >= components || (Value.equal view.(i) state.(i) && go (i + 1))
+              in
+              go 0
+            in
+            if matches then begin
+              done_.(idx) <- true;
+              if search done_ state (remaining - 1) then ok := true
+              else done_.(idx) <- false
+            end
+        end
+      done;
+      if not !ok then Memo.add failed (Array.copy done_, Array.copy state) ();
+      !ok
+    end
+  in
+  search (Array.make n false) (Array.make components Value.Bot) n
+
+(* Harness support: extract a snapshot history from a recorded trace of
+   tester processes.  Testers announce each completed operation with an
+   [Output] event whose value encodes the operation (see
+   [encode_update]/[encode_scan]); the operation's interval is the span
+   of the process's shared-memory steps since its previous marker. *)
+
+let encode_update ~i ~v = Value.List [ Value.Str "U"; Value.Int i; v ]
+
+let encode_scan view = Value.List [ Value.Str "S"; Value.List (Array.to_list view) ]
+
+let decode_marker = function
+  | Value.List [ Value.Str "U"; Value.Int i; v ] -> Some (Update { i; v })
+  | Value.List [ Value.Str "S"; Value.List view ] ->
+    Some (Scan { view = Array.of_list view })
+  | _ -> None
+
+let history_of_trace trace =
+  (* per-process: first/last memory-step indices since last marker *)
+  let spans = Hashtbl.create 7 in
+  let events = ref [] in
+  List.iteri
+    (fun time ev ->
+      let pid = Event.pid ev in
+      match ev with
+      | Event.Did_read _ | Event.Did_write _ | Event.Did_scan _ ->
+        let first, _ = try Hashtbl.find spans pid with Not_found -> (time, time) in
+        Hashtbl.replace spans pid (first, time)
+      | Event.Output { value; _ } -> (
+        match decode_marker value with
+        | Some op ->
+          let start, finish =
+            try Hashtbl.find spans pid with Not_found -> (time, time)
+          in
+          Hashtbl.remove spans pid;
+          events := { pid; op; start; finish } :: !events
+        | None -> ())
+      | Event.Invoke _ -> ())
+    trace;
+  List.rev !events

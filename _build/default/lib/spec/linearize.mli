@@ -1,0 +1,36 @@
+(** A Wing–Gong-style linearizability checker for snapshot histories.
+
+    A history is a set of completed update/scan operations with
+    real-time intervals from the simulator's global step counter.  The
+    checker searches for a total order that respects real time and is a
+    legal sequential snapshot history (each scan returns exactly the
+    latest value of every component, ⊥ if none). *)
+
+type op =
+  | Update of { i : int; v : Shm.Value.t }
+  | Scan of { view : Shm.Value.t array }
+
+type event = {
+  pid : int;
+  op : op;
+  start : int;   (** global step index of the operation's first step *)
+  finish : int;  (** global step index of its last step *)
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+(** [check ~components events] is true iff the history is linearizable
+    as an atomic snapshot object.  Memoized DFS; intended for histories
+    of tens of operations. *)
+val check : components:int -> event list -> bool
+
+(** {1 Harness support}
+
+    Tester processes announce each completed operation with an [Output]
+    event carrying one of these encodings; {!history_of_trace} then
+    reconstructs operations and intervals from a recorded trace. *)
+
+val encode_update : i:int -> v:Shm.Value.t -> Shm.Value.t
+val encode_scan : Shm.Value.t array -> Shm.Value.t
+val decode_marker : Shm.Value.t -> op option
+val history_of_trace : Shm.Event.t list -> event list

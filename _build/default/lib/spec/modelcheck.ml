@@ -1,0 +1,93 @@
+(* Bounded exhaustive model checking of the simulated system.
+
+   Because configurations are pure values and processes are
+   deterministic, the only nondeterminism is the schedule; exploring all
+   schedules up to a depth bound therefore covers *every* reachable
+   configuration prefix.  After the bound, each frontier configuration
+   is optionally driven to quiescence with a deterministic completion
+   schedule, and the property is evaluated there — so the check covers
+   "all executions that diverge in their first [depth] steps".
+
+   This complements the randomized tests: for small n it is a proof (up
+   to the depth bound) rather than a sample, and it finds minimal
+   counterexample schedules, reported as the list of pids stepped. *)
+
+open Shm
+
+type stats = {
+  explored : int;        (* interior nodes visited *)
+  leaves : int;          (* frontier configurations checked *)
+  max_depth : int;
+}
+
+type outcome =
+  | Ok_bounded of stats
+  | Counterexample of {
+      schedule : int list;  (* pids, in step order, up to the frontier *)
+      error : string;
+      config : Config.t;
+      stats : stats;
+    }
+
+let pp_outcome ppf = function
+  | Ok_bounded { explored; leaves; _ } ->
+    Fmt.pf ppf "no violation (%d nodes, %d completions checked)" explored leaves
+  | Counterexample { schedule; error; _ } ->
+    Fmt.pf ppf "counterexample schedule [%a]: %s"
+      Fmt.(list ~sep:comma int)
+      schedule error
+
+(* Drive [config] to quiescence deterministically (solo bursts). *)
+let complete ~inputs ~max_steps config =
+  let n = Config.n config in
+  let sched = Schedule.quantum_round_robin ~quantum:2000 n in
+  (Exec.run ~sched ~inputs ~max_steps config).Exec.config
+
+(* [exhaustive ~depth ~inputs ~check config] explores every schedule of
+   length ≤ depth, completes each frontier, and applies [check].  Stops
+   at the first violation. *)
+let exhaustive ~depth ~inputs ?(completion_steps = 50_000) ~check config =
+  let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
+  let explored = ref 0 and leaves = ref 0 and deepest = ref 0 in
+  let exception Found of int list * string * Config.t in
+  let check_leaf schedule config =
+    incr leaves;
+    let final = complete ~inputs ~max_steps:completion_steps config in
+    match check final with
+    | Ok () -> ()
+    | Error e -> raise (Found (List.rev schedule, e, final))
+  in
+  let rec go config d schedule =
+    incr explored;
+    if d > !deepest then deepest := d;
+    let n = Config.n config in
+    let runnable =
+      List.filter (fun pid -> Config.runnable config ~has_input pid) (List.init n Fun.id)
+    in
+    match runnable with
+    | [] -> check_leaf schedule config
+    | _ when d >= depth -> check_leaf schedule config
+    | _ ->
+      runnable
+      |> List.iter (fun pid ->
+             let config' =
+               match Config.proc config pid with
+               | Program.Await _ ->
+                 let inst = Config.instance config pid + 1 in
+                 fst (Config.invoke config pid (Option.get (inputs ~pid ~instance:inst)))
+               | Program.Stop -> config
+               | Program.Op _ | Program.Yield _ -> fst (Config.step config pid)
+             in
+             go config' (d + 1) (pid :: schedule))
+  in
+  try
+    go config 0 [];
+    Ok_bounded { explored = !explored; leaves = !leaves; max_depth = !deepest }
+  with Found (schedule, error, config) ->
+    Counterexample
+      {
+        schedule;
+        error;
+        config;
+        stats = { explored = !explored; leaves = !leaves; max_depth = !deepest };
+      }

@@ -1,0 +1,40 @@
+(** Bounded exhaustive model checking.
+
+    Configurations are pure values and processes deterministic, so the
+    only nondeterminism is the schedule; exploring all schedules up to
+    a depth bound covers every reachable configuration prefix.  Each
+    frontier configuration is driven to quiescence deterministically
+    and the property evaluated there — a proof (up to the bound) rather
+    than a sample, with minimal counterexample schedules. *)
+
+type stats = { explored : int; leaves : int; max_depth : int }
+
+type outcome =
+  | Ok_bounded of stats
+  | Counterexample of {
+      schedule : int list;  (** pids, in step order, up to the frontier *)
+      error : string;
+      config : Shm.Config.t;
+      stats : stats;
+    }
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Drive a configuration to quiescence deterministically. *)
+val complete :
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  max_steps:int ->
+  Shm.Config.t ->
+  Shm.Config.t
+
+(** [exhaustive ~depth ~inputs ~check config] explores every schedule
+    of length ≤ depth, completes each frontier (budget
+    [completion_steps], default 50k), and applies [check]; stops at the
+    first violation. *)
+val exhaustive :
+  depth:int ->
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  ?completion_steps:int ->
+  check:(Shm.Config.t -> (unit, string) result) ->
+  Shm.Config.t ->
+  outcome

@@ -1,0 +1,77 @@
+(* Checkers for the three properties of repeated k-set agreement
+   (Section 2.1 of the paper), evaluated on finished configurations:
+
+   - Validity:     ∀i, Out_i(α) ⊆ In_i(α)
+   - k-Agreement:  ∀i, |Out_i(α)| ≤ k
+   - m-Obstruction-Freedom is a liveness property; it is checked by the
+     runner-level helpers below (every process completed its operations
+     in a run whose scheduler eventually ran at most m processes). *)
+
+open Shm
+
+let distinct_values vs =
+  List.fold_left (fun acc v -> if List.exists (Value.equal v) acc then acc else v :: acc) [] vs
+  |> List.rev
+
+(* Instance -> (inputs, outputs), in instance order. *)
+let by_instance config =
+  let add map (_, inst, v) side =
+    let ins, outs = try List.assoc inst map with Not_found -> ([], []) in
+    let entry = match side with `In -> (v :: ins, outs) | `Out -> (ins, v :: outs) in
+    (inst, entry) :: List.remove_assoc inst map
+  in
+  let map = List.fold_left (fun m e -> add m e `In) [] (Config.inputs config) in
+  let map = List.fold_left (fun m e -> add m e `Out) map (Config.outputs config) in
+  List.sort (fun (a, _) (b, _) -> compare a b) map
+  |> List.map (fun (i, (ins, outs)) -> (i, List.rev ins, List.rev outs))
+
+let validity_errors config =
+  by_instance config
+  |> List.concat_map (fun (inst, ins, outs) ->
+         distinct_values outs
+         |> List.filter_map (fun v ->
+                if List.exists (Value.equal v) ins then None
+                else
+                  Some
+                    (Fmt.str "instance %d: output %a is not an input (inputs: %a)" inst
+                       Value.pp v
+                       Fmt.(list ~sep:comma Value.pp)
+                       ins)))
+
+let agreement_errors ~k config =
+  by_instance config
+  |> List.filter_map (fun (inst, _, outs) ->
+         let d = distinct_values outs in
+         if List.length d <= k then None
+         else
+           Some
+             (Fmt.str "instance %d: %d distinct outputs > k=%d (%a)" inst
+                (List.length d) k
+                Fmt.(list ~sep:comma Value.pp)
+                d))
+
+(* Safety check: Validity ∧ k-Agreement on every instance. *)
+let check_safety ~k config =
+  match validity_errors config @ agreement_errors ~k config with
+  | [] -> Ok ()
+  | errs -> Error (String.concat "; " errs)
+
+(* Liveness helper: did process [pid] complete [expected] operations?
+   An operation is complete once its output is recorded. *)
+let completed_ops config pid =
+  List.length (List.filter (fun (p, _, _) -> p = pid) (Config.outputs config))
+
+let all_completed ~expected config =
+  let n = Config.n config in
+  let rec go pid = pid >= n || (completed_ops config pid >= expected pid && go (pid + 1)) in
+  go 0
+
+(* Termination errors for a run that should have quiesced with every
+   process finishing [expected pid] operations. *)
+let termination_errors ~expected config =
+  List.init (Config.n config) (fun pid ->
+      let done_ = completed_ops config pid in
+      let want = expected pid in
+      if done_ >= want then None
+      else Some (Fmt.str "p%d completed %d/%d operations" pid done_ want))
+  |> List.filter_map Fun.id

@@ -1,0 +1,62 @@
+(* Randomized safety stress: hammer a system builder with seeded
+   schedules and report any safety violation found.
+
+   This is the shared engine behind the E9/E12 frontier probes and the
+   negative-control tests: unlike the model checker it scales to any n,
+   and unlike the constructions of lib/lowerbound it needs no theory —
+   just schedules.  A [Broken] verdict carries a replayable witness
+   (builder + seed + schedule family); [Survived] is evidence, not
+   proof. *)
+
+open Shm
+
+type family = Bursty | Uniform | M_bounded of int
+
+let family_name = function
+  | Bursty -> "bursty"
+  | Uniform -> "uniform"
+  | M_bounded m -> Fmt.str "m-bounded(%d)" m
+
+let sched_of family ~seed ~n =
+  match family with
+  | Bursty -> Schedule.bursty_random ~seed (List.init n Fun.id)
+  | Uniform -> Schedule.random ~seed n
+  | M_bounded m -> Schedule.m_bounded ~seed ~m ~prefix:(40 + (seed mod 60)) n
+
+type verdict =
+  | Survived of { runs : int }
+  | Broken of {
+      seed : int;
+      family : family;
+      error : string;
+      config : Config.t;
+    }
+
+let pp_verdict ppf = function
+  | Survived { runs } -> Fmt.pf ppf "no violation in %d runs" runs
+  | Broken { seed; family; error; _ } ->
+    Fmt.pf ppf "VIOLATION (%s schedule, seed %d): %s" (family_name family) seed error
+
+(* [run ~k ~n ~build ~inputs ()] stress-tests the system produced by
+   [build] (fresh per run): [runs] seeds per schedule family, each run
+   capped at [max_steps]; stops at the first safety violation. *)
+let run ?(runs = 100) ?(max_steps = 60_000) ?(families = [ Bursty; Uniform ]) ~k ~n
+    ~build ~inputs () =
+  let exception Found of verdict in
+  try
+    let total = ref 0 in
+    List.iter
+      (fun family ->
+        for seed = 0 to runs - 1 do
+          incr total;
+          let config = (build () : Config.t) in
+          let sched = sched_of family ~seed ~n in
+          let res = Exec.run ~sched ~inputs ~max_steps config in
+          match Properties.check_safety ~k res.Exec.config with
+          | Ok () -> ()
+          | Error error ->
+            raise (Found (Broken { seed; family; error; config = res.Exec.config }))
+        done)
+      families;
+    Survived { runs = !total }
+  with Found v -> v

@@ -1,0 +1,36 @@
+(** Randomized safety stress: hammer a system builder with seeded
+    schedules from several families and report the first safety
+    violation.  Scales to any n (unlike the model checker) and needs no
+    theory (unlike the lower-bound constructions); [Survived] is
+    evidence, not proof. *)
+
+type family = Bursty | Uniform | M_bounded of int
+
+val family_name : family -> string
+
+val sched_of : family -> seed:int -> n:int -> Shm.Schedule.t
+
+type verdict =
+  | Survived of { runs : int }
+  | Broken of {
+      seed : int;
+      family : family;
+      error : string;
+      config : Shm.Config.t;
+    }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [run ~k ~n ~build ~inputs ()]: [runs] seeds per family (default
+    100 × {Bursty, Uniform}), fresh system per run via [build], each
+    capped at [max_steps] (default 60k). *)
+val run :
+  ?runs:int ->
+  ?max_steps:int ->
+  ?families:family list ->
+  k:int ->
+  n:int ->
+  build:(unit -> Shm.Config.t) ->
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  unit ->
+  verdict

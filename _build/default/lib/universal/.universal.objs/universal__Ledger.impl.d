@@ -1,0 +1,1 @@
+lib/universal/ledger.ml: Config Fmt List Rsm Shm Spec Value

@@ -1,0 +1,1 @@
+lib/universal/ledger.mli: Format Rsm Shm

@@ -1,0 +1,1 @@
+lib/universal/machines.ml: Rsm Shm Value

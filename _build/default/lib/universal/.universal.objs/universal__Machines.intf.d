@@ -1,0 +1,1 @@
+lib/universal/machines.mli: Rsm Shm

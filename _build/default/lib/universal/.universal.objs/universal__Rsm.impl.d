@@ -1,0 +1,1 @@
+lib/universal/rsm.ml: Agreement Config Exec List Schedule Shm Value

@@ -1,0 +1,1 @@
+lib/universal/rsm.mli: Agreement Shm

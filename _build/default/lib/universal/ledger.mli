@@ -1,0 +1,19 @@
+(** Branch analysis for k-branching replicated machines (k > 1): which
+    commands each slot committed, who follows which branch, and how
+    many distinct replica views exist. *)
+
+type slot_info = {
+  slot : int;
+  branches : Shm.Value.t list;  (** distinct committed commands, ≤ k *)
+  followers : (Shm.Value.t * int list) list;  (** branch → replica pids *)
+}
+
+val slot_infos : Shm.Config.t -> slot_info list
+
+(** Number of pairwise-distinct replica logs. *)
+val distinct_views : 'a Rsm.run -> int
+
+(** The widest slot (must be ≤ k). *)
+val max_branching : slot_info list -> int
+
+val pp_slot : Format.formatter -> slot_info -> unit

@@ -1,0 +1,77 @@
+(* A small catalog of state machines for the universal construction —
+   the objects one actually replicates with it.
+
+   Commands are Shm.Value encodings so they travel through the
+   agreement layer unchanged; each machine documents its command
+   grammar.  [counter] and [register] are the textbook examples;
+   [fifo_queue] is the object Herlihy's paper uses to motivate
+   universality (queues have no wait-free register implementation, yet
+   the construction replicates one); [bank] exercises conditional
+   commands (withdrawals can fail deterministically, and every replica
+   agrees on which did). *)
+
+open Shm
+
+(* counter: commands ("add", x) *)
+let counter =
+  {
+    Rsm.init = 0;
+    apply =
+      (fun s cmd ->
+        match cmd with
+        | Value.Pair (Value.Str "add", Value.Int x) -> s + x
+        | _ -> s);
+  }
+
+let add x = Value.Pair (Value.Str "add", Value.Int x)
+
+(* last-writer-wins register: commands ("write", v) *)
+let register =
+  {
+    Rsm.init = Value.Bot;
+    apply =
+      (fun s cmd ->
+        match cmd with Value.Pair (Value.Str "write", v) -> v | _ -> s);
+  }
+
+let write v = Value.Pair (Value.Str "write", v)
+
+(* FIFO queue: commands ("enq", v) and ("deq", _).  The state is
+   (queue contents, dequeued-so-far), both in order; dequeue on empty
+   is a no-op recorded as ⊥. *)
+type queue_state = { items : Value.t list; dequeued : Value.t list }
+
+let fifo_queue =
+  {
+    Rsm.init = { items = []; dequeued = [] };
+    apply =
+      (fun s cmd ->
+        match cmd with
+        | Value.Pair (Value.Str "enq", v) -> { s with items = s.items @ [ v ] }
+        | Value.Pair (Value.Str "deq", _) -> (
+          match s.items with
+          | [] -> { s with dequeued = s.dequeued @ [ Value.Bot ] }
+          | x :: rest -> { items = rest; dequeued = s.dequeued @ [ x ] })
+        | _ -> s);
+  }
+
+let enq v = Value.Pair (Value.Str "enq", v)
+let deq = Value.Pair (Value.Str "deq", Value.Bot)
+
+(* bank account: ("deposit", x) always applies; ("withdraw", x) applies
+   only when covered.  Balance can therefore never go negative, on any
+   replica, regardless of proposal interleaving. *)
+let bank =
+  {
+    Rsm.init = 0;
+    apply =
+      (fun balance cmd ->
+        match cmd with
+        | Value.Pair (Value.Str "deposit", Value.Int x) -> balance + x
+        | Value.Pair (Value.Str "withdraw", Value.Int x) when x <= balance ->
+          balance - x
+        | _ -> balance);
+  }
+
+let deposit x = Value.Pair (Value.Str "deposit", Value.Int x)
+let withdraw x = Value.Pair (Value.Str "withdraw", Value.Int x)

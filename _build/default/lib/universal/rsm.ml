@@ -1,0 +1,92 @@
+(* A universal construction: replicated state machines from repeated
+   agreement.
+
+   This is the application the paper's introduction motivates repeated
+   set agreement with (Herlihy's universal construction [8]): a sequence
+   of independent agreement instances, one per command slot.  With k = 1
+   (consensus) every replica applies the same command sequence and the
+   replicated object is linearizable; the space cost of the agreement
+   layer is the paper's min(n+2m−k, n) registers *total*, independent of
+   how many commands are executed.
+
+   With k > 1 the construction degrades gracefully into a k-branching
+   machine (see Ledger): each slot commits at most k alternative
+   commands, and each replica follows one committed branch.  This is the
+   object k-set agreement is "universal" for.
+
+   The machine is a pure fold over decided commands; replication runs
+   the Figure 4 algorithm underneath. *)
+
+open Shm
+
+type 'state machine = {
+  init : 'state;
+  apply : 'state -> Value.t -> 'state;  (* apply one committed command *)
+}
+
+type 'state replica = {
+  pid : int;
+  log : Value.t list;     (* commands this replica learned, slot order *)
+  state : 'state;         (* init folded over log *)
+}
+
+type 'state run = {
+  replicas : 'state replica list;
+  steps : int;
+  registers : int;        (* registers the agreement layer wrote *)
+  quiescent : bool;
+}
+
+(* Outputs of process [pid], in instance order — the branch this replica
+   follows. *)
+let log_of config pid =
+  Config.outputs config
+  |> List.filter_map (fun (p, inst, v) -> if p = pid then Some (inst, v) else None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+(* [replicate params machine ~commands ~slots] runs [slots] instances of
+   repeated agreement; process pid proposes [commands pid slot] for each
+   slot and applies the decided command.  Uses the default solo-burst
+   schedule unless [sched] is given. *)
+let replicate ?sched ?(max_steps = 5_000_000) (params : Agreement.Params.t) machine
+    ~commands ~slots =
+  let n = params.Agreement.Params.n in
+  let sched =
+    match sched with
+    | Some s -> s
+    | None -> Schedule.quantum_round_robin ~quantum:800 n
+  in
+  let impl = Agreement.Instances.space_optimal_impl params in
+  let result =
+    Agreement.Runner.run_repeated ~impl ~sched ~rounds:slots ~max_steps
+      ~input_fn:(fun pid slot -> commands pid slot)
+      params
+  in
+  let config = result.Exec.config in
+  let replicas =
+    List.init n (fun pid ->
+        let log = log_of config pid in
+        { pid; log; state = List.fold_left machine.apply machine.init log })
+  in
+  {
+    replicas;
+    steps = result.Exec.steps;
+    registers = Agreement.Runner.registers_used result;
+    quiescent = result.Exec.stopped = Exec.All_quiescent;
+  }
+
+(* With consensus underneath, all replicas must agree on the whole log;
+   [agreement_log] returns it (and None if replicas diverged — possible
+   only if k > 1 or the layer below is broken). *)
+let agreement_log run =
+  match run.replicas with
+  | [] -> Some []
+  | r0 :: rest ->
+    if
+      List.for_all
+        (fun r -> List.length r.log = List.length r0.log
+                  && List.for_all2 Value.equal r.log r0.log)
+        rest
+    then Some r0.log
+    else None

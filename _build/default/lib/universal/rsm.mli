@@ -1,0 +1,45 @@
+(** A universal construction: replicated state machines from repeated
+    agreement — the application the paper's introduction motivates
+    (Herlihy [8]).  With k = 1 every replica applies the same command
+    sequence; with k > 1 the construction degrades gracefully into a
+    k-branching machine (see {!Ledger}).  The agreement layer's space
+    cost is min(n+2m−k, n) registers total, independent of the number
+    of commands executed. *)
+
+type 'state machine = {
+  init : 'state;
+  apply : 'state -> Shm.Value.t -> 'state;  (** apply one committed command *)
+}
+
+type 'state replica = {
+  pid : int;
+  log : Shm.Value.t list;  (** commands this replica learned, slot order *)
+  state : 'state;          (** [init] folded over [log] *)
+}
+
+type 'state run = {
+  replicas : 'state replica list;
+  steps : int;
+  registers : int;   (** registers the agreement layer wrote *)
+  quiescent : bool;
+}
+
+(** Outputs of one process in instance order — its branch of the log. *)
+val log_of : Shm.Config.t -> int -> Shm.Value.t list
+
+(** [replicate params machine ~commands ~slots] runs [slots] instances
+    of repeated agreement over the space-optimal snapshot choice;
+    process [pid] proposes [commands pid slot] and applies what was
+    decided.  Default schedule: solo bursts (guaranteed termination). *)
+val replicate :
+  ?sched:Shm.Schedule.t ->
+  ?max_steps:int ->
+  Agreement.Params.t ->
+  'state machine ->
+  commands:(int -> int -> Shm.Value.t) ->
+  slots:int ->
+  'state run
+
+(** The common log when all replicas agree (always, under k = 1);
+    [None] if replicas diverged. *)
+val agreement_log : 'state run -> Shm.Value.t list option

@@ -1,0 +1,1 @@
+test/helpers.ml: Agreement Alcotest Exec Shm Spec String Value

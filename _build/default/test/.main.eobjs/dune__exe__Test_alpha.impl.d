@@ -1,0 +1,1 @@
+test/test_alpha.ml: Agreement Alcotest Alpha Helpers Instances List Lowerbound Params Shm

@@ -1,0 +1,1 @@
+test/test_anonymity.ml: Agreement Alcotest Fun Helpers Instances List Params Shm

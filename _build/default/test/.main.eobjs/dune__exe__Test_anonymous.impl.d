@@ -1,0 +1,1 @@
+test/test_anonymous.ml: Agreement Alcotest Helpers Instances Params Runner Shm Spec

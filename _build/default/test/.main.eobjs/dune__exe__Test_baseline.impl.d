@@ -1,0 +1,1 @@
+test/test_baseline.ml: Agreement Alcotest Baseline_dfgr13 Helpers Params Printf Runner Shm

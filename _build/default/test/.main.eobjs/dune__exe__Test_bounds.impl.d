@@ -1,0 +1,1 @@
+test/test_bounds.ml: Agreement Alcotest Bounds Fun Helpers List Params Shm

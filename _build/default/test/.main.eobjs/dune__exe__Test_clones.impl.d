@@ -1,0 +1,1 @@
+test/test_clones.ml: Agreement Alcotest Clones Helpers Instances List Lowerbound Params Spec

@@ -1,0 +1,1 @@
+test/test_complexity.ml: Agreement Alcotest Array Bounds Helpers Instances List Params Printf Runner Shm Spec

@@ -1,0 +1,1 @@
+test/test_errata.ml: Agreement Alcotest Array Helpers List Oneshot Params Printf Runner Shm Snapshot Spec

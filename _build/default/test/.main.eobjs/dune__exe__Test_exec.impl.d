@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Config Event Exec Helpers List Memory Option Program Schedule Shm Value

@@ -1,0 +1,1 @@
+test/test_faults.ml: Agreement Alcotest Array Fun Helpers Instances List Params Printf Runner Shm Spec

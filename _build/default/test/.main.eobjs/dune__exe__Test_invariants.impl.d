@@ -1,0 +1,1 @@
+test/test_invariants.ml: Agreement Alcotest Array Helpers Instances Params Shm Spec

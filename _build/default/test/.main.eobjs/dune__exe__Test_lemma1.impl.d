@@ -1,0 +1,1 @@
+test/test_lemma1.ml: Agreement Alcotest Explore Gamma Helpers Instances Lemma1 List Lowerbound Params Printf Shm Spec

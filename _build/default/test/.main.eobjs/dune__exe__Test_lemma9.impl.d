@@ -1,0 +1,1 @@
+test/test_lemma9.ml: Agreement Alcotest Clones Helpers Instances Lemma9 List Lowerbound Params Spec

@@ -1,0 +1,1 @@
+test/test_native.ml: Agreement Alcotest Array Domain Helpers List Native Params Printf Shm Spec

@@ -1,0 +1,1 @@
+test/test_oneshot.ml: Agreement Alcotest Array Helpers List Params Runner Shm

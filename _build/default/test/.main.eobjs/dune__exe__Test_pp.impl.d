@@ -1,0 +1,1 @@
+test/test_pp.ml: Agreement Alcotest Config Diagram Event Fmt Helpers Program Rng Schedule Shm Snapshot Value

@@ -1,0 +1,1 @@
+test/test_props.ml: Agreement Array Exec Fun List Lowerbound Memory QCheck QCheck_alcotest Random Schedule Shm Spec Value

@@ -1,0 +1,1 @@
+test/test_repeated.ml: Agreement Alcotest Helpers Instances List Params Printf Runner Shm Spec

@@ -1,0 +1,1 @@
+test/test_scale.ml: Agreement Alcotest Bounds Helpers Instances List Params Printf Runner Shm String

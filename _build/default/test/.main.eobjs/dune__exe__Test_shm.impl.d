@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Array Config Event Fun Helpers List Memory Program Rng Shm Value

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Agreement Alcotest Array Config Exec Fmt Helpers List Program Rng Schedule Shm Snapshot Spec Value

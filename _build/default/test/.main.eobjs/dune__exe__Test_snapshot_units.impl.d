@@ -1,0 +1,1 @@
+test/test_snapshot_units.ml: Alcotest Array Config Event Exec Helpers List Program Schedule Shm Snapshot Value

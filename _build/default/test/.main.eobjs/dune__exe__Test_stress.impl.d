@@ -1,0 +1,1 @@
+test/test_stress.ml: Agreement Alcotest Array Helpers Instances List Params Result Runner Shm Spec String Workload

@@ -1,0 +1,1 @@
+test/test_theorem2.ml: Agreement Alcotest Helpers Instances List Lowerbound Params Printf Spec Theorem2

@@ -1,0 +1,1 @@
+test/test_theorem2_more.ml: Agreement Alcotest Fmt Helpers Instances List Lowerbound Params Printf Shm Spec Theorem2

@@ -1,0 +1,1 @@
+test/test_universal.ml: Agreement Alcotest Helpers Ledger List Machines Printf Rsm Shm Universal

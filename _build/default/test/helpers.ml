@@ -1,0 +1,33 @@
+(* Shared test utilities. *)
+
+open Shm
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let check_value = Alcotest.check value
+
+let vi i = Value.Int i
+
+(* Distinct outputs of one instance of a finished run. *)
+let distinct_outputs result ~instance =
+  Spec.Properties.distinct_values
+    (Agreement.Runner.outputs_of_instance result ~instance)
+
+(* Assert the run satisfies Validity and k-Agreement. *)
+let assert_safe ~k result =
+  match Spec.Properties.check_safety ~k result.Exec.config with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "safety violated: %s" msg
+
+(* Assert the run quiesced with every process completing [ops] operations. *)
+let assert_all_done ~ops result =
+  (match result.Exec.stopped with
+  | Exec.All_quiescent -> ()
+  | Exec.Fuel_exhausted -> Alcotest.failf "run did not quiesce in %d steps" result.Exec.steps);
+  match Spec.Properties.termination_errors ~expected:(fun _ -> ops) result.Exec.config with
+  | [] -> ()
+  | errs -> Alcotest.failf "termination: %s" (String.concat "; " errs)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let slow_test name f = Alcotest.test_case name `Slow f

@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "set_agreement"
+    [
+      ("shm", Test_shm.suite);
+      ("pp", Test_pp.suite);
+      ("exec", Test_exec.suite);
+      ("bounds", Test_bounds.suite);
+      ("oneshot", Test_oneshot.suite);
+      ("repeated", Test_repeated.suite);
+      ("anonymous", Test_anonymous.suite);
+      ("baseline", Test_baseline.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("snapshot-units", Test_snapshot_units.suite);
+      ("linearize", Test_linearize.suite);
+      ("theorem2", Test_theorem2.suite);
+      ("theorem2-more", Test_theorem2_more.suite);
+      ("clones", Test_clones.suite);
+      ("lemma1", Test_lemma1.suite);
+      ("lemma9", Test_lemma9.suite);
+      ("alpha", Test_alpha.suite);
+      ("invariants", Test_invariants.suite);
+      ("universal", Test_universal.suite);
+      ("faults", Test_faults.suite);
+      ("anonymity", Test_anonymity.suite);
+      ("errata", Test_errata.suite);
+      ("complexity", Test_complexity.suite);
+      ("scale", Test_scale.suite);
+      ("native", Test_native.suite);
+      ("stress", Test_stress.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,100 @@
+(* Tests for the α-execution recorder/replayer underlying Lemma 9. *)
+
+open Helpers
+open Agreement
+open Lowerbound
+
+let fresh ?(r = 3) ?(slots = 6) () =
+  let p = Params.make ~n:slots ~m:1 ~k:1 in
+  (p, Instances.anonymous_oneshot ~r ~slots p)
+
+let search_solo () =
+  let _, config = fresh () in
+  match Alpha.search ~procs:[ 0 ] ~values:[ vi 9 ] config with
+  | Some alpha ->
+    Alcotest.(check (list int)) "register order 0,1,2" [ 0; 1; 2 ]
+      alpha.Alpha.reg_order;
+    (match alpha.Alpha.outputs with
+    | [ v ] -> check_value "solo outputs own" (vi 9) v
+    | _ -> Alcotest.fail "one output expected");
+    (* schedule starts with the invocation *)
+    (match alpha.Alpha.schedule with
+    | Alpha.Inv 0 :: _ -> ()
+    | _ -> Alcotest.fail "schedule must start with Inv")
+  | None -> Alcotest.fail "solo alpha must exist"
+
+(* Replaying the recorded schedule on a fresh configuration reproduces
+   the execution exactly (same outputs, same memory). *)
+let replay_reproduces () =
+  let _, config = fresh () in
+  let inputs ~pid ~instance = if pid = 0 && instance = 1 then Some (vi 9) else None in
+  match Alpha.search ~procs:[ 0 ] ~values:[ vi 9 ] config with
+  | None -> Alcotest.fail "alpha must exist"
+  | Some alpha ->
+    let final =
+      List.fold_left (Alpha.replay_step ~inputs) config alpha.Alpha.schedule
+    in
+    (match Shm.Config.outputs final with
+    | [ (0, 1, v) ] -> check_value "same output" (vi 9) v
+    | _ -> Alcotest.fail "replay lost the output");
+    Alcotest.(check int) "all registers written" 3
+      (Shm.Memory.num_written (Shm.Config.mem final))
+
+(* Renamed schedules run isomorphically on another slot. *)
+let renamed_replay () =
+  let _, config = fresh () in
+  match Alpha.search ~procs:[ 0 ] ~values:[ vi 9 ] config with
+  | None -> Alcotest.fail "alpha must exist"
+  | Some alpha ->
+    let schedule = Alpha.map_pids (fun _ -> 3) alpha.Alpha.schedule in
+    let inputs ~pid ~instance =
+      if pid = 3 && instance = 1 then Some (vi 77) else None
+    in
+    let final = List.fold_left (Alpha.replay_step ~inputs) config schedule in
+    (match Shm.Config.outputs final with
+    | [ (3, 1, v) ] -> check_value "renamed output" (vi 77) v
+    | _ -> Alcotest.fail "renamed replay lost the output")
+
+(* Divergence is detected: replaying against a configuration whose
+   memory was tampered with (changing the process's control flow)
+   raises rather than silently producing a different execution. *)
+let divergence_detected () =
+  let _, config = fresh () in
+  match Alpha.search ~procs:[ 0 ] ~values:[ vi 9 ] config with
+  | None -> Alcotest.fail "alpha must exist"
+  | Some alpha ->
+    (* mismatched pid: slot 1 is idle, stepping it as Move must raise *)
+    let bad = Alpha.map_pids (fun _ -> 1) alpha.Alpha.schedule in
+    let inputs ~pid:_ ~instance:_ = Some (vi 1) in
+    (match bad with
+    | _inv :: move :: _ -> (
+      (* skip the invocation, then try the first move on an IDLE slot *)
+      match move with
+      | Alpha.Move _ -> (
+        try
+          ignore (Alpha.replay_step ~inputs config move);
+          Alcotest.fail "expected divergence"
+        with Alpha.Replay_diverged _ -> ())
+      | Alpha.Inv _ -> Alcotest.fail "unexpected schedule shape")
+    | _ -> Alcotest.fail "schedule too short")
+
+let reg_order_helper () =
+  let s =
+    [
+      Alpha.Inv 0;
+      Alpha.Move (0, Some (Shm.Program.Write (2, vi 1)));
+      Alpha.Move (0, Some (Shm.Program.Scan (0, 3)));
+      Alpha.Move (0, Some (Shm.Program.Write (0, vi 1)));
+      Alpha.Move (0, Some (Shm.Program.Write (2, vi 1)));
+    ]
+  in
+  Alcotest.(check (list int)) "first-write order" [ 2; 0 ] (Alpha.reg_order_of s)
+
+let suite =
+  [
+    test "search records a solo alpha" search_solo;
+    test "replay reproduces the execution" replay_reproduces;
+    test "renamed schedules replay isomorphically" renamed_replay;
+    test "divergence is detected" divergence_detected;
+    test "register-order helper" reg_order_helper;
+  ]

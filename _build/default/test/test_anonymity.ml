@@ -1,0 +1,118 @@
+(* Anonymity tests: the Figure 5 / anonymous one-shot programs must be
+   genuinely symmetric — identical program text, behaviour depending
+   only on inputs and schedule, never on the slot index. *)
+
+open Helpers
+open Agreement
+
+(* Permuting (input, schedule) roles permutes outcomes: running slot 0
+   with input a and slot 1 with input b under schedule σ produces the
+   mirror outcome of running slot 0 with b and slot 1 with a under the
+   role-swapped schedule. *)
+let swap_symmetry () =
+  let p = Params.make ~n:3 ~m:1 ~k:1 in
+  let swap pid = match pid with 0 -> 1 | 1 -> 0 | x -> x in
+  (* a fixed arbitrary schedule over pids, and its role-swapped mirror *)
+  let base = [ 0; 1; 0; 0; 1; 2; 0; 1; 1; 0; 2; 1; 0; 1 ] in
+  let run ~swapped =
+    (* atomic snapshot: process programs are literally identical values *)
+    let config = Instances.anonymous_oneshot ~r:4 ~slots:3 p in
+    let inputs ~pid ~instance =
+      if instance <> 1 then None
+      else
+        let role = if swapped then swap pid else pid in
+        Some (vi (100 + role))
+    in
+    let steps = if swapped then List.map swap base else base in
+    let remaining = ref steps in
+    let sched =
+      {
+        Shm.Schedule.name = "scripted";
+        next =
+          (fun ~step:_ ~runnable ->
+            match !remaining with
+            | pid :: rest when runnable pid ->
+              remaining := rest;
+              Some pid
+            | _ -> None);
+      }
+    in
+    Shm.Exec.run ~sched ~inputs ~max_steps:1_000
+      config
+  in
+  let r1 = run ~swapped:false and r2 = run ~swapped:true in
+  (* same number of steps, and outputs correspond under the swap *)
+  Alcotest.(check int) "same step count" r1.Shm.Exec.steps r2.Shm.Exec.steps;
+  let outs r = Shm.Config.outputs r.Shm.Exec.config in
+  Alcotest.(check int) "same output count" (List.length (outs r1)) (List.length (outs r2));
+  List.iter2
+    (fun (pid1, i1, v1) (pid2, i2, v2) ->
+      Alcotest.(check int) "swapped pid" (swap pid1) pid2;
+      Alcotest.(check int) "same instance" i1 i2;
+      (* values encode roles: role(pid1) under normal = role(swap pid1) under swapped *)
+      check_value "same value" v1 v2)
+    (outs r1) (outs r2)
+
+(* The non-anonymous algorithms do depend on ids (their tuples embed
+   them); the anonymous ones write id-free values.  Check register
+   contents: no anonymous register value ever mentions a pid. *)
+let no_ids_in_anonymous_registers () =
+  let p = Params.make ~n:4 ~m:2 ~k:2 in
+  let config = Instances.anonymous p in
+  let inputs = Shm.Exec.repeated_inputs ~rounds:2 (fun _ i -> vi (1000 + i)) in
+  let res =
+    Shm.Exec.run ~record:true
+      ~sched:(Shm.Schedule.quantum_round_robin ~quantum:400 4)
+      ~inputs ~max_steps:200_000 config
+  in
+  (* Figure 5 component tuples are (pref, t, history): exactly 3
+     fields, and pref comes from the input domain (>= 1000), never a
+     pid.  Register H (index r) holds bare histories and is skipped. *)
+  let h_reg = Params.r_anonymous p in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Shm.Event.Did_write { reg; value; _ } when reg < h_reg -> (
+        match value with
+        | Shm.Value.List [ Shm.Value.Int pref; _; _ ] ->
+          Alcotest.(check bool) "pref from input domain" true (pref >= 1000)
+        | _ -> Alcotest.fail "unexpected component tuple shape")
+      | _ -> ())
+    res.Shm.Exec.trace
+
+(* Clones really are indistinguishable: planting a copy of a process's
+   state into another slot and running the copy yields the same writes
+   the original would have produced. *)
+let clone_behaves_identically () =
+  let p = Params.make ~n:4 ~m:1 ~k:1 in
+  let config = Instances.anonymous_oneshot ~r:3 ~slots:4 p in
+  let inputs ~pid:_ ~instance = if instance = 1 then Some (vi 5) else None in
+  (* advance slot 0 a few steps *)
+  let config, _ = Shm.Config.invoke config 0 (vi 5) in
+  let rec advance config k = if k = 0 then config else advance (fst (Shm.Config.step config 0)) (k - 1) in
+  let config = advance config 5 in
+  let cloned = Shm.Config.clone_proc config ~from_:0 ~to_:3 in
+  (* run original in one branch, clone in the other: identical traces *)
+  let run pid config =
+    let sched = Shm.Schedule.solo pid in
+    (Shm.Exec.run ~record:true ~sched ~inputs ~max_steps:200 config).Shm.Exec.trace
+    |> List.map (fun ev ->
+           match ev with
+           | Shm.Event.Did_write { reg; value; _ } -> Some (reg, value)
+           | _ -> None)
+    |> List.filter_map Fun.id
+  in
+  let w0 = run 0 cloned and w3 = run 3 cloned in
+  Alcotest.(check int) "same write count" (List.length w0) (List.length w3);
+  List.iter2
+    (fun (r0, v0) (r3, v3) ->
+      Alcotest.(check int) "same register" r0 r3;
+      check_value "same value" v0 v3)
+    w0 w3
+
+let suite =
+  [
+    test "role swap symmetry (true anonymity)" swap_symmetry;
+    test "no ids in anonymous register contents" no_ids_in_anonymous_registers;
+    test "clones behave identically to originals" clone_behaves_identically;
+  ]

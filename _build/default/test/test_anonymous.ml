@@ -1,0 +1,99 @@
+(* Unit tests for the Figure 5 anonymous algorithm. *)
+
+open Helpers
+open Agreement
+
+let run ?r ?anonymous_collect ?seed ?sched ?rounds ?input_fn p =
+  Runner.run_anonymous ?r ?anonymous_collect ?seed ?sched ?rounds ?input_fn p
+
+let basic_round_robin () =
+  let p = Params.make ~n:4 ~m:1 ~k:2 in
+  let result = run ~rounds:2 p in
+  assert_all_done ~ops:2 result;
+  assert_safe ~k:2 result
+
+let all_params_safe () =
+  for n = 2 to 5 do
+    for k = 1 to n - 1 do
+      for m = 1 to k do
+        let p = Params.make ~n ~m ~k in
+        let result = run ~rounds:2 p in
+        assert_all_done ~ops:2 result;
+        assert_safe ~k result
+      done
+    done
+  done
+
+let random_schedules_safe () =
+  let p = Params.make ~n:4 ~m:2 ~k:3 in
+  for seed = 0 to 19 do
+    let result = run ~rounds:2 ~sched:(Shm.Schedule.random ~seed 4) p in
+    assert_safe ~k:3 result
+  done
+
+let m_bounded_survivors_finish () =
+  for seed = 0 to 9 do
+    let p = Params.make ~n:4 ~m:2 ~k:2 in
+    let sched = Shm.Schedule.m_bounded ~seed ~m:2 ~prefix:60 4 in
+    let result = run ~rounds:2 ~sched p in
+    (match result.Shm.Exec.stopped with
+    | Shm.Exec.All_quiescent -> ()
+    | Shm.Exec.Fuel_exhausted -> Alcotest.failf "seed %d: survivors stuck" seed);
+    assert_safe ~k:2 result
+  done
+
+(* The non-blocking snapshot case Figure 5 is designed for: scans are
+   honest double collects that can retry; the run must still be safe
+   and quiesce under round-robin. *)
+let non_blocking_snapshot_safe () =
+  let p = Params.make ~n:3 ~m:1 ~k:2 in
+  let result = run ~anonymous_collect:true ~rounds:2 p in
+  assert_all_done ~ops:2 result;
+  assert_safe ~k:2 result
+
+(* Register H rescues a process starved by the non-blocking snapshot:
+   after fast processes complete instance 1, a laggard completes its own
+   instance 1 purely by reading H. *)
+let h_register_rescues_starved () =
+  let p = Params.make ~n:3 ~m:2 ~k:2 in
+  let config = Instances.anonymous ~anonymous_collect:true p in
+  let inputs = Shm.Exec.repeated_inputs ~rounds:2 (fun pid i -> vi ((10 * i) + pid)) in
+  let res1 =
+    Shm.Exec.run
+      ~sched:(Shm.Schedule.only [ 1; 2 ])
+      ~inputs ~max_steps:200_000 config
+  in
+  Alcotest.(check int) "p1 finished" 2 (Spec.Properties.completed_ops res1.Shm.Exec.config 1);
+  let res2 =
+    Shm.Exec.run ~sched:(Shm.Schedule.solo 0) ~inputs ~max_steps:200_000
+      res1.Shm.Exec.config
+  in
+  Alcotest.(check int) "p0 finished via H or snapshot" 2
+    (Spec.Properties.completed_ops res2.Shm.Exec.config 0);
+  assert_safe ~k:2 res2
+
+(* Space: components + the one register H. *)
+let registers_within_bound () =
+  for n = 3 to 5 do
+    for k = 1 to n - 1 do
+      for m = 1 to k do
+        let p = Params.make ~n ~m ~k in
+        let result = run ~rounds:2 ~sched:(Shm.Schedule.random ~seed:(3 * n) n) p in
+        let used = Runner.registers_used result in
+        let bound = Params.r_anonymous p + 1 in
+        if used > bound then
+          Alcotest.failf "%s: used %d > %d" (Params.to_string p) used bound
+      done
+    done
+  done
+
+let suite =
+  [
+    test "two rounds, n=4 m=1 k=2" basic_round_robin;
+    test "safe for all (n,m,k), n<=5" all_params_safe;
+    test "safe under random schedules" random_schedules_safe;
+    test "m-bounded survivors finish" m_bounded_survivors_finish;
+    test "safe over non-blocking anonymous snapshot" non_blocking_snapshot_safe;
+    test "H register rescues starved process" h_register_rescues_starved;
+    test "stays within (m+1)(n-k)+m^2+1 registers" registers_within_bound;
+  ]

@@ -1,0 +1,76 @@
+(* Tests for the DFGR'13 baseline reconstruction and the register-count
+   comparison the paper makes in Section 4.1. *)
+
+open Helpers
+open Agreement
+
+let baseline_solves_k_set_agreement () =
+  for n = 4 to 7 do
+    for k = 1 to n - 2 do
+      let p = Params.make ~n ~m:1 ~k in
+      let result =
+        Runner.run_baseline ~sched:(Shm.Schedule.quantum_round_robin ~quantum:400 n) p
+      in
+      assert_all_done ~ops:1 result;
+      assert_safe ~k result
+    done
+  done
+
+let baseline_safe_under_random () =
+  let p = Params.make ~n:5 ~m:1 ~k:2 in
+  for seed = 0 to 19 do
+    let result = Runner.run_baseline ~sched:(Shm.Schedule.random ~seed 5) p in
+    assert_safe ~k:2 result
+  done
+
+let baseline_obstruction_free () =
+  for seed = 0 to 9 do
+    let p = Params.make ~n:5 ~m:1 ~k:2 in
+    let sched = Shm.Schedule.m_bounded ~seed ~m:1 ~prefix:50 5 in
+    let result = Runner.run_baseline ~sched p in
+    match result.Shm.Exec.stopped with
+    | Shm.Exec.All_quiescent -> ()
+    | Shm.Exec.Fuel_exhausted -> Alcotest.failf "seed %d: solo survivor stuck" seed
+  done
+
+(* The paper's claim: ours uses n−k+2 registers where [4] uses 2(n−k);
+   strictly fewer whenever n−k > 2, equal at n−k = 2. *)
+let register_comparison () =
+  for n = 4 to 12 do
+    for k = 1 to n - 2 do
+      let p = Params.make ~n ~m:1 ~k in
+      let baseline = Params.r_dfgr13 p in
+      let ours = Params.r_oneshot p in
+      Alcotest.(check int) "baseline count" (2 * (n - k)) baseline;
+      Alcotest.(check int) "our count" (n - k + 2) ours;
+      if n - k > 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d k=%d: ours wins" n k)
+          true (ours < baseline)
+    done
+  done
+
+(* Both algorithms stay within their declared budgets at runtime. *)
+let measured_registers () =
+  let p = Params.make ~n:6 ~m:1 ~k:2 in
+  let b = Runner.run_baseline ~sched:(Shm.Schedule.random ~seed:4 6) p in
+  Alcotest.(check bool) "baseline within 2(n-k)" true
+    (Runner.registers_used b <= Params.r_dfgr13 p);
+  let o = Runner.run_oneshot ~sched:(Shm.Schedule.random ~seed:4 6) p in
+  Alcotest.(check bool) "ours within n-k+2" true
+    (Runner.registers_used o <= Params.r_oneshot p)
+
+let unsupported_corner_rejected () =
+  (* n = k+1: the reconstruction refuses (the paper's remaining gap) *)
+  Alcotest.(check bool) "n-k=1 unsupported" false (Baseline_dfgr13.supported ~n:4 ~k:3);
+  Alcotest.(check bool) "n-k=2 supported" true (Baseline_dfgr13.supported ~n:4 ~k:2)
+
+let suite =
+  [
+    test "baseline solves 1-obstruction-free k-set agreement" baseline_solves_k_set_agreement;
+    test "baseline safe under random schedules" baseline_safe_under_random;
+    test "baseline is obstruction-free" baseline_obstruction_free;
+    test "register counts: 2(n-k) vs n-k+2" register_comparison;
+    test "measured registers within budgets" measured_registers;
+    test "n=k+1 corner is rejected" unsupported_corner_rejected;
+  ]

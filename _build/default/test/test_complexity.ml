@@ -1,0 +1,103 @@
+(* Exact verification of the step-complexity closed forms. *)
+
+open Helpers
+open Agreement
+
+(* Fresh solo one-shot Propose costs exactly 2r + 2 steps. *)
+let solo_cost_exact () =
+  for n = 3 to 9 do
+    for k = 1 to n - 1 do
+      for m = 1 to k do
+        let p = Params.make ~n ~m ~k in
+        let r = Params.r_oneshot p in
+        let result = Runner.run_oneshot ~sched:(Shm.Schedule.solo 0) p in
+        Alcotest.(check int)
+          (Printf.sprintf "%s: solo steps" (Params.to_string p))
+          (Bounds.Complexity.solo_oneshot_steps ~r)
+          result.Shm.Exec.steps
+      done
+    done
+  done
+
+let solo_baseline_exact () =
+  for n = 4 to 9 do
+    for k = 1 to n - 2 do
+      let p = Params.make ~n ~m:1 ~k in
+      let result = Runner.run_baseline ~sched:(Shm.Schedule.solo 0) p in
+      Alcotest.(check int)
+        (Printf.sprintf "baseline n=%d k=%d" n k)
+        (Bounds.Complexity.solo_baseline_steps ~n ~k)
+        result.Shm.Exec.steps
+    done
+  done
+
+(* From any reachable state, a solo continuation finishes within the
+   bound: random prefixes, then run one process alone and count. *)
+let solo_completion_bounded () =
+  let p = Params.make ~n:5 ~m:2 ~k:3 in
+  let r = Params.r_oneshot p in
+  let bound = Bounds.Complexity.solo_completion_bound ~r in
+  for seed = 0 to 49 do
+    let config = Instances.oneshot p in
+    let inputs = Shm.Exec.oneshot_inputs (Array.init 5 (fun pid -> vi (pid + 1))) in
+    (* random prefix of 0..120 steps *)
+    let prefix_len = (seed * 7) mod 120 in
+    let res1 =
+      Shm.Exec.run ~sched:(Shm.Schedule.random ~seed 5) ~inputs ~max_steps:prefix_len
+        config
+    in
+    (* pick a process that has not decided yet *)
+    let survivor =
+      List.find_opt
+        (fun pid -> Spec.Properties.completed_ops res1.Shm.Exec.config pid = 0)
+        [ 0; 1; 2; 3; 4 ]
+    in
+    match survivor with
+    | None -> ()
+    | Some pid ->
+      let res2 =
+        Shm.Exec.run ~sched:(Shm.Schedule.solo pid) ~inputs ~max_steps:(bound + 1)
+          res1.Shm.Exec.config
+      in
+      if Spec.Properties.completed_ops res2.Shm.Exec.config pid < 1 then
+        Alcotest.failf "seed %d: p%d needed more than %d solo steps" seed pid bound
+  done
+
+(* The sufficient quantum really suffices: quantum round-robin with it
+   terminates for every parameter triple. *)
+let sufficient_quantum_suffices () =
+  for n = 3 to 7 do
+    for k = 1 to n - 1 do
+      for m = 1 to k do
+        let p = Params.make ~n ~m ~k in
+        let r = Params.r_oneshot p in
+        let q = Bounds.Complexity.sufficient_quantum ~r in
+        let result =
+          Runner.run_oneshot ~sched:(Shm.Schedule.quantum_round_robin ~quantum:q n) p
+        in
+        assert_all_done ~ops:1 result;
+        assert_safe ~k result
+      done
+    done
+  done
+
+(* Solo cost grows linearly in r: the measured deltas match 2 steps per
+   extra component. *)
+let solo_cost_linear_in_r () =
+  let p = Params.make ~n:6 ~m:1 ~k:1 in
+  let base = Params.r_oneshot p in
+  let steps_for r =
+    (Runner.run_oneshot ~r ~sched:(Shm.Schedule.solo 2) p).Shm.Exec.steps
+  in
+  let s0 = steps_for base in
+  Alcotest.(check int) "r+1 costs +2" (s0 + 2) (steps_for (base + 1));
+  Alcotest.(check int) "r+5 costs +10" (s0 + 10) (steps_for (base + 5))
+
+let suite =
+  [
+    test "solo one-shot costs exactly 2r+2 steps" solo_cost_exact;
+    test "solo baseline costs exactly 2(2(n-k))+2 steps" solo_baseline_exact;
+    test "solo completion from any state within bound" solo_completion_bounded;
+    test "sufficient quantum guarantees termination" sufficient_quantum_suffices;
+    test "solo cost is linear in r" solo_cost_linear_in_r;
+  ]

@@ -1,0 +1,128 @@
+(* Failure-injection tests: crashes at adversarial moments must never
+   endanger safety, and survivors must keep their progress guarantees.
+
+   In the register model a crash is indistinguishable from never being
+   scheduled again; what makes these runs interesting is that a crashed
+   process may die *poised mid-operation*, leaving a stale pair in the
+   snapshot forever — exactly the situation the stale-duplicate erratum
+   (EXPERIMENTS.md) is about. *)
+
+open Helpers
+open Agreement
+
+let crash_times ~seed ~n ~victims =
+  let rng = Shm.Rng.create seed in
+  List.init victims (fun i -> ((i * 2) mod n, 5 + Shm.Rng.int rng 60))
+
+(* One-shot: crash up to n−1 processes at random times; the rest decide
+   (the survivor count may exceed m, so use solo-burst scheduling which
+   obstruction-freedom turns into termination). *)
+let oneshot_with_crashes () =
+  for seed = 0 to 19 do
+    let n = 5 in
+    let p = Params.make ~n ~m:1 ~k:2 in
+    let crashes = crash_times ~seed ~n ~victims:2 in
+    let sched =
+      Shm.Schedule.with_crashes ~crashes
+        (Shm.Schedule.quantum_round_robin ~quantum:300 n)
+    in
+    let result = Runner.run_oneshot ~sched p in
+    assert_safe ~k:2 result;
+    (* every non-crashed process decided *)
+    let victims = List.map fst crashes in
+    List.init n Fun.id
+    |> List.iter (fun pid ->
+           if not (List.mem pid victims) then
+             Alcotest.(check int)
+               (Printf.sprintf "seed %d: p%d decided" seed pid)
+               1
+               (Spec.Properties.completed_ops result.Shm.Exec.config pid))
+  done
+
+(* Repeated: crashes mid-instance leave stale lower-instance tuples;
+   later instances must still be safe and survivors complete all
+   rounds. *)
+let repeated_with_crashes () =
+  for seed = 0 to 14 do
+    let n = 4 in
+    let p = Params.make ~n ~m:1 ~k:2 in
+    let crashes = [ (1, 12 + seed); (3, 40 + (2 * seed)) ] in
+    let sched =
+      Shm.Schedule.with_crashes ~crashes
+        (Shm.Schedule.quantum_round_robin ~quantum:300 n)
+    in
+    let result = Runner.run_repeated ~rounds:4 ~sched p in
+    assert_safe ~k:2 result;
+    [ 0; 2 ]
+    |> List.iter (fun pid ->
+           Alcotest.(check int)
+             (Printf.sprintf "seed %d: survivor p%d finished" seed pid)
+             4
+             (Spec.Properties.completed_ops result.Shm.Exec.config pid))
+  done
+
+(* A single survivor after everyone else crashes poised mid-write: the
+   obstruction-free core case, with maximal garbage in the snapshot. *)
+let lone_survivor_decides () =
+  for victim_time = 1 to 30 do
+    let n = 4 in
+    let p = Params.make ~n ~m:1 ~k:1 in
+    let crashes = [ (0, victim_time); (1, victim_time); (2, victim_time) ] in
+    let sched = Shm.Schedule.with_crashes ~crashes (Shm.Schedule.round_robin n) in
+    let result = Runner.run_oneshot ~sched p in
+    assert_safe ~k:1 result;
+    Alcotest.(check int)
+      (Printf.sprintf "t=%d: p3 decided" victim_time)
+      1
+      (Spec.Properties.completed_ops result.Shm.Exec.config 3)
+  done
+
+(* Anonymous algorithm under crashes. *)
+let anonymous_with_crashes () =
+  for seed = 0 to 9 do
+    let n = 4 in
+    let p = Params.make ~n ~m:2 ~k:2 in
+    let crashes = [ (0, 15 + seed) ] in
+    let sched =
+      Shm.Schedule.with_crashes ~crashes
+        (Shm.Schedule.quantum_round_robin ~quantum:600 n)
+    in
+    let result = Runner.run_anonymous ~rounds:2 ~sched p in
+    assert_safe ~k:2 result;
+    [ 1; 2; 3 ]
+    |> List.iter (fun pid ->
+           Alcotest.(check int)
+             (Printf.sprintf "seed %d: p%d finished" seed pid)
+             2
+             (Spec.Properties.completed_ops result.Shm.Exec.config pid))
+  done
+
+(* Trace analysis sanity on a crashy run: crashed processes take no
+   steps after their crash time; survivors account for the rest. *)
+let analysis_of_crashy_run () =
+  let n = 4 in
+  let p = Params.make ~n ~m:1 ~k:1 in
+  let crashes = [ (0, 10); (1, 10) ] in
+  let sched =
+    Shm.Schedule.with_crashes ~crashes (Shm.Schedule.quantum_round_robin ~quantum:200 n)
+  in
+  let config = Instances.oneshot p in
+  let inputs = Shm.Exec.oneshot_inputs (Array.init n (fun pid -> vi pid)) in
+  let res = Shm.Exec.run ~record:true ~sched ~inputs ~max_steps:100_000 config in
+  let a =
+    Shm.Analysis.of_trace ~n ~registers:(Params.r_oneshot p) res.Shm.Exec.trace
+  in
+  Alcotest.(check int) "trace length consistent" res.Shm.Exec.steps a.Shm.Analysis.total_steps;
+  Alcotest.(check bool) "survivors stepped most" true
+    (a.Shm.Analysis.steps_per_process.(2) + a.Shm.Analysis.steps_per_process.(3)
+    > a.Shm.Analysis.steps_per_process.(0) + a.Shm.Analysis.steps_per_process.(1));
+  Alcotest.(check bool) "write skew sane" true (Shm.Analysis.write_skew a >= 1.0)
+
+let suite =
+  [
+    test "one-shot survives random crashes" oneshot_with_crashes;
+    test "repeated survives mid-instance crashes" repeated_with_crashes;
+    test "lone survivor decides at every crash time" lone_survivor_decides;
+    test "anonymous survives crashes" anonymous_with_crashes;
+    test "trace analysis of crashy run" analysis_of_crashy_run;
+  ]

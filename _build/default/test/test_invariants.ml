@@ -1,0 +1,153 @@
+(* Tests of the Lemma 3 / Lemma 12 trace invariants and the bounded
+   exhaustive model checker. *)
+
+open Helpers
+open Agreement
+
+(* ---- Lemma 3 / Lemma 12 invariants on real runs ---- *)
+
+let run_oneshot_trace ~seed p =
+  let n = p.Params.n in
+  let config = Instances.oneshot p in
+  let inputs = Shm.Exec.oneshot_inputs (Array.init n (fun pid -> vi (pid + 1))) in
+  Shm.Exec.run ~record:true ~sched:(Shm.Schedule.random ~seed n) ~inputs
+    ~max_steps:50_000 config
+
+let lemma3_holds_on_runs () =
+  for seed = 0 to 29 do
+    let p = Params.make ~n:5 ~m:2 ~k:3 in
+    let res = run_oneshot_trace ~seed p in
+    match
+      Spec.Invariants.check_lemma3 ~registers:(Params.r_oneshot p) res.Shm.Exec.trace
+    with
+    | [] -> ()
+    | v :: _ ->
+      Alcotest.failf "seed %d: %a" seed Spec.Invariants.pp_violation v
+  done
+
+let lemma12_holds_on_runs () =
+  for seed = 0 to 19 do
+    let p = Params.make ~n:4 ~m:1 ~k:2 in
+    let config = Instances.repeated p in
+    let inputs = Shm.Exec.repeated_inputs ~rounds:3 (fun pid i -> vi ((10 * i) + pid)) in
+    let res =
+      Shm.Exec.run ~record:true ~sched:(Shm.Schedule.random ~seed 4) ~inputs
+        ~max_steps:80_000 config
+    in
+    match
+      Spec.Invariants.check_lemma12 ~registers:(Params.r_oneshot p) res.Shm.Exec.trace
+    with
+    | [] -> ()
+    | v :: _ -> Alcotest.failf "seed %d: %a" seed Spec.Invariants.pp_violation v
+  done
+
+(* The invariant checker itself detects violations (negative control):
+   a hand-crafted trace where one id writes two different values. *)
+let lemma3_detects_violation () =
+  let mk_write reg value = Shm.Event.Did_write { pid = 0; reg; value } in
+  let pair v id = Shm.Value.Pair (vi v, vi id) in
+  let trace = [ mk_write 0 (pair 1 7); mk_write 1 (pair 2 7) ] in
+  match Spec.Invariants.check_lemma3 ~registers:2 trace with
+  | [] -> Alcotest.fail "violation not detected"
+  | v :: _ -> Alcotest.(check int) "at the second write" 1 v.Spec.Invariants.at_step
+
+let lemma12_detects_violation () =
+  let mk_write reg value = Shm.Event.Did_write { pid = 0; reg; value } in
+  let tup v id t = Shm.Value.List [ vi v; vi id; vi t; Shm.Value.List [] ] in
+  let trace = [ mk_write 0 (tup 1 7 3); mk_write 1 (tup 2 7 3) ] in
+  Alcotest.(check bool) "violation detected" true
+    (Spec.Invariants.check_lemma12 ~registers:2 trace <> []);
+  (* different instances are fine *)
+  let trace2 = [ mk_write 0 (tup 1 7 3); mk_write 1 (tup 2 7 4) ] in
+  Alcotest.(check bool) "different t ok" true
+    (Spec.Invariants.check_lemma12 ~registers:2 trace2 = [])
+
+(* ---- bounded exhaustive model checking ---- *)
+
+let inputs_for n = Shm.Exec.oneshot_inputs (Array.init n (fun pid -> vi (pid + 1)))
+
+let check_safety ~k config = Spec.Properties.check_safety ~k config
+
+(* One-shot consensus for n = 2 over the proper r = 3 components: every
+   schedule prefix of length 12 leads to a safe completion. *)
+let model_check_consensus_n2 () =
+  let p = Params.make ~n:2 ~m:1 ~k:1 in
+  let config = Instances.oneshot p in
+  match
+    Spec.Modelcheck.exhaustive ~depth:12 ~inputs:(inputs_for 2)
+      ~check:(check_safety ~k:1) config
+  with
+  | Spec.Modelcheck.Ok_bounded stats ->
+    Alcotest.(check bool) "explored many nodes" true (stats.Spec.Modelcheck.explored > 1000)
+  | Spec.Modelcheck.Counterexample _ as c ->
+    Alcotest.failf "%a" Spec.Modelcheck.pp_outcome c
+
+(* n = 3, k = 2: exhaustive to depth 9. *)
+let model_check_k2_n3 () =
+  let p = Params.make ~n:3 ~m:1 ~k:2 in
+  let config = Instances.oneshot p in
+  match
+    Spec.Modelcheck.exhaustive ~depth:9 ~inputs:(inputs_for 3)
+      ~check:(check_safety ~k:2) config
+  with
+  | Spec.Modelcheck.Ok_bounded _ -> ()
+  | Spec.Modelcheck.Counterexample _ as c ->
+    Alcotest.failf "%a" Spec.Modelcheck.pp_outcome c
+
+(* A genuinely broken instance: one register for 2-process consensus.
+   The model checker finds a counterexample schedule. *)
+let model_check_finds_violation () =
+  let p = Params.make ~n:2 ~m:1 ~k:1 in
+  let config = Instances.oneshot ~r:1 p in
+  match
+    Spec.Modelcheck.exhaustive ~depth:10 ~inputs:(inputs_for 2)
+      ~check:(check_safety ~k:1) config
+  with
+  | Spec.Modelcheck.Counterexample { schedule; _ } ->
+    Alcotest.(check bool) "non-empty schedule" true (schedule <> [])
+  | Spec.Modelcheck.Ok_bounded _ ->
+    Alcotest.fail "expected a violation with r = 1"
+
+(* The full register-level stack: 2-process consensus over the
+   single-writer wait-free snapshot, exhaustively to depth 10. *)
+let model_check_register_level () =
+  let p = Params.make ~n:2 ~m:1 ~k:1 in
+  let config = Instances.oneshot ~impl:Instances.Sw_based p in
+  match
+    Spec.Modelcheck.exhaustive ~depth:10 ~inputs:(inputs_for 2)
+      ~completion_steps:200_000 ~check:(check_safety ~k:1) config
+  with
+  | Spec.Modelcheck.Ok_bounded _ -> ()
+  | Spec.Modelcheck.Counterexample _ as c ->
+    Alcotest.failf "%a" Spec.Modelcheck.pp_outcome c
+
+(* Validity, exhaustively: outputs are always inputs, whatever the
+   schedule. *)
+let model_check_validity () =
+  let p = Params.make ~n:3 ~m:2 ~k:2 in
+  let config = Instances.oneshot p in
+  let check config =
+    match Spec.Properties.validity_errors config with
+    | [] -> Ok ()
+    | e :: _ -> Error e
+  in
+  match
+    Spec.Modelcheck.exhaustive ~depth:8 ~inputs:(inputs_for 3) ~check config
+  with
+  | Spec.Modelcheck.Ok_bounded _ -> ()
+  | Spec.Modelcheck.Counterexample _ as c ->
+    Alcotest.failf "%a" Spec.Modelcheck.pp_outcome c
+
+let suite =
+  [
+    test "Lemma 3 invariant holds on 30 random runs" lemma3_holds_on_runs;
+    test "Lemma 12 invariant holds on 20 random runs" lemma12_holds_on_runs;
+    test "Lemma 3 checker detects violations" lemma3_detects_violation;
+    test "Lemma 12 checker detects violations" lemma12_detects_violation;
+    slow_test "model check: consensus n=2 safe to depth 12" model_check_consensus_n2;
+    slow_test "model check: k=2 n=3 safe to depth 9" model_check_k2_n3;
+    slow_test "model check: finds violation with r=1" model_check_finds_violation;
+    slow_test "model check: register-level stack safe to depth 10"
+      model_check_register_level;
+    slow_test "model check: validity under all schedules" model_check_validity;
+  ]

@@ -1,0 +1,136 @@
+(* Tests for the executable Lemma 1 and the exploration primitives it
+   rests on. *)
+
+open Helpers
+open Agreement
+open Lowerbound
+
+(* Lemma 1 for m = 1 is solo termination with own value. *)
+let lemma1_m1 () =
+  let p = Params.make ~n:4 ~m:1 ~k:2 in
+  let config = Instances.oneshot p in
+  match Lemma1.find ~procs:[ 2 ] ~values:[ vi 77 ] config with
+  | Lemma1.Found { outputs; _ } ->
+    Alcotest.(check int) "one output" 1 (List.length outputs);
+    check_value "own value" (vi 77) (List.hd outputs)
+  | Lemma1.Search_failed msg -> Alcotest.failf "search failed: %s" msg
+
+(* Lemma 1 for m = 2: two processes, two values, both output. *)
+let lemma1_m2 () =
+  let p = Params.make ~n:5 ~m:2 ~k:2 in
+  let config = Instances.oneshot p in
+  match Lemma1.find ~procs:[ 0; 3 ] ~values:[ vi 10; vi 20 ] config with
+  | Lemma1.Found { config; outputs } ->
+    Alcotest.(check int) "two distinct outputs" 2 (List.length outputs);
+    (* only the chosen processes stepped: nobody else invoked *)
+    List.iter
+      (fun pid ->
+        if pid <> 0 && pid <> 3 then
+          Alcotest.(check int)
+            (Printf.sprintf "p%d idle" pid)
+            0
+            (Spec.Properties.completed_ops config pid))
+      [ 0; 1; 2; 3; 4 ]
+  | Lemma1.Search_failed msg -> Alcotest.failf "search failed: %s" msg
+
+(* Lemma 1 for m = 3 on the repeated algorithm. *)
+let lemma1_m3_repeated () =
+  let p = Params.make ~n:6 ~m:3 ~k:3 in
+  let config = Instances.repeated p in
+  match
+    Lemma1.find ~procs:[ 1; 2; 5 ] ~values:[ vi 1; vi 2; vi 3 ] ~tries:5000
+      ~max_steps:8_000 config
+  with
+  | Lemma1.Found { outputs; _ } ->
+    Alcotest.(check int) "three distinct outputs" 3 (List.length outputs)
+  | Lemma1.Search_failed msg -> Alcotest.failf "search failed: %s" msg
+
+(* The m ≤ k boundary (Section 2.1): an algorithm for m-obstruction-free
+   k-set agreement need not terminate when m+1 processes run forever.
+   The adaptive spoiler keeps two processes of the m=1 algorithm from
+   ever deciding, while safety still holds on the diverging run. *)
+let m_boundary_non_termination () =
+  let p = Params.make ~n:4 ~m:1 ~k:1 in
+  let config = Instances.oneshot p in
+  let inputs ~pid ~instance = if instance = 1 then Some (vi (pid + 1)) else None in
+  match Lemma1.spoiler_witness ~horizon:20_000 ~a:0 ~b:1 ~inputs config with
+  | Some config -> (
+    match Spec.Properties.check_safety ~k:1 config with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "diverging run broke safety: %s" e)
+  | None ->
+    Alcotest.fail "expected a non-terminating 2-survivor schedule against m=1"
+
+(* With m = 2 the same spoiler fails: two survivors always decide, as
+   m-obstruction-freedom demands. *)
+let m2_terminates_with_two () =
+  let p = Params.make ~n:4 ~m:2 ~k:2 in
+  let config = Instances.oneshot p in
+  let inputs ~pid ~instance = if instance = 1 then Some (vi (pid + 1)) else None in
+  match Lemma1.spoiler_witness ~horizon:50_000 ~a:0 ~b:1 ~inputs config with
+  | None -> ()
+  | Some _ -> Alcotest.fail "m=2 algorithm diverged under the spoiler"
+
+(* ---- direct tests of the exploration primitives ---- *)
+
+let explore_detects_poised_write () =
+  let p = Params.make ~n:3 ~m:1 ~k:1 in
+  let config = Instances.oneshot p in
+  let inputs ~pid ~instance = if instance = 1 then Some (vi pid) else None in
+  (* nothing allowed: the very first write escapes *)
+  match
+    Explore.run ~allowed:(fun _ -> false) ~inputs ~sched:(Shm.Schedule.solo 0)
+      ~max_steps:100 config
+  with
+  | Explore.Escaped e ->
+    Alcotest.(check int) "process 0" 0 e.Explore.pid;
+    Alcotest.(check bool) "some register" true (e.Explore.reg >= 0);
+    (* the write did NOT execute: memory still empty *)
+    Alcotest.(check int) "no register written" 0
+      (Shm.Memory.num_written (Shm.Config.mem e.Explore.config))
+  | _ -> Alcotest.fail "expected escape"
+
+let explore_stop_predicate () =
+  let p = Params.make ~n:3 ~m:1 ~k:1 in
+  let config = Instances.oneshot p in
+  let inputs ~pid ~instance = if instance = 1 then Some (vi pid) else None in
+  let stop c = Spec.Properties.completed_ops c 1 >= 1 in
+  match
+    Explore.run ~allowed:(fun _ -> true) ~inputs ~sched:(Shm.Schedule.solo 1)
+      ~max_steps:10_000 ~stop config
+  with
+  | Explore.Stopped c -> Alcotest.(check int) "p1 decided" 1 (Spec.Properties.completed_ops c 1)
+  | _ -> Alcotest.fail "expected stop"
+
+let gamma_distinct_at () =
+  let p = Params.make ~n:3 ~m:1 ~k:2 in
+  let config = Instances.oneshot p in
+  let inputs ~pid ~instance = if instance = 1 then Some (vi (100 + pid)) else None in
+  match
+    Gamma.build ~allowed:(fun _ -> true) ~inputs ~max_steps:10_000 ~t:1 ~procs:[ 2 ]
+      config
+  with
+  | Gamma.Ok_gamma c ->
+    let outs = Gamma.distinct_at c ~procs:[ 2 ] ~t:1 in
+    Alcotest.(check int) "one distinct" 1 (List.length outs);
+    check_value "solo decides own" (vi 102) (List.hd outs)
+  | Gamma.Escape _ | Gamma.Failed _ -> Alcotest.fail "expected success"
+
+let permutations_complete () =
+  let perms = Gamma.permutations [ 1; 2; 3 ] in
+  Alcotest.(check int) "3! = 6" 6 (List.length perms);
+  Alcotest.(check int) "all distinct" 6
+    (List.length (List.sort_uniq compare perms))
+
+let suite =
+  [
+    test "Lemma 1, m=1 (solo)" lemma1_m1;
+    test "Lemma 1, m=2 (two distinct outputs)" lemma1_m2;
+    slow_test "Lemma 1, m=3 on repeated algorithm" lemma1_m3_repeated;
+    test "m+1 survivors can loop forever (m<=k boundary)" m_boundary_non_termination;
+    test "m=2 with two survivors terminates" m2_terminates_with_two;
+    test "explore detects poised writes before they execute" explore_detects_poised_write;
+    test "explore stop predicate" explore_stop_predicate;
+    test "gamma: distinct outputs accounting" gamma_distinct_at;
+    test "gamma: permutations helper" permutations_complete;
+  ]

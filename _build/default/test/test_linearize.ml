@@ -1,0 +1,83 @@
+(* Unit tests for the snapshot linearizability checker itself. *)
+
+open Helpers
+open Spec.Linearize
+
+let bot = Shm.Value.Bot
+
+let up ?(pid = 0) ~at ?(len = 0) i v =
+  { pid; op = Update { i; v = vi v }; start = at; finish = at + len }
+
+let sc ?(pid = 0) ~at ?(len = 0) view =
+  { pid; op = Scan { view = Array.of_list view }; start = at; finish = at + len }
+
+let sequential_ok () =
+  let h = [ up ~at:0 0 1; up ~at:1 1 2; sc ~at:2 [ vi 1; vi 2 ] ] in
+  Alcotest.(check bool) "linearizable" true (check ~components:2 h)
+
+let empty_scan_ok () =
+  Alcotest.(check bool) "initial scan sees bots" true
+    (check ~components:2 [ sc ~at:0 [ bot; bot ] ])
+
+let stale_scan_rejected () =
+  (* update(0,1) completes before the scan starts, yet the scan misses it *)
+  let h = [ up ~at:0 0 1; sc ~at:5 [ bot; bot ] ] in
+  Alcotest.(check bool) "stale scan rejected" false (check ~components:2 h)
+
+let concurrent_scan_may_miss () =
+  (* the scan overlaps the update: both orders are allowed *)
+  let h = [ up ~at:0 ~len:10 0 1; sc ~at:5 [ bot; bot ] ] in
+  Alcotest.(check bool) "overlapping scan may miss" true (check ~components:2 h)
+
+let new_old_inversion_rejected () =
+  (* p1 updates component 0 then 1, sequentially; a scan that returns
+     the new value of 1 but the old value of 0 tears that order *)
+  let h =
+    [ up ~pid:1 ~at:0 0 7; up ~pid:1 ~at:2 1 8; sc ~pid:2 ~at:4 [ bot; vi 8 ] ]
+  in
+  Alcotest.(check bool) "torn scan rejected" false (check ~components:2 h)
+
+let non_monotone_scans_rejected () =
+  (* one scan sees the update, a strictly later scan does not *)
+  let h =
+    [ up ~at:0 0 3; sc ~pid:1 ~at:2 [ vi 3; bot ]; sc ~pid:2 ~at:4 [ bot; bot ] ]
+  in
+  Alcotest.(check bool) "non-monotone scans rejected" false (check ~components:2 h)
+
+let overwrites_ok () =
+  let h = [ up ~at:0 0 1; up ~at:1 0 2; sc ~at:2 [ vi 2; bot ] ] in
+  Alcotest.(check bool) "latest value wins" true (check ~components:2 h)
+
+let interleaving_found () =
+  (* two overlapping updates to the same component; two scans pin down
+     the only consistent order *)
+  let h =
+    [
+      up ~pid:1 ~at:0 ~len:10 0 1;
+      up ~pid:2 ~at:0 ~len:10 0 2;
+      sc ~pid:3 ~at:11 [ vi 2; bot ];
+    ]
+  in
+  Alcotest.(check bool) "order u1 < u2 found" true (check ~components:2 h);
+  let h_impossible =
+    [
+      up ~pid:1 ~at:0 ~len:2 0 1;
+      up ~pid:2 ~at:5 ~len:2 0 2;
+      (* real time forces u1 < u2, so a later scan cannot see 1 *)
+      sc ~pid:3 ~at:10 [ vi 1; bot ];
+    ]
+  in
+  Alcotest.(check bool) "real-time order enforced" false
+    (check ~components:2 h_impossible)
+
+let suite =
+  [
+    test "sequential history accepted" sequential_ok;
+    test "initial scan sees bots" empty_scan_ok;
+    test "scan missing a completed update rejected" stale_scan_rejected;
+    test "overlapping scan may miss the update" concurrent_scan_may_miss;
+    test "new-old inversion rejected" new_old_inversion_rejected;
+    test "non-monotone scans rejected" non_monotone_scans_rejected;
+    test "overwrite: latest value wins" overwrites_ok;
+    test "checker searches interleavings and respects real time" interleaving_found;
+  ]

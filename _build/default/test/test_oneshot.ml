@@ -1,0 +1,101 @@
+(* Unit tests for the Figure 3 one-shot algorithm. *)
+
+open Helpers
+open Agreement
+
+let run ?impl ?sched ?inputs p = Runner.run_oneshot ?impl ?sched ?inputs p
+
+(* Solo execution: obstruction-freedom's base case — a process running
+   alone decides its own input. *)
+let solo_decides_own () =
+  let p = Params.make ~n:3 ~m:1 ~k:1 in
+  let result = run ~sched:(Shm.Schedule.solo 1) p in
+  let outs = distinct_outputs result ~instance:1 in
+  Alcotest.(check int) "one output" 1 (List.length outs);
+  check_value "decides own input" (vi 2) (List.hd outs);
+  assert_safe ~k:1 result
+
+let round_robin_consensus () =
+  let p = Params.make ~n:4 ~m:1 ~k:1 in
+  let result = run p in
+  assert_all_done ~ops:1 result;
+  assert_safe ~k:1 result;
+  let outs = distinct_outputs result ~instance:1 in
+  Alcotest.(check int) "consensus: one value" 1 (List.length outs)
+
+let all_params_safe_under_round_robin () =
+  for n = 2 to 7 do
+    for k = 1 to n - 1 do
+      for m = 1 to k do
+        let p = Params.make ~n ~m ~k in
+        let result = run p in
+        assert_all_done ~ops:1 result;
+        assert_safe ~k result
+      done
+    done
+  done
+
+(* Under a uniform random scheduler all n processes keep taking steps,
+   so m-obstruction-freedom promises nothing about termination (n > m);
+   safety must hold regardless, decided or not. *)
+let random_schedules_safe () =
+  let p = Params.make ~n:5 ~m:2 ~k:3 in
+  for seed = 0 to 49 do
+    let result = run ~sched:(Shm.Schedule.random ~seed 5) p in
+    assert_safe ~k:3 result
+  done
+
+let m_bounded_schedules_terminate () =
+  (* m-obstruction-freedom: when at most m processes keep running, every
+     process still running completes.  The m survivors must decide. *)
+  for seed = 0 to 19 do
+    let p = Params.make ~n:5 ~m:2 ~k:2 in
+    let sched = Shm.Schedule.m_bounded ~seed ~m:2 ~prefix:40 5 in
+    let result = run ~sched p in
+    (match result.Shm.Exec.stopped with
+    | Shm.Exec.All_quiescent -> ()
+    | Shm.Exec.Fuel_exhausted ->
+      Alcotest.failf "seed %d: survivors did not terminate" seed);
+    assert_safe ~k:2 result
+  done
+
+let identical_inputs_decide_it () =
+  let p = Params.make ~n:4 ~m:2 ~k:2 in
+  let inputs = Array.make 4 (vi 7) in
+  let result = run ~inputs ~sched:(Shm.Schedule.random ~seed:3 4) p in
+  assert_safe ~k:2 result;
+  let outs = distinct_outputs result ~instance:1 in
+  Alcotest.(check int) "single value" 1 (List.length outs);
+  check_value "the common input" (vi 7) (List.hd outs)
+
+let contention_adversary_safe () =
+  let p = Params.make ~n:6 ~m:2 ~k:4 in
+  let sched = Shm.Schedule.alternating ~burst:3 [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ] in
+  let result = run ~sched p in
+  assert_safe ~k:4 result
+
+let registers_used_at_most_r () =
+  for n = 3 to 7 do
+    for k = 1 to n - 1 do
+      for m = 1 to k do
+        let p = Params.make ~n ~m ~k in
+        let result = run ~sched:(Shm.Schedule.random ~seed:(n + k + m) n) p in
+        let used = Runner.registers_used result in
+        if used > Params.r_oneshot p then
+          Alcotest.failf "%s: used %d > r=%d" (Params.to_string p) used
+            (Params.r_oneshot p)
+      done
+    done
+  done
+
+let suite =
+  [
+    test "solo run decides own input" solo_decides_own;
+    test "round-robin consensus decides one value" round_robin_consensus;
+    test "safe for all (n,m,k), n<=7, round-robin" all_params_safe_under_round_robin;
+    test "safe under 50 random schedules" random_schedules_safe;
+    test "m-bounded schedules terminate" m_bounded_schedules_terminate;
+    test "identical inputs decide that value" identical_inputs_decide_it;
+    test "safe under contention adversary" contention_adversary_safe;
+    test "never writes more than r registers" registers_used_at_most_r;
+  ]

@@ -1,0 +1,102 @@
+(* Scale and soak tests: larger systems, long repeated runs, and the
+   structural facts that should be scale-invariant (constant space,
+   linear solo cost). *)
+
+open Helpers
+open Agreement
+
+let big_oneshot () =
+  [ 12; 16; 24 ]
+  |> List.iter (fun n ->
+         let p = Params.make ~n ~m:2 ~k:3 in
+         let impl = Instances.space_optimal_impl p in
+         (* the closed-form quantum counts atomic snapshot steps; the
+            register-level SW snapshot expands each op into O(n)
+            collects, so scale accordingly *)
+         let q = Bounds.Complexity.sufficient_quantum ~r:(Params.r_oneshot p) in
+         let q = match impl with Instances.Sw_based -> q * 20 * n | _ -> q in
+         let result =
+           Runner.run_oneshot ~impl
+             ~sched:(Shm.Schedule.quantum_round_robin ~quantum:q n)
+             ~max_steps:5_000_000 p
+         in
+         assert_all_done ~ops:1 result;
+         assert_safe ~k:3 result;
+         Alcotest.(check bool)
+           (Printf.sprintf "n=%d within bound" n)
+           true
+           (Runner.registers_used result <= Params.registers_upper p))
+
+let long_repeated_soak () =
+  let p = Params.make ~n:6 ~m:1 ~k:2 in
+  let rounds = 30 in
+  let result =
+    Runner.run_repeated ~rounds
+      ~sched:(Shm.Schedule.quantum_round_robin ~quantum:400 6)
+      ~max_steps:10_000_000 p
+  in
+  assert_all_done ~ops:rounds result;
+  assert_safe ~k:2 result;
+  (* space stays put no matter how many instances ran *)
+  Alcotest.(check bool) "constant space over 30 rounds" true
+    (Runner.registers_used result <= Params.r_oneshot p)
+
+let long_anonymous_soak () =
+  let p = Params.make ~n:4 ~m:1 ~k:2 in
+  let rounds = 12 in
+  let result =
+    Runner.run_anonymous ~rounds
+      ~sched:(Shm.Schedule.quantum_round_robin ~quantum:800 4)
+      ~max_steps:10_000_000 p
+  in
+  assert_all_done ~ops:rounds result;
+  assert_safe ~k:2 result
+
+(* Mixed chaos soak: random schedule with crashes and an eventual
+   2-process survivor set; safety plus survivor progress. *)
+let chaos_soak () =
+  for seed = 0 to 9 do
+    let n = 8 in
+    let p = Params.make ~n ~m:2 ~k:4 in
+    let sched =
+      Shm.Schedule.with_crashes
+        ~crashes:[ (1, 100 + seed); (4, 200 + seed) ]
+        (Shm.Schedule.m_bounded ~seed ~m:2 ~prefix:500 n)
+    in
+    let result = Runner.run_repeated ~rounds:3 ~sched ~max_steps:3_000_000 p in
+    assert_safe ~k:4 result
+  done
+
+(* poor-man's substring search, avoiding a regex dependency *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Diagram rendering sanity: right shape, right symbols. *)
+let diagram_render () =
+  let p = Params.make ~n:2 ~m:1 ~k:1 in
+  let config = Instances.oneshot p in
+  let inputs = Shm.Exec.oneshot_inputs [| vi 1; vi 2 |] in
+  let res =
+    Shm.Exec.run ~record:true ~sched:(Shm.Schedule.solo 0) ~inputs ~max_steps:100
+      config
+  in
+  let s = Shm.Diagram.to_string ~n:2 res.Shm.Exec.trace in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "two rows" 2 (List.length lines);
+  Alcotest.(check bool) "row 0 has invoke" true (contains (List.nth lines 0) "I");
+  Alcotest.(check bool) "row 0 has output" true (contains (List.nth lines 0) "O");
+  Alcotest.(check bool) "row 1 all idle" true
+    (not (contains (List.nth lines 1) "w"))
+
+let suite =
+  [
+    slow_test "one-shot at n=12/16/24" big_oneshot;
+    slow_test "repeated soak: 30 rounds constant space" long_repeated_soak;
+    slow_test "anonymous soak: 12 rounds" long_anonymous_soak;
+    slow_test "chaos soak: crashes + m-bounded" chaos_soak;
+    test "diagram rendering" diagram_render;
+  ]

@@ -1,0 +1,188 @@
+(* Tests of the snapshot implementations: sequential semantics,
+   randomized linearizability checking against the Wing–Gong checker,
+   and a negative control (a deliberately broken snapshot must be caught). *)
+
+open Helpers
+open Shm
+
+type script = [ `Update of int * int | `Scan ] list
+
+(* A tester process performs its script against the snapshot API and
+   announces each completed operation with an encoded Output marker. *)
+let tester ~(api : Snapshot.Snap_api.t) (script : script) =
+  let rec go (api : Snapshot.Snap_api.t) = function
+    | [] -> Program.stop
+    | `Update (i, v) :: rest ->
+      api.update i (vi v) (fun api ->
+          Program.yield (Spec.Linearize.encode_update ~i ~v:(vi v)) (go api rest))
+    | `Scan :: rest ->
+      api.scan (fun api view ->
+          Program.yield (Spec.Linearize.encode_scan view) (go api rest))
+  in
+  Program.await (fun _ -> go api script)
+
+(* Deliberately broken snapshot: a single collect, no double-collect
+   validation.  Non-atomic; the checker must catch it on some schedule. *)
+let broken_single_collect ~off ~len : Snapshot.Snap_api.t =
+  let rec api () : Snapshot.Snap_api.t =
+    let update i v k = Program.write (off + i) v (fun () -> k (api ())) in
+    let scan k =
+      let rec collect i acc =
+        if i >= len then k (api ()) (Array.of_list (List.rev acc))
+        else Program.read (off + i) (fun v -> collect (i + 1) (v :: acc))
+      in
+      collect 0 []
+    in
+    { Snapshot.Snap_api.components = len; update; scan }
+  in
+  api ()
+
+let registers_for impl ~r ~n =
+  match impl with `Sw -> n | `Atomic | `Double | `Broken -> r
+
+let api_for impl ~r ~n ~pid =
+  match impl with
+  | `Atomic -> Snapshot.Atomic.make ~off:0 ~len:r
+  | `Double -> Snapshot.Double_collect.make ~off:0 ~len:r ~pid ()
+  | `Sw -> Snapshot.Mw_from_sw.make ~off:0 ~n ~components:r ~pid
+  | `Broken -> broken_single_collect ~off:0 ~len:r
+
+(* Random scripts: each process performs [ops] operations over [r]
+   components with per-(pid,seed) deterministic contents. *)
+let random_script ~rng ~r ~ops ~pid =
+  List.init ops (fun j ->
+      if Rng.int rng 2 = 0 then `Scan
+      else `Update (Rng.int rng r, (100 * pid) + j))
+
+let run_history impl ~r ~n ~seed ~ops =
+  let rng = Rng.create (seed * 7919) in
+  let procs =
+    Array.init n (fun pid ->
+        tester ~api:(api_for impl ~r ~n ~pid) (random_script ~rng ~r ~ops ~pid))
+  in
+  let config = Config.create ~registers:(registers_for impl ~r ~n) ~procs in
+  let inputs = Exec.oneshot_inputs (Array.make n (vi 0)) in
+  let res =
+    Exec.run ~record:true ~sched:(Schedule.random ~seed n) ~inputs ~max_steps:100_000
+      config
+  in
+  (match res.Exec.stopped with
+  | Exec.All_quiescent -> ()
+  | Exec.Fuel_exhausted -> Alcotest.fail "tester run did not finish");
+  Spec.Linearize.history_of_trace res.Exec.trace
+
+let check_impl impl ~seeds () =
+  let r = 3 and n = 3 and ops = 5 in
+  for seed = 0 to seeds - 1 do
+    let h = run_history impl ~r ~n ~seed ~ops in
+    if not (Spec.Linearize.check ~components:r h) then
+      Alcotest.failf "seed %d: non-linearizable history:@.%a" seed
+        Fmt.(list ~sep:cut Spec.Linearize.pp_event)
+        h
+  done
+
+(* Sequential sanity for every implementation. *)
+let sequential_semantics impl () =
+  let r = 4 in
+  let script = [ `Update (0, 1); `Update (2, 3); `Scan; `Update (0, 5); `Scan ] in
+  let procs = [| tester ~api:(api_for impl ~r ~n:1 ~pid:0) script |] in
+  let config = Config.create ~registers:(registers_for impl ~r ~n:1) ~procs in
+  let inputs = Exec.oneshot_inputs [| vi 0 |] in
+  let res = Exec.run ~record:true ~sched:(Schedule.solo 0) ~inputs ~max_steps:50_000 config in
+  let h = Spec.Linearize.history_of_trace res.Exec.trace in
+  Alcotest.(check int) "five ops" 5 (List.length h);
+  Alcotest.(check bool) "linearizable" true (Spec.Linearize.check ~components:r h);
+  (* the final scan must literally be [5; ⊥; 3; ⊥] *)
+  match List.rev h with
+  | { op = Spec.Linearize.Scan { view }; _ } :: _ ->
+    check_value "c0" (vi 5) view.(0);
+    check_value "c1" Value.Bot view.(1);
+    check_value "c2" (vi 3) view.(2);
+    check_value "c3" Value.Bot view.(3)
+  | _ -> Alcotest.fail "last op should be a scan"
+
+(* The broken implementation must be caught on at least one seed. *)
+let broken_is_caught () =
+  let r = 3 and n = 3 and ops = 6 in
+  let caught = ref false in
+  (try
+     for seed = 0 to 199 do
+       let h = run_history `Broken ~r ~n ~seed ~ops in
+       if not (Spec.Linearize.check ~components:r h) then begin
+         caught := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "single-collect snapshot caught" true !caught
+
+(* The agreement algorithms behave identically over register-level
+   snapshots: safety and round-robin termination are preserved. *)
+let algorithms_over_register_snapshots () =
+  [ Agreement.Instances.Double_collect; Agreement.Instances.Sw_based ]
+  |> List.iter (fun impl ->
+         let p = Agreement.Params.make ~n:4 ~m:1 ~k:2 in
+         let result =
+           Agreement.Runner.run_oneshot ~impl
+             ~sched:(Schedule.quantum_round_robin ~quantum:600 4)
+             p
+         in
+         assert_all_done ~ops:1 result;
+         assert_safe ~k:2 result;
+         for seed = 0 to 9 do
+           let result = Agreement.Runner.run_oneshot ~impl ~sched:(Schedule.random ~seed 4) p in
+           assert_safe ~k:2 result
+         done)
+
+(* The repeated algorithm, too, runs over both register-level
+   snapshots, completing multiple instances. *)
+let repeated_over_register_snapshots () =
+  [ Agreement.Instances.Double_collect; Agreement.Instances.Sw_based ]
+  |> List.iter (fun impl ->
+         let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
+         let result =
+           Agreement.Runner.run_repeated ~impl ~rounds:3
+             ~sched:(Schedule.quantum_round_robin ~quantum:3000 3)
+             ~max_steps:3_000_000 p
+         in
+         assert_all_done ~ops:3 result;
+         assert_safe ~k:1 result;
+         for seed = 0 to 4 do
+           let result =
+             Agreement.Runner.run_repeated ~impl ~rounds:2
+               ~sched:(Schedule.random ~seed 3) ~max_steps:200_000 p
+           in
+           assert_safe ~k:1 result
+         done)
+
+(* The SW-based snapshot uses exactly n registers — the min(·,n) branch
+   of Theorem 7. *)
+let sw_snapshot_uses_n_registers () =
+  (* n=4, m=2, k=2: r_oneshot = 6 > n = 4, so the SW implementation wins *)
+  let p = Agreement.Params.make ~n:4 ~m:2 ~k:2 in
+  let result =
+    Agreement.Runner.run_oneshot ~impl:Agreement.Instances.Sw_based
+      ~sched:(Schedule.quantum_round_robin ~quantum:800 4)
+      p
+  in
+  assert_all_done ~ops:1 result;
+  assert_safe ~k:2 result;
+  Alcotest.(check bool) "at most n registers" true
+    (Agreement.Runner.registers_used result <= 4)
+
+let suite =
+  [
+    test "atomic: sequential semantics" (sequential_semantics `Atomic);
+    test "double-collect: sequential semantics" (sequential_semantics `Double);
+    test "sw-based: sequential semantics" (sequential_semantics `Sw);
+    slow_test "atomic: linearizable on 60 random histories" (check_impl `Atomic ~seeds:60);
+    slow_test "double-collect: linearizable on 60 random histories"
+      (check_impl `Double ~seeds:60);
+    slow_test "sw-based: linearizable on 60 random histories" (check_impl `Sw ~seeds:60);
+    slow_test "negative control: single-collect snapshot is caught" broken_is_caught;
+    slow_test "agreement algorithms run over register snapshots"
+      algorithms_over_register_snapshots;
+    slow_test "repeated algorithm over register snapshots"
+      repeated_over_register_snapshots;
+    test "sw snapshot stays within n registers" sw_snapshot_uses_n_registers;
+  ]

@@ -1,0 +1,158 @@
+(* Focused unit tests for the snapshot implementations' internals:
+   Afek scan/update subprograms, double-collect retry behaviour,
+   footprints, and the MW-from-SW timestamp logic. *)
+
+open Helpers
+open Shm
+
+let run_solo ?(max_steps = 10_000) prog ~registers =
+  let config = Config.create ~registers ~procs:[| prog |] in
+  let inputs = Exec.oneshot_inputs [| vi 0 |] in
+  Exec.run ~record:true ~sched:(Schedule.solo 0) ~inputs ~max_steps config
+
+(* Afek: a solo update then scan returns the written segment. *)
+let afek_update_then_scan () =
+  let n = 3 in
+  let prog =
+    Program.await (fun _ ->
+        Snapshot.Afek.update ~off:0 ~n ~pid:0 ~seq:0 (vi 42) (fun seq ->
+            Alcotest.(check int) "seq incremented" 1 seq;
+            Snapshot.Afek.scan ~off:0 ~n (fun segments ->
+                Program.yield (Value.list (Array.to_list segments)) Program.stop)))
+  in
+  let res = run_solo prog ~registers:n in
+  match Config.outputs res.Exec.config with
+  | [ (_, _, Value.List [ s0; s1; s2 ]) ] ->
+    check_value "own segment" (vi 42) s0;
+    check_value "others bot" Value.Bot s1;
+    check_value "others bot" Value.Bot s2
+  | _ -> Alcotest.fail "unexpected output shape"
+
+(* Afek scans are genuinely atomic under interference: a writer and a
+   scanner interleaved at every possible offset never tear. *)
+let afek_scan_never_tears () =
+  let n = 2 in
+  (* writer: updates its segment 5 times with increasing values *)
+  let writer =
+    Program.await (fun _ ->
+        let rec go seq k =
+          if k > 5 then Program.stop
+          else
+            Snapshot.Afek.update ~off:0 ~n ~pid:0 ~seq (vi k) (fun seq -> go seq (k + 1))
+        in
+        go 0 1)
+  in
+  (* scanner: two scans; outputs both *)
+  let scanner =
+    Program.await (fun _ ->
+        Snapshot.Afek.scan ~off:0 ~n (fun v1 ->
+            Snapshot.Afek.scan ~off:0 ~n (fun v2 ->
+                Program.yield (Value.pair v1.(0) v2.(0)) Program.stop)))
+  in
+  for seed = 0 to 39 do
+    let config = Config.create ~registers:n ~procs:[| writer; scanner |] in
+    let inputs = Exec.oneshot_inputs [| vi 0; vi 0 |] in
+    let res = Exec.run ~sched:(Schedule.random ~seed 2) ~inputs ~max_steps:20_000 config in
+    match Config.outputs res.Exec.config with
+    | [ (1, _, Value.Pair (a, b)) ] ->
+      (* monotone: the second scan never sees an older value *)
+      let to_i v = match v with Value.Int i -> i | Value.Bot -> 0 | _ -> -1 in
+      if to_i b < to_i a then
+        Alcotest.failf "seed %d: scans went backwards (%a then %a)" seed Value.pp a
+          Value.pp b
+    | _ -> Alcotest.failf "seed %d: missing scanner output" seed
+  done
+
+(* Double collect with max_retries: a perpetually-interfered scan fails
+   loudly instead of spinning. *)
+let double_collect_retry_bound () =
+  let api = Snapshot.Double_collect.make ~off:0 ~len:2 ~pid:1 ~max_retries:3 () in
+  let scanner =
+    Program.await (fun _ -> api.Snapshot.Snap_api.scan (fun _ view ->
+        Program.yield view.(0) Program.stop))
+  in
+  (* interferer: writes register 0 forever (raw writes with fresh tags) *)
+  let interferer =
+    Program.await (fun _ ->
+        let rec go k =
+          Program.write 0 (Value.pair (vi k) (vi k)) (fun () -> go (k + 1))
+        in
+        go 0)
+  in
+  let config = Config.create ~registers:2 ~procs:[| scanner; interferer |] in
+  let inputs = Exec.oneshot_inputs [| vi 0; vi 0 |] in
+  (* alternate strictly so every double collect sees a change *)
+  let sched = Schedule.round_robin 2 in
+  Alcotest.check_raises "scan gives up"
+    (Failure "Double_collect.scan: no clean double collect after 3 attempts")
+    (fun () -> ignore (Exec.run ~sched ~inputs ~max_steps:5_000 config))
+
+(* Footprints document the space story. *)
+let footprints () =
+  let f1 = Snapshot.Atomic.footprint ~len:7 in
+  Alcotest.(check int) "atomic regs" 7 f1.Snapshot.Snap_api.registers;
+  Alcotest.(check bool) "atomic wait-free" true f1.Snapshot.Snap_api.wait_free;
+  let f2 = Snapshot.Double_collect.footprint ~len:7 in
+  Alcotest.(check int) "collect regs" 7 f2.Snapshot.Snap_api.registers;
+  Alcotest.(check bool) "collect not wait-free" false f2.Snapshot.Snap_api.wait_free;
+  let f3 = Snapshot.Mw_from_sw.footprint ~n:5 in
+  Alcotest.(check int) "sw regs = n" 5 f3.Snapshot.Snap_api.registers;
+  Alcotest.(check bool) "sw wait-free" true f3.Snapshot.Snap_api.wait_free
+
+(* MW-from-SW: two writers to the same component; reader sees the later
+   write once both finished (timestamp order respects real time). *)
+let mw_sw_timestamp_order () =
+  let n = 3 in
+  let mk pid v =
+    let api = Snapshot.Mw_from_sw.make ~off:0 ~n ~components:2 ~pid in
+    Program.await (fun _ ->
+        api.Snapshot.Snap_api.update 0 (vi v) (fun _ -> Program.stop))
+  in
+  let reader =
+    let api = Snapshot.Mw_from_sw.make ~off:0 ~n ~components:2 ~pid:2 in
+    Program.await (fun _ ->
+        api.Snapshot.Snap_api.scan (fun _ view -> Program.yield view.(0) Program.stop))
+  in
+  let config = Config.create ~registers:n ~procs:[| mk 0 10; mk 1 20; reader |] in
+  let inputs = Exec.oneshot_inputs [| vi 0; vi 0; vi 0 |] in
+  (* strictly sequential: writer 0 entirely, then writer 1, then reader *)
+  let sched = Schedule.quantum_round_robin ~quantum:10_000 3 in
+  let res = Exec.run ~sched ~inputs ~max_steps:100_000 config in
+  match Config.outputs res.Exec.config with
+  | [ (2, _, v) ] -> check_value "later write wins" (vi 20) v
+  | _ -> Alcotest.fail "missing reader output"
+
+(* Anonymous double collect produces distinct tags across processes
+   (no aliasing in practice). *)
+let anonymous_tags_fresh () =
+  let mk seed =
+    let api = Snapshot.Double_collect.make_anonymous ~off:0 ~len:1 ~seed () in
+    Program.await (fun _ ->
+        api.Snapshot.Snap_api.update 0 (vi 1) (fun _ -> Program.stop))
+  in
+  let config = Config.create ~registers:1 ~procs:[| mk 1; mk 2 |] in
+  let inputs = Exec.oneshot_inputs [| vi 0; vi 0 |] in
+  let res =
+    Exec.run ~record:true ~sched:(Schedule.round_robin 2) ~inputs ~max_steps:100 config
+  in
+  let tags =
+    res.Exec.trace
+    |> List.filter_map (fun ev ->
+           match ev with
+           | Event.Did_write { value = Value.Pair (tag, _); _ } -> Some tag
+           | _ -> None)
+  in
+  Alcotest.(check int) "two writes" 2 (List.length tags);
+  match tags with
+  | [ a; b ] -> Alcotest.(check bool) "distinct tags" false (Value.equal a b)
+  | _ -> assert false
+
+let suite =
+  [
+    test "afek: update then scan" afek_update_then_scan;
+    test "afek: scans never tear under interference" afek_scan_never_tears;
+    test "double collect: retry bound fails loudly" double_collect_retry_bound;
+    test "footprints" footprints;
+    test "mw-from-sw: timestamp order respects real time" mw_sw_timestamp_order;
+    test "anonymous tags are fresh" anonymous_tags_fresh;
+  ]

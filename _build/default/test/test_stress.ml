@@ -1,0 +1,91 @@
+(* Tests for the stress harness and the Workload generators. *)
+
+open Helpers
+open Agreement
+
+let oneshot_inputs n = Shm.Exec.oneshot_inputs (Array.init n (fun pid -> vi pid))
+
+(* Correct systems survive. *)
+let correct_survives () =
+  let p = Params.make ~n:5 ~m:2 ~k:2 in
+  match
+    Spec.Stress.run ~runs:30 ~k:2 ~n:5
+      ~build:(fun () -> Instances.oneshot p)
+      ~inputs:(oneshot_inputs 5) ()
+  with
+  | Spec.Stress.Survived { runs } -> Alcotest.(check int) "all runs" 60 runs
+  | Spec.Stress.Broken _ as v ->
+    Alcotest.failf "correct system broke: %a" Spec.Stress.pp_verdict v
+
+(* Register-starved systems are caught, with a replayable witness. *)
+let starved_is_caught () =
+  let p = Params.make ~n:5 ~m:2 ~k:2 in
+  match
+    Spec.Stress.run ~runs:100 ~k:2 ~n:5
+      ~build:(fun () -> Instances.oneshot ~r:2 p)
+      ~inputs:(oneshot_inputs 5) ()
+  with
+  | Spec.Stress.Broken { config; error; _ } ->
+    Alcotest.(check bool) "error mentions agreement" true
+      (String.length error > 0);
+    (* the witness config independently re-checks *)
+    Alcotest.(check bool) "witness re-checks" true
+      (Spec.Properties.check_safety ~k:2 config |> Result.is_error)
+  | Spec.Stress.Survived _ -> Alcotest.fail "starved system survived stress"
+
+(* The m-bounded family also respects safety on correct systems. *)
+let m_bounded_family () =
+  let p = Params.make ~n:4 ~m:1 ~k:2 in
+  match
+    Spec.Stress.run ~runs:20
+      ~families:[ Spec.Stress.M_bounded 1 ]
+      ~k:2 ~n:4
+      ~build:(fun () -> Instances.oneshot p)
+      ~inputs:(oneshot_inputs 4) ()
+  with
+  | Spec.Stress.Survived _ -> ()
+  | Spec.Stress.Broken _ as v -> Alcotest.failf "%a" Spec.Stress.pp_verdict v
+
+(* ---- workloads ---- *)
+
+let workload_shapes () =
+  let n = 10 in
+  Alcotest.(check int) "distinct has n values" n
+    (Workload.distinct_inputs Workload.Distinct ~n);
+  Alcotest.(check int) "identical has 1" 1
+    (Workload.distinct_inputs Workload.Identical ~n);
+  Alcotest.(check int) "two camps has 2" 2
+    (Workload.distinct_inputs Workload.Two_camps ~n);
+  Alcotest.(check bool) "skewed has a majority" true
+    (let inputs = Workload.inputs Workload.Skewed ~n in
+     Agreement.View.count (Shm.Value.equal (vi 100)) inputs > n / 2);
+  Alcotest.(check bool) "binary has <= 2" true
+    (Workload.distinct_inputs (Workload.Binary_random 3) ~n <= 2)
+
+let workloads_all_safe () =
+  Workload.all
+  |> List.iter (fun w ->
+         let n = 6 in
+         let p = Params.make ~n ~m:1 ~k:2 in
+         let inputs = Workload.inputs w ~n in
+         for seed = 0 to 9 do
+           let result =
+             Runner.run_oneshot ~inputs ~sched:(Shm.Schedule.random ~seed n) p
+           in
+           assert_safe ~k:2 result
+         done)
+
+let workload_names_unique () =
+  let names = List.map Workload.name Workload.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    test "stress: correct system survives" correct_survives;
+    test "stress: starved system caught with witness" starved_is_caught;
+    test "stress: m-bounded family" m_bounded_family;
+    test "workload shapes" workload_shapes;
+    test "all workloads safe" workloads_all_safe;
+    test "workload names unique" workload_names_unique;
+  ]

@@ -1,0 +1,96 @@
+(* Tests for the executable Theorem 2 lower-bound adversary. *)
+
+open Helpers
+open Agreement
+open Lowerbound
+
+let make_config p ~registers =
+  Instances.repeated ~r:registers p
+
+(* The headline demonstration: for r = n+m−k−1 (one register below the
+   lower bound) the Figure 2 construction produces an execution in which
+   one instance outputs k+1 distinct values. *)
+let attack p ~registers =
+  Theorem2.attack ~params:p ~registers ~make_config:(fun ~registers ->
+      make_config p ~registers)
+    ~icap:4 ()
+
+let breaks_starved_consensus () =
+  (* m = k = 1: lower bound says n registers; attack n−1. *)
+  let p = Params.make ~n:4 ~m:1 ~k:1 in
+  let registers = Params.registers_lower p - 1 in
+  match attack p ~registers with
+  | Theorem2.Violation { instance; outputs; config; _ } ->
+    Alcotest.(check bool) "more than k outputs" true (List.length outputs > 1);
+    (* certify independently with the checker *)
+    let errs = Spec.Properties.agreement_errors ~k:1 config in
+    Alcotest.(check bool) "checker confirms violation" true (errs <> []);
+    (* and validity must hold: the adversary builds a *legal* execution *)
+    Alcotest.(check (list string)) "validity holds" []
+      (Spec.Properties.validity_errors config);
+    Alcotest.(check int) "violated instance is the fresh one" 5 instance
+  | o -> Alcotest.failf "expected violation, got: %a" Theorem2.pp_outcome o
+
+let breaks_starved_set_agreement_m1 () =
+  (* m = 1, k = 2, n = 5: lower bound 4; attack with 3 registers. *)
+  let p = Params.make ~n:5 ~m:1 ~k:2 in
+  let registers = Params.registers_lower p - 1 in
+  match attack p ~registers with
+  | Theorem2.Violation { outputs; config; _ } ->
+    Alcotest.(check bool) "k+1 outputs" true (List.length outputs >= 3);
+    Alcotest.(check bool) "checker confirms" true
+      (Spec.Properties.agreement_errors ~k:2 config <> []);
+    Alcotest.(check (list string)) "validity holds" []
+      (Spec.Properties.validity_errors config)
+  | o -> Alcotest.failf "expected violation, got: %a" Theorem2.pp_outcome o
+
+let breaks_starved_m2 () =
+  (* m = 2, k = 2, n = 5: lower bound n+m−k = 5; attack with 4. *)
+  let p = Params.make ~n:5 ~m:2 ~k:2 in
+  let registers = Params.registers_lower p - 1 in
+  match attack p ~registers with
+  | Theorem2.Violation { outputs; config; _ } ->
+    Alcotest.(check bool) "k+1 outputs" true (List.length outputs >= 3);
+    Alcotest.(check bool) "checker confirms" true
+      (Spec.Properties.agreement_errors ~k:2 config <> [])
+  | o -> Alcotest.failf "expected violation, got: %a" Theorem2.pp_outcome o
+
+(* Against correctly-provisioned algorithms the construction must fail,
+   and fail the way the proof's counting predicts: it runs out of
+   replacement processes while trying to cover the registers. *)
+let correct_algorithm_resists () =
+  let cases = [ (4, 1, 1); (5, 1, 2); (5, 2, 2); (6, 2, 3) ] in
+  cases
+  |> List.iter (fun (n, m, k) ->
+         let p = Params.make ~n ~m ~k in
+         let registers = Params.r_oneshot p in
+         match attack p ~registers with
+         | Theorem2.Out_of_processes _ -> ()
+         | Theorem2.Violation _ ->
+           Alcotest.failf "(n=%d,m=%d,k=%d): violated a correct algorithm!" n m k
+         | Theorem2.Gamma_failed { reason; _ } ->
+           Alcotest.failf "(n=%d,m=%d,k=%d): unexpected gamma failure: %s" n m k reason)
+
+(* The covered-register sets grow as the proof describes: each escape
+   adds one register and one block-writer, |Pj| = |Aj|. *)
+let covering_invariants () =
+  let p = Params.make ~n:5 ~m:1 ~k:2 in
+  match attack p ~registers:3 with
+  | Theorem2.Violation { groups; _ } ->
+    groups
+    |> List.iter (fun g ->
+           Alcotest.(check int)
+             (Printf.sprintf "group %d: |P|=|A|" g.Theorem2.index)
+             (List.length g.Theorem2.aset)
+             (List.length g.Theorem2.pset));
+    Alcotest.(check int) "c = k+1 groups for m=1" 3 (List.length groups)
+  | o -> Alcotest.failf "expected violation, got: %a" Theorem2.pp_outcome o
+
+let suite =
+  [
+    slow_test "breaks consensus with n-1 registers" breaks_starved_consensus;
+    slow_test "breaks k=2 m=1 with n+m-k-1 registers" breaks_starved_set_agreement_m1;
+    slow_test "breaks k=2 m=2 with n+m-k-1 registers" breaks_starved_m2;
+    slow_test "correct register counts resist the attack" correct_algorithm_resists;
+    slow_test "covering invariants |P|=|A|" covering_invariants;
+  ]

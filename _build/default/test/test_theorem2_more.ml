@@ -1,0 +1,100 @@
+(* Wider Theorem 2 adversary coverage: the m = 3 group case, sweeps of
+   intermediate register budgets, and structural facts about the
+   construction. *)
+
+open Helpers
+open Agreement
+open Lowerbound
+
+let attack ?(icap = 4) ?(gamma_tries = 3000) p ~registers =
+  Theorem2.attack ~params:p ~registers
+    ~make_config:(fun ~registers -> Instances.repeated ~r:registers p)
+    ~icap ~gamma_tries ()
+
+(* m = 3, k = 3, n = 7: lower bound 7; attack with 6 registers.  Groups
+   of sizes 1 and 3; the size-3 γ needs the bursty Lemma 1 search. *)
+let breaks_m3 () =
+  let p = Params.make ~n:7 ~m:3 ~k:3 in
+  let registers = Params.registers_lower p - 1 in
+  match attack p ~registers with
+  | Theorem2.Violation { outputs; config; _ } ->
+    Alcotest.(check bool) "k+1 = 4 outputs" true (List.length outputs >= 4);
+    Alcotest.(check bool) "checker confirms" true
+      (Spec.Properties.agreement_errors ~k:3 config <> []);
+    Alcotest.(check (list string)) "validity holds" []
+      (Spec.Properties.validity_errors config)
+  | o -> Alcotest.failf "expected violation, got: %a" Theorem2.pp_outcome o
+
+(* Every register budget strictly below the bound is breakable (not
+   just lower−1). *)
+let all_starved_budgets_break () =
+  let p = Params.make ~n:5 ~m:1 ~k:2 in
+  for registers = 1 to Params.registers_lower p - 1 do
+    match attack p ~registers with
+    | Theorem2.Violation _ -> ()
+    | o ->
+      Alcotest.failf "registers=%d should break: %a" registers Theorem2.pp_outcome o
+  done
+
+(* The groups of a successful attack satisfy the proof's structure:
+   sizes per property 3/4, disjoint final Q sets, covered sets within
+   the register range. *)
+let group_structure () =
+  let p = Params.make ~n:6 ~m:2 ~k:3 in
+  let registers = Params.registers_lower p - 1 in
+  match attack p ~registers with
+  | Theorem2.Violation { groups; _ } ->
+    let c = (p.Params.k + p.Params.m) / p.Params.m in
+    Alcotest.(check int) "c groups" c (List.length groups);
+    List.iteri
+      (fun idx g ->
+        let expect =
+          if idx = 0 then p.Params.k + 1 - ((c - 1) * p.Params.m) else p.Params.m
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "group %d size" (idx + 1))
+          expect
+          (List.length g.Theorem2.final_q);
+        List.iter
+          (fun r ->
+            Alcotest.(check bool) "register in range" true (r >= 0 && r < registers))
+          g.Theorem2.aset)
+      groups;
+    (* final Q sets pairwise disjoint *)
+    let all_q = List.concat_map (fun g -> g.Theorem2.final_q) groups in
+    Alcotest.(check int) "Q sets disjoint" (List.length all_q)
+      (List.length (List.sort_uniq compare all_q))
+  | o -> Alcotest.failf "expected violation: %a" Theorem2.pp_outcome o
+
+(* The fresh instance really is fresh: its inputs are the adversary's
+   id-derived values, disjoint from all earlier instances. *)
+let fresh_instance_inputs () =
+  let p = Params.make ~n:4 ~m:1 ~k:1 in
+  match attack p ~registers:(Params.registers_lower p - 1) with
+  | Theorem2.Violation { instance; config; _ } ->
+    Spec.Properties.by_instance config
+    |> List.iter (fun (inst, ins, _) ->
+           ins
+           |> List.iter (fun v ->
+                  let x = Shm.Value.to_int v in
+                  if inst = instance then
+                    Alcotest.(check bool) "fresh input domain" true (x >= 1_000_000)
+                  else Alcotest.(check bool) "ordinary input domain" true (x < 1_000_000)))
+  | o -> Alcotest.failf "expected violation: %a" Theorem2.pp_outcome o
+
+(* Attacks are deterministic: running twice gives identical outcomes. *)
+let attack_deterministic () =
+  let p = Params.make ~n:5 ~m:2 ~k:2 in
+  let registers = Params.registers_lower p - 1 in
+  let show o = Fmt.str "%a" Theorem2.pp_outcome o in
+  Alcotest.(check string) "same outcome" (show (attack p ~registers))
+    (show (attack p ~registers))
+
+let suite =
+  [
+    slow_test "breaks m=3 k=3 with n+m-k-1 registers" breaks_m3;
+    slow_test "every starved budget breaks" all_starved_budgets_break;
+    slow_test "group structure matches the proof" group_structure;
+    slow_test "fresh instance has its own input domain" fresh_instance_inputs;
+    slow_test "attack is deterministic" attack_deterministic;
+  ]

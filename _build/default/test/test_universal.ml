@@ -1,0 +1,211 @@
+(* Tests of the universal construction (replicated state machines over
+   repeated agreement). *)
+
+open Helpers
+open Universal
+
+let counter_machine =
+  {
+    Rsm.init = 0;
+    apply =
+      (fun s cmd ->
+        match cmd with
+        | Shm.Value.Pair (Shm.Value.Str "add", Shm.Value.Int x) -> s + x
+        | _ -> s);
+  }
+
+let add pid slot = Shm.Value.Pair (Shm.Value.Str "add", Shm.Value.Int ((10 * slot) + pid))
+
+(* Consensus underneath: all replicas converge on one log and state. *)
+let consensus_replicas_agree () =
+  let p = Agreement.Params.make ~n:4 ~m:1 ~k:1 in
+  let run = Rsm.replicate p counter_machine ~commands:add ~slots:5 in
+  Alcotest.(check bool) "quiescent" true run.Rsm.quiescent;
+  (match Rsm.agreement_log run with
+  | Some log -> Alcotest.(check int) "log has 5 slots" 5 (List.length log)
+  | None -> Alcotest.fail "replicas diverged under consensus");
+  match run.Rsm.replicas with
+  | r0 :: rest ->
+    List.iter
+      (fun (r : int Rsm.replica) ->
+        Alcotest.(check int) "same state" r0.Rsm.state r.Rsm.state)
+      rest
+  | [] -> Alcotest.fail "no replicas"
+
+(* The agreed log only contains proposed commands, slot by slot. *)
+let log_is_valid () =
+  let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
+  let run =
+    Rsm.replicate ~sched:(Shm.Schedule.quantum_round_robin ~quantum:500 3) p
+      counter_machine ~commands:add ~slots:4
+  in
+  match Rsm.agreement_log run with
+  | None -> Alcotest.fail "diverged"
+  | Some log ->
+    List.iteri
+      (fun i cmd ->
+        let slot = i + 1 in
+        let proposed = List.init 3 (fun pid -> add pid slot) in
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d command was proposed" slot)
+          true
+          (List.exists (Shm.Value.equal cmd) proposed))
+      log
+
+(* Space: the whole machine lives in min(n+2m-k, n) registers no matter
+   how many commands execute. *)
+let constant_space () =
+  let p = Agreement.Params.make ~n:4 ~m:1 ~k:1 in
+  let short = Rsm.replicate p counter_machine ~commands:add ~slots:2 in
+  let long = Rsm.replicate p counter_machine ~commands:add ~slots:12 in
+  Alcotest.(check int) "same registers" short.Rsm.registers long.Rsm.registers;
+  Alcotest.(check bool) "within bound" true
+    (long.Rsm.registers <= Agreement.Params.registers_upper p)
+
+(* k = 2: slots may branch, but never more than k ways, and the number
+   of distinct replica views stays bounded. *)
+let k_branching_bounded () =
+  let p = Agreement.Params.make ~n:4 ~m:2 ~k:2 in
+  for seed = 0 to 9 do
+    let sched = Shm.Schedule.m_bounded ~seed ~m:2 ~prefix:80 4 in
+    let run =
+      Rsm.replicate ~sched ~max_steps:2_000_000 p counter_machine ~commands:add ~slots:3
+    in
+    if run.Rsm.quiescent then begin
+      (* branch analysis needs the raw config; recompute via a fresh run
+         record by reusing outputs embedded in replicas *)
+      let views = Ledger.distinct_views run in
+      Alcotest.(check bool) "views bounded" true (views >= 1 && views <= 4)
+    end
+  done
+
+let ledger_slot_analysis () =
+  let p = Agreement.Params.make ~n:4 ~m:2 ~k:2 in
+  let result =
+    Agreement.Runner.run_repeated ~rounds:3
+      ~sched:(Shm.Schedule.quantum_round_robin ~quantum:600 4)
+      ~input_fn:(fun pid slot -> add pid slot)
+      p
+  in
+  let infos = Ledger.slot_infos result.Shm.Exec.config in
+  Alcotest.(check int) "three slots" 3 (List.length infos);
+  Alcotest.(check bool) "branching within k" true (Ledger.max_branching infos <= 2);
+  infos
+  |> List.iter (fun i ->
+         let followers = List.concat_map snd i.Ledger.followers in
+         Alcotest.(check int)
+           (Printf.sprintf "slot %d: every replica follows a branch" i.Ledger.slot)
+           4 (List.length followers))
+
+(* A register-valued machine: key-value store commands. *)
+let kv_machine () =
+  let machine =
+    {
+      Rsm.init = [];
+      apply =
+        (fun s cmd ->
+          match cmd with
+          | Shm.Value.Pair (Shm.Value.Str key, v) -> (key, v) :: List.remove_assoc key s
+          | _ -> s);
+    }
+  in
+  let commands pid slot =
+    Shm.Value.Pair (Shm.Value.Str (Printf.sprintf "key%d" (slot mod 2)), vi pid)
+  in
+  let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
+  let run = Rsm.replicate p machine ~commands ~slots:6 in
+  match run.Rsm.replicas with
+  | r :: _ ->
+    Alcotest.(check int) "two keys" 2 (List.length r.Rsm.state);
+    (match Rsm.agreement_log run with
+    | Some _ -> ()
+    | None -> Alcotest.fail "diverged")
+  | [] -> Alcotest.fail "no replicas"
+
+(* ---- the machine catalog ---- *)
+
+let queue_machine () =
+  let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
+  (* pid 0 enqueues, pid 1 dequeues, pid 2 enqueues *)
+  let commands pid slot =
+    if pid = 1 then Machines.deq else Machines.enq (vi ((10 * slot) + pid))
+  in
+  let run = Rsm.replicate p Machines.fifo_queue ~commands ~slots:6 in
+  match (Rsm.agreement_log run, run.Rsm.replicas) with
+  | Some log, r :: _ ->
+    Alcotest.(check int) "six commands" 6 (List.length log);
+    let st = r.Rsm.state in
+    (* conservation: enqueued = still queued + dequeued (minus ⊥s) *)
+    let enqueued =
+      List.length
+        (List.filter
+           (fun c -> match c with Shm.Value.Pair (Shm.Value.Str "enq", _) -> true | _ -> false)
+           log)
+    in
+    let real_deqs =
+      List.length
+        (List.filter (fun v -> not (Shm.Value.equal v Shm.Value.Bot)) st.Machines.dequeued)
+    in
+    Alcotest.(check int) "conservation" enqueued
+      (List.length st.Machines.items + real_deqs);
+    (* FIFO: dequeued values appear in enqueue order *)
+    let enq_order =
+      List.filter_map
+        (fun c -> match c with Shm.Value.Pair (Shm.Value.Str "enq", v) -> Some v | _ -> None)
+        log
+    in
+    let deq_values =
+      List.filter (fun v -> not (Shm.Value.equal v Shm.Value.Bot)) st.Machines.dequeued
+    in
+    let rec is_prefix xs ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> Shm.Value.equal x y && is_prefix xs' ys'
+      | _ :: _, [] -> false
+    in
+    Alcotest.(check bool) "FIFO order" true (is_prefix deq_values enq_order)
+  | _ -> Alcotest.fail "queue replication failed"
+
+let bank_never_negative () =
+  let p = Agreement.Params.make ~n:4 ~m:1 ~k:1 in
+  let commands pid slot =
+    if (pid + slot) mod 2 = 0 then Machines.deposit (5 + pid)
+    else Machines.withdraw (7 + slot)
+  in
+  let run = Rsm.replicate p Machines.bank ~commands ~slots:8 in
+  run.Rsm.replicas
+  |> List.iter (fun (r : int Rsm.replica) ->
+         Alcotest.(check bool)
+           (Printf.sprintf "replica %d balance >= 0" r.Rsm.pid)
+           true (r.Rsm.state >= 0));
+  match Rsm.agreement_log run with
+  | Some _ -> ()
+  | None -> Alcotest.fail "bank replicas diverged"
+
+let lww_register_machine () =
+  let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
+  let commands pid slot = Machines.write (vi ((100 * slot) + pid)) in
+  let run = Rsm.replicate p Machines.register ~commands ~slots:4 in
+  match (Rsm.agreement_log run, run.Rsm.replicas) with
+  | Some log, r :: _ ->
+    (* final state is the last committed write *)
+    let last =
+      match List.rev log with
+      | Shm.Value.Pair (_, v) :: _ -> v
+      | _ -> Shm.Value.Bot
+    in
+    check_value "last write wins" last r.Rsm.state
+  | _ -> Alcotest.fail "register replication failed"
+
+let suite =
+  [
+    test "consensus replicas agree on log and state" consensus_replicas_agree;
+    test "replicated FIFO queue: conservation + order" queue_machine;
+    test "replicated bank never goes negative" bank_never_negative;
+    test "replicated LWW register" lww_register_machine;
+    test "agreed log contains only proposed commands" log_is_valid;
+    test "space is constant in the number of commands" constant_space;
+    test "k=2 branching stays bounded" k_branching_bounded;
+    test "ledger slot analysis" ledger_slot_analysis;
+    test "key-value store machine" kv_machine;
+  ]
