@@ -25,6 +25,16 @@ let section title = Fmt.pr "@.=== %s ===@." title
 
 let check_mark ok = if ok then "ok" else "MISMATCH"
 
+(* Machine-readable output: every table that prints paper-vs-measured
+   numbers also writes BENCH_<id>.json next to it (schema in DESIGN.md
+   §Observability), so results diff across PRs and CI archives them. *)
+let write_bench ~experiment ~file rows =
+  Obs.Bench_out.write ~experiment ~path:file rows;
+  Fmt.pr "wrote %s (%d rows)@." file (List.length rows)
+
+let point_fields ~n ~m ~k =
+  [ ("n", Obs.Json.Int n); ("m", Obs.Json.Int m); ("k", Obs.Json.Int k) ]
+
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1, repeated non-anonymous upper bound min(n+2m−k, n).   *)
 
@@ -32,6 +42,7 @@ let fig1_upper () =
   section "E1  Figure 1 upper bound (non-anonymous repeated): min(n+2m-k, n)";
   Fmt.pr "%-12s %-8s %-10s %-8s@." "(n,m,k)" "bound" "measured" "status";
   let mismatches = ref 0 in
+  let rows = ref [] in
   for n = 4 to 9 do
     for k = 1 to n - 1 do
       for m = 1 to k do
@@ -40,21 +51,34 @@ let fig1_upper () =
         let impl =
           if Params.r_oneshot p <= n then Instances.Atomic else Instances.Sw_based
         in
+        let span = Obs.Span.create () in
         let result =
-          Runner.run_repeated ~impl ~rounds:2
+          Runner.run_repeated ~impl ~rounds:2 ~sink:(Obs.Span.sink span)
             ~sched:(Shm.Schedule.quantum_round_robin ~quantum:500 n)
             ~max_steps:3_000_000 p
         in
         let measured = Runner.registers_used result in
         let ok = measured <= bound in
         if not ok then incr mismatches;
+        rows :=
+          Obs.Json.Obj
+            (point_fields ~n ~m ~k
+            @ [
+                ("bound", Obs.Json.Int bound);
+                ("measured", Obs.Json.Int measured);
+                ("ok", Obs.Json.Bool ok);
+                ("steps", Obs.Json.Int result.Shm.Exec.steps);
+              ]
+            @ Obs.Bench_out.span_fields span)
+          :: !rows;
         if k <= 3 || measured <> bound then
           Fmt.pr "%-12s %-8d %-10d %-8s@." (Params.to_string p) bound measured
             (check_mark ok)
       done
     done
   done;
-  Fmt.pr "(rows with k>3 and measured = bound elided) mismatches: %d@." !mismatches
+  Fmt.pr "(rows with k>3 and measured = bound elided) mismatches: %d@." !mismatches;
+  write_bench ~experiment:"fig1-upper" ~file:"BENCH_fig1.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* E2: Theorem 2 adversary on starved and correct instances.           *)
@@ -85,22 +109,37 @@ let fig1_lower () =
 let fig1_anon_upper () =
   section "E3  Figure 1 anonymous upper bound: (m+1)(n-k)+m^2+1 registers";
   Fmt.pr "%-12s %-8s %-10s %-8s@." "(n,m,k)" "bound" "measured" "status";
+  let rows = ref [] in
   for n = 4 to 7 do
     for k = 1 to n - 1 do
       for m = 1 to k do
         let p = Params.make ~n ~m ~k in
         let bound = Params.r_anonymous p + 1 in
+        let span = Obs.Span.create () in
         let result =
-          Runner.run_anonymous ~rounds:2
+          Runner.run_anonymous ~rounds:2 ~sink:(Obs.Span.sink span)
             ~sched:(Shm.Schedule.quantum_round_robin ~quantum:800 n)
             ~max_steps:4_000_000 p
         in
         let measured = Runner.registers_used result in
+        rows :=
+          Obs.Json.Obj
+            (point_fields ~n ~m ~k
+            @ [
+                ("bound", Obs.Json.Int bound);
+                ("measured", Obs.Json.Int measured);
+                ("ok", Obs.Json.Bool (measured <= bound));
+                ("steps", Obs.Json.Int result.Shm.Exec.steps);
+              ]
+            @ Obs.Bench_out.span_fields span)
+          :: !rows;
         Fmt.pr "%-12s %-8d %-10d %-8s@." (Params.to_string p) bound measured
           (check_mark (measured <= bound))
       done
     done
-  done
+  done;
+  write_bench ~experiment:"fig1-anon-upper" ~file:"BENCH_fig1_anon.json"
+    (List.rev !rows)
 
 (* E3b: the same algorithm over the honest *non-blocking* anonymous
    snapshot (what Theorem 11 actually has available [7]) — register
@@ -343,20 +382,37 @@ let snapshot_ablation () =
 let progress_vs_m () =
   section "E8  Steps to quiescence vs m (n=8, k=4, m-bounded adversary, 20 seeds)";
   Fmt.pr "%-4s %-14s %-14s %-10s@." "m" "mean steps" "max steps" "decided";
+  let rows = ref [] in
   for m = 1 to 4 do
     let p = Params.make ~n:8 ~m ~k:4 in
+    let span = Obs.Span.create () in
     let steps = ref [] and decided = ref 0 in
     for seed = 0 to 19 do
       let sched = Shm.Schedule.m_bounded ~seed ~m ~prefix:60 8 in
-      let result = Runner.run_oneshot ~sched ~max_steps:400_000 p in
+      let result =
+        Runner.run_oneshot ~sched ~sink:(Obs.Span.sink span) ~max_steps:400_000 p
+      in
       steps := result.Shm.Exec.steps :: !steps;
       if result.Shm.Exec.stopped = Shm.Exec.All_quiescent then incr decided
     done;
     let l = !steps in
     let mean = float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l) in
     let mx = List.fold_left max 0 l in
+    rows :=
+      Obs.Json.Obj
+        (point_fields ~n:8 ~m ~k:4
+        @ [
+            ("seeds", Obs.Json.Int 20);
+            ("mean_steps", Obs.Json.Float mean);
+            ("max_steps", Obs.Json.Int mx);
+            ("decided", Obs.Json.Int !decided);
+          ]
+        @ Obs.Bench_out.span_fields span)
+      :: !rows;
     Fmt.pr "%-4d %-14.1f %-14d %d/20@." m mean mx !decided
-  done
+  done;
+  write_bench ~experiment:"progress-vs-m" ~file:"BENCH_progress_vs_m.json"
+    (List.rev !rows)
 
 (* Decision diversity vs input workload: how many distinct values an
    election actually commits, depending on the proposal pattern and the
@@ -396,16 +452,28 @@ let diversity_vs_workload () =
 let steps_vs_n () =
   section "E8b Steps to quiescence vs n (m=1, k=1, solo-burst schedule)";
   Fmt.pr "%-4s %-12s %-12s@." "n" "steps" "regs";
+  let rows = ref [] in
   for n = 3 to 12 do
     let p = Params.make ~n ~m:1 ~k:1 in
     let impl = if Params.r_oneshot p <= n then Instances.Atomic else Instances.Sw_based in
+    let span = Obs.Span.create () in
     let result =
-      Runner.run_oneshot ~impl
+      Runner.run_oneshot ~impl ~sink:(Obs.Span.sink span)
         ~sched:(Shm.Schedule.quantum_round_robin ~quantum:1500 n)
         ~max_steps:6_000_000 p
     in
+    rows :=
+      Obs.Json.Obj
+        (point_fields ~n ~m:1 ~k:1
+        @ [
+            ("steps", Obs.Json.Int result.Shm.Exec.steps);
+            ("registers", Obs.Json.Int (Runner.registers_used result));
+          ]
+        @ Obs.Bench_out.span_fields span)
+      :: !rows;
     Fmt.pr "%-4d %-12d %-12d@." n result.Shm.Exec.steps (Runner.registers_used result)
-  done
+  done;
+  write_bench ~experiment:"steps-vs-n" ~file:"BENCH_steps_vs_n.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks (B1–B6).                                   *)

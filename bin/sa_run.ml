@@ -4,7 +4,8 @@
    Examples:
      sa_run -n 5 -m 1 -k 2
      sa_run -n 5 -m 2 -k 3 --algo repeated --rounds 4 --sched random:7
-     sa_run -n 4 -m 1 -k 2 --algo anonymous --impl collect --trace *)
+     sa_run -n 4 -m 1 -k 2 --algo anonymous --impl collect --trace
+     sa_run -n 6 -m 2 -k 3 --sched m-bounded:7:2 --stats --trace-out t.jsonl *)
 
 open Cmdliner
 
@@ -23,20 +24,45 @@ let impl_conv =
       ("sw", `Sw);             (* n single-writer registers *)
     ]
 
-(* scheduler spec: name[:arg] *)
+(* scheduler spec: name[:arg[:arg]] *)
+let sched_specs =
+  [ "round-robin"; "quantum[:Q]"; "random[:SEED]"; "solo:P"; "m-bounded:SEED[:M]" ]
+
 let parse_sched spec ~n =
+  let ( let* ) r f = Result.bind r f in
+  let int_arg what v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Fmt.str "scheduler %S: %s %S is not an integer" spec what v)
+  in
   match String.split_on_char ':' spec with
   | [ "round-robin" ] -> Ok (Shm.Schedule.round_robin n)
-  | [ "quantum"; q ] -> Ok (Shm.Schedule.quantum_round_robin ~quantum:(int_of_string q) n)
+  | [ "quantum"; q ] ->
+    let* q = int_arg "quantum" q in
+    Ok (Shm.Schedule.quantum_round_robin ~quantum:q n)
   | [ "quantum" ] -> Ok (Shm.Schedule.quantum_round_robin ~quantum:300 n)
-  | [ "random"; s ] -> Ok (Shm.Schedule.random ~seed:(int_of_string s) n)
+  | [ "random"; s ] ->
+    let* s = int_arg "seed" s in
+    Ok (Shm.Schedule.random ~seed:s n)
   | [ "random" ] -> Ok (Shm.Schedule.random ~seed:0 n)
-  | [ "solo"; p ] -> Ok (Shm.Schedule.solo (int_of_string p))
+  | [ "solo"; p ] ->
+    let* p = int_arg "pid" p in
+    Ok (Shm.Schedule.solo p)
   | [ "m-bounded"; s ] ->
-    Ok (Shm.Schedule.m_bounded ~seed:(int_of_string s) ~m:1 ~prefix:100 n)
-  | _ -> Error (Fmt.str "unknown scheduler %S" spec)
+    let* s = int_arg "seed" s in
+    Ok (Shm.Schedule.m_bounded ~seed:s ~m:1 ~prefix:100 n)
+  | [ "m-bounded"; s; m ] ->
+    let* s = int_arg "seed" s in
+    let* m = int_arg "m" m in
+    if m < 1 || m > n then
+      Error (Fmt.str "scheduler %S: need 1 <= m <= n (n = %d)" spec n)
+    else Ok (Shm.Schedule.m_bounded ~seed:s ~m ~prefix:100 n)
+  | _ ->
+    Error
+      (Fmt.str "unknown scheduler %S; valid specs: %s" spec
+         (String.concat " | " sched_specs))
 
-let run algo n m k impl sched_spec rounds trace diagram max_steps =
+let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_steps =
   let params = Agreement.Params.make ~n ~m ~k in
   let sched =
     match parse_sched sched_spec ~n with
@@ -64,9 +90,29 @@ let run algo n m k impl sched_spec rounds trace diagram max_steps =
   in
   let rounds = match algo with One_shot | Baseline -> 1 | Repeated | Anonymous -> rounds in
   let inputs = Shm.Exec.repeated_inputs ~rounds input_fn in
-  let result =
-    Shm.Exec.run ~record:(trace || diagram) ~sched ~inputs ~max_steps config
+  (* Streaming observers: spans and stats always (they are O(1) and
+     cheap), JSONL export when --trace-out was given. *)
+  let registers = Shm.Memory.size (Shm.Config.mem config) in
+  let span = Obs.Span.create () in
+  let exec_stats = Obs.Stats.create ~n ~registers () in
+  let trace_chan =
+    Option.map
+      (fun path ->
+        try open_out path
+        with Sys_error e ->
+          Fmt.epr "--trace-out: %s@." e;
+          exit 2)
+      trace_out
   in
+  let sink =
+    Obs.Sink.tee
+      (Obs.Span.sink span :: Obs.Stats.sink exec_stats
+      :: (match trace_chan with Some oc -> [ Obs.Jsonl.sink_to_channel oc ] | None -> []))
+  in
+  let result =
+    Shm.Exec.run ~record:(trace || diagram) ~sink ~sched ~inputs ~max_steps config
+  in
+  Option.iter close_out trace_chan;
   if trace then
     Fmt.pr "@[<v>--- trace ---@,%a@,-------------@]@." Shm.Exec.pp_trace
       result.Shm.Exec.trace;
@@ -97,7 +143,12 @@ let run algo n m k impl sched_spec rounds trace diagram max_steps =
     | Shm.Exec.All_quiescent -> "quiescent"
     | Shm.Exec.Fuel_exhausted -> "fuel exhausted")
     result.Shm.Exec.steps
-    (Agreement.Runner.registers_used result)
+    (Agreement.Runner.registers_used result);
+  if stats then begin
+    Fmt.pr "--- stats ---@.%a@." Obs.Stats.pp exec_stats;
+    Fmt.pr "%a@." Obs.Span.pp span
+  end;
+  Option.iter (fun path -> Fmt.pr "trace written to %s (JSONL)@." path) trace_out
 
 let cmd =
   let algo =
@@ -113,12 +164,24 @@ let cmd =
     Arg.(
       value & opt string "quantum:300"
       & info [ "sched"; "s" ]
-          ~doc:"Scheduler: round-robin | quantum[:Q] | random[:SEED] | solo:P | m-bounded:SEED.")
+          ~doc:
+            "Scheduler: round-robin | quantum[:Q] | random[:SEED] | solo:P | \
+             m-bounded:SEED[:M].")
   in
   let rounds = Arg.(value & opt int 3 & info [ "rounds"; "r" ] ~doc:"Instances (repeated).") in
   let trace = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the full trace.") in
   let diagram =
     Arg.(value & flag & info [ "diagram"; "d" ] ~doc:"Print a space-time diagram.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print streaming metrics and span summary.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Stream the event trace to $(docv) as JSONL, one event per line.")
   in
   let max_steps =
     Arg.(value & opt int 500_000 & info [ "max-steps" ] ~doc:"Step budget.")
@@ -126,6 +189,7 @@ let cmd =
   Cmd.v
     (Cmd.info "sa_run" ~doc:"Run m-obstruction-free k-set agreement in the simulator")
     Term.(
-      const run $ algo $ n $ m $ k $ impl $ sched $ rounds $ trace $ diagram $ max_steps)
+      const run $ algo $ n $ m $ k $ impl $ sched $ rounds $ trace $ diagram $ stats
+      $ trace_out $ max_steps)
 
 let () = exit (Cmd.eval cmd)

@@ -9,16 +9,16 @@ open Shm
 let default_input ~pid ~instance =
   if instance = 1 then Value.Int (pid + 1) else Value.Int ((100 * instance) + pid)
 
-let run_oneshot ?impl ?r ?sched ?(max_steps = 200_000) ?inputs (p : Params.t) =
+let run_oneshot ?record ?impl ?r ?sched ?sink ?(max_steps = 200_000) ?inputs (p : Params.t) =
   let n = p.Params.n in
   let sched = Option.value sched ~default:(Schedule.round_robin n) in
   let inputs =
     Option.value inputs ~default:(Array.init n (fun pid -> Value.Int (pid + 1)))
   in
   let config = Instances.oneshot ?impl ?r p in
-  Exec.run ~sched ~inputs:(Exec.oneshot_inputs inputs) ~max_steps config
+  Exec.run ?record ?sink ~sched ~inputs:(Exec.oneshot_inputs inputs) ~max_steps config
 
-let run_repeated ?impl ?r ?sched ?(max_steps = 500_000) ?(rounds = 3) ?input_fn
+let run_repeated ?record ?impl ?r ?sched ?sink ?(max_steps = 500_000) ?(rounds = 3) ?input_fn
     (p : Params.t) =
   let n = p.Params.n in
   let sched = Option.value sched ~default:(Schedule.round_robin n) in
@@ -26,18 +26,18 @@ let run_repeated ?impl ?r ?sched ?(max_steps = 500_000) ?(rounds = 3) ?input_fn
     Option.value input_fn ~default:(fun pid instance -> default_input ~pid ~instance)
   in
   let config = Instances.repeated ?impl ?r p in
-  Exec.run ~sched ~inputs:(Exec.repeated_inputs ~rounds input_fn) ~max_steps config
+  Exec.run ?record ?sink ~sched ~inputs:(Exec.repeated_inputs ~rounds input_fn) ~max_steps config
 
-let run_baseline ?impl ?sched ?(max_steps = 200_000) ?inputs (p : Params.t) =
+let run_baseline ?record ?impl ?sched ?sink ?(max_steps = 200_000) ?inputs (p : Params.t) =
   let n = p.Params.n in
   let sched = Option.value sched ~default:(Schedule.round_robin n) in
   let inputs =
     Option.value inputs ~default:(Array.init n (fun pid -> Value.Int (pid + 1)))
   in
   let config = Instances.baseline ?impl p in
-  Exec.run ~sched ~inputs:(Exec.oneshot_inputs inputs) ~max_steps config
+  Exec.run ?record ?sink ~sched ~inputs:(Exec.oneshot_inputs inputs) ~max_steps config
 
-let run_anonymous ?r ?anonymous_collect ?seed ?sched ?(max_steps = 500_000)
+let run_anonymous ?record ?r ?anonymous_collect ?seed ?sched ?sink ?(max_steps = 500_000)
     ?(rounds = 1) ?input_fn (p : Params.t) =
   let n = p.Params.n in
   let sched = Option.value sched ~default:(Schedule.round_robin n) in
@@ -45,7 +45,7 @@ let run_anonymous ?r ?anonymous_collect ?seed ?sched ?(max_steps = 500_000)
     Option.value input_fn ~default:(fun pid instance -> default_input ~pid ~instance)
   in
   let config = Instances.anonymous ?r ?anonymous_collect ?seed p in
-  Exec.run ~sched ~inputs:(Exec.repeated_inputs ~rounds input_fn) ~max_steps config
+  Exec.run ?record ?sink ~sched ~inputs:(Exec.repeated_inputs ~rounds input_fn) ~max_steps config
 
 (* Outputs of instance [i], with multiplicity, in completion order. *)
 let outputs_of_instance result ~instance =

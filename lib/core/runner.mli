@@ -6,11 +6,15 @@
 val default_input : pid:int -> instance:int -> Shm.Value.t
 
 (** Run the one-shot algorithm (Figure 3).  Defaults: atomic snapshot,
-    round-robin schedule, inputs pid+1, 200k step budget. *)
+    round-robin schedule, inputs pid+1, 200k step budget.  [sink]
+    observes every event as it happens (see [Obs.Sink]); [record] keeps
+    the in-memory trace, as in {!Shm.Exec.run}. *)
 val run_oneshot :
+  ?record:bool ->
   ?impl:Instances.impl ->
   ?r:int ->
   ?sched:Shm.Schedule.t ->
+  ?sink:(Shm.Event.t -> unit) ->
   ?max_steps:int ->
   ?inputs:Shm.Value.t array ->
   Params.t ->
@@ -18,9 +22,11 @@ val run_oneshot :
 
 (** Run the repeated algorithm (Figure 4) for [rounds] instances. *)
 val run_repeated :
+  ?record:bool ->
   ?impl:Instances.impl ->
   ?r:int ->
   ?sched:Shm.Schedule.t ->
+  ?sink:(Shm.Event.t -> unit) ->
   ?max_steps:int ->
   ?rounds:int ->
   ?input_fn:(int -> int -> Shm.Value.t) ->
@@ -29,8 +35,10 @@ val run_repeated :
 
 (** Run the DFGR'13 baseline. *)
 val run_baseline :
+  ?record:bool ->
   ?impl:Instances.impl ->
   ?sched:Shm.Schedule.t ->
+  ?sink:(Shm.Event.t -> unit) ->
   ?max_steps:int ->
   ?inputs:Shm.Value.t array ->
   Params.t ->
@@ -38,10 +46,12 @@ val run_baseline :
 
 (** Run the anonymous repeated algorithm (Figure 5). *)
 val run_anonymous :
+  ?record:bool ->
   ?r:int ->
   ?anonymous_collect:bool ->
   ?seed:int ->
   ?sched:Shm.Schedule.t ->
+  ?sink:(Shm.Event.t -> unit) ->
   ?max_steps:int ->
   ?rounds:int ->
   ?input_fn:(int -> int -> Shm.Value.t) ->

@@ -1,0 +1,39 @@
+(* Machine-readable bench output: BENCH_*.json files.
+
+   Every experiment that prints a human table can also emit a JSON
+   document next to it, so results diff across PRs and feed dashboards.
+   The format is one object per file:
+
+     { "experiment": "<id>",
+       "schema": 1,
+       "rows": [ { ...per-measurement fields... }, ... ] }
+
+   Row fields are experiment-specific; rows about a parameter point
+   carry "n"/"m"/"k", bound comparisons carry "bound"/"measured"/"ok",
+   and latency distributions carry the histogram object of
+   [Metrics.Histogram.to_json] (count/min/max/mean/p50/p90/p99). *)
+
+let schema_version = 1
+
+let document ~experiment rows =
+  Json.Obj
+    [
+      ("experiment", Json.String experiment);
+      ("schema", Json.Int schema_version);
+      ("rows", Json.Arr rows);
+    ]
+
+let write_file path json =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_pretty_string json);
+      output_char oc '\n')
+
+let write ~experiment ~path rows = write_file path (document ~experiment rows)
+
+(* Span percentiles as row fields, for the common latency columns. *)
+let span_fields span =
+  [
+    ("spans", Json.Int (Span.completed_count span));
+    ("span_p50", Json.Float (Span.p50 span));
+    ("span_p99", Json.Float (Span.p99 span));
+  ]

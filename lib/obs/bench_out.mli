@@ -1,0 +1,19 @@
+(** Machine-readable bench output: [BENCH_*.json] files, one document
+    per experiment — [{ "experiment"; "schema"; "rows": [...] }] — so
+    results diff across PRs.  The format is documented in DESIGN.md
+    §Observability. *)
+
+val schema_version : int
+
+(** The document envelope. *)
+val document : experiment:string -> Json.t list -> Json.t
+
+(** Pretty-print a JSON document to [path] (trailing newline). *)
+val write_file : string -> Json.t -> unit
+
+(** [write ~experiment ~path rows] writes the standard envelope. *)
+val write : experiment:string -> path:string -> Json.t list -> unit
+
+(** Common latency columns of a span tracker:
+    [spans]/[span_p50]/[span_p99]. *)
+val span_fields : Span.t -> (string * Json.t) list

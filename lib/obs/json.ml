@@ -1,0 +1,271 @@
+(* Minimal JSON: exactly what the observability layer needs — compact
+   one-line encoding for JSONL traces, pretty printing for BENCH_*.json
+   files, and a parser for reloading both.  No external dependency; the
+   opam file stays as it is. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats must stay valid JSON: no nan/infinity, and keep a marker
+   ('.', 'e') so they reload as floats, not ints. *)
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+
+let rec add_compact buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> add_escaped buf s
+  | Arr vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_compact buf v)
+      vs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        add_compact buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  add_compact buf v;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.string ppf (if b then "true" else "false")
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.string ppf (float_repr f)
+  | String s ->
+    let buf = Buffer.create (String.length s + 2) in
+    add_escaped buf s;
+    Fmt.string ppf (Buffer.contents buf)
+  | Arr [] -> Fmt.string ppf "[]"
+  | Arr vs ->
+    Fmt.pf ppf "@[<v 2>[@,%a@;<0 -2>]@]" (Fmt.list ~sep:(Fmt.any ",@,") pp) vs
+  | Obj [] -> Fmt.string ppf "{}"
+  | Obj kvs ->
+    let field ppf (k, v) =
+      let buf = Buffer.create (String.length k + 2) in
+      add_escaped buf k;
+      Fmt.pf ppf "@[<hov 2>%s: %a@]" (Buffer.contents buf) pp v
+    in
+    Fmt.pf ppf "@[<v 2>{@,%a@;<0 -2>}@]" (Fmt.list ~sep:(Fmt.any ",@,") field) kvs
+
+let to_pretty_string v = Fmt.str "%a" pp v
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Fmt.str "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail (Fmt.str "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Fmt.str "bad literal (expected %s)" lit)
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad \\u escape"
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; incr pos
+          | '\\' -> Buffer.add_char buf '\\'; incr pos
+          | '/' -> Buffer.add_char buf '/'; incr pos
+          | 'b' -> Buffer.add_char buf '\b'; incr pos
+          | 'f' -> Buffer.add_char buf '\012'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'u' ->
+            if !pos + 4 >= n then fail "truncated \\u escape";
+            let cp =
+              (hex_digit s.[!pos + 1] lsl 12)
+              lor (hex_digit s.[!pos + 2] lsl 8)
+              lor (hex_digit s.[!pos + 3] lsl 4)
+              lor hex_digit s.[!pos + 4]
+            in
+            pos := !pos + 5;
+            add_utf8 buf cp
+          | c -> fail (Fmt.str "bad escape \\%c" c));
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail (Fmt.str "bad number %S" lit))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (string_lit ())
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elems (v :: acc)
+          | Some ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (elems [])
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else
+        let field () =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            fields (kv :: acc)
+          | Some '}' ->
+            incr pos;
+            List.rev (kv :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Fmt.str "unexpected character %C" c)
+  in
+  try
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then Error (Fmt.str "trailing input at offset %d" !pos) else Ok v
+  with Parse_error msg -> Error msg
+
+(* ---- accessors ---- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None

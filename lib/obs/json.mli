@@ -1,0 +1,32 @@
+(** Minimal JSON for the observability layer: compact one-line encoding
+    for JSONL traces, pretty printing for [BENCH_*.json] files, and a
+    parser for reloading both.  No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering (the JSONL form). *)
+val to_string : t -> string
+
+(** Indented multi-line rendering (the [BENCH_*.json] form). *)
+val to_pretty_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse a complete JSON document.  Non-finite floats serialize as
+    [null], so [of_string (to_string v) = Ok v] for all finite values. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors} *)
+
+(** Field of an [Obj], or [None]. *)
+val member : string -> t -> t option
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -1,0 +1,148 @@
+(* JSONL trace export and reload: one event per line.
+
+   Schema (documented in DESIGN.md §Observability):
+     {"ev":"invoke","pid":P,"inst":I,"in":V}
+     {"ev":"read","pid":P,"reg":R,"val":V}
+     {"ev":"write","pid":P,"reg":R,"val":V}
+     {"ev":"scan","pid":P,"off":O,"len":L}
+     {"ev":"output","pid":P,"inst":I,"val":V}
+   where values V are: null = ⊥, integers and strings themselves,
+   {"pair":[a,b]} for pairs, [..] for lists.  The pair wrapper keeps
+   pairs and 2-element lists distinct, so decoding is exact. *)
+
+open Shm
+
+let rec json_of_value = function
+  | Value.Bot -> Json.Null
+  | Value.Int i -> Json.Int i
+  | Value.Str s -> Json.String s
+  | Value.Pair (a, b) -> Json.Obj [ ("pair", Json.Arr [ json_of_value a; json_of_value b ]) ]
+  | Value.List vs -> Json.Arr (List.map json_of_value vs)
+
+let rec value_of_json = function
+  | Json.Null -> Ok Value.Bot
+  | Json.Int i -> Ok (Value.Int i)
+  | Json.String s -> Ok (Value.Str s)
+  | Json.Obj [ ("pair", Json.Arr [ a; b ]) ] -> (
+    match (value_of_json a, value_of_json b) with
+    | Ok a, Ok b -> Ok (Value.Pair (a, b))
+    | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | Json.Arr vs ->
+    let rec go acc = function
+      | [] -> Ok (Value.List (List.rev acc))
+      | v :: rest -> (
+        match value_of_json v with Ok v -> go (v :: acc) rest | Error _ as e -> e)
+    in
+    go [] vs
+  | j -> Error (Fmt.str "not a register value: %s" (Json.to_string j))
+
+let json_of_event ev =
+  let open Json in
+  match ev with
+  | Event.Invoke { pid; instance; input } ->
+    Obj
+      [ ("ev", String "invoke"); ("pid", Int pid); ("inst", Int instance);
+        ("in", json_of_value input) ]
+  | Event.Did_read { pid; reg; value } ->
+    Obj
+      [ ("ev", String "read"); ("pid", Int pid); ("reg", Int reg);
+        ("val", json_of_value value) ]
+  | Event.Did_write { pid; reg; value } ->
+    Obj
+      [ ("ev", String "write"); ("pid", Int pid); ("reg", Int reg);
+        ("val", json_of_value value) ]
+  | Event.Did_scan { pid; off; len } ->
+    Obj [ ("ev", String "scan"); ("pid", Int pid); ("off", Int off); ("len", Int len) ]
+  | Event.Output { pid; instance; value } ->
+    Obj
+      [ ("ev", String "output"); ("pid", Int pid); ("inst", Int instance);
+        ("val", json_of_value value) ]
+
+let event_of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let int_field k =
+    match Json.member k j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Fmt.str "missing integer field %S in %s" k (Json.to_string j))
+  in
+  let value_field k =
+    match Json.member k j with
+    | Some v -> value_of_json v
+    | None -> Error (Fmt.str "missing field %S in %s" k (Json.to_string j))
+  in
+  match Json.member "ev" j with
+  | Some (Json.String "invoke") ->
+    let* pid = int_field "pid" in
+    let* instance = int_field "inst" in
+    let* input = value_field "in" in
+    Ok (Event.Invoke { pid; instance; input })
+  | Some (Json.String "read") ->
+    let* pid = int_field "pid" in
+    let* reg = int_field "reg" in
+    let* value = value_field "val" in
+    Ok (Event.Did_read { pid; reg; value })
+  | Some (Json.String "write") ->
+    let* pid = int_field "pid" in
+    let* reg = int_field "reg" in
+    let* value = value_field "val" in
+    Ok (Event.Did_write { pid; reg; value })
+  | Some (Json.String "scan") ->
+    let* pid = int_field "pid" in
+    let* off = int_field "off" in
+    let* len = int_field "len" in
+    Ok (Event.Did_scan { pid; off; len })
+  | Some (Json.String "output") ->
+    let* pid = int_field "pid" in
+    let* instance = int_field "inst" in
+    let* value = value_field "val" in
+    Ok (Event.Output { pid; instance; value })
+  | _ -> Error (Fmt.str "missing or unknown \"ev\" tag in %s" (Json.to_string j))
+
+let line_of_event ev = Json.to_string (json_of_event ev)
+
+let event_of_line line = Result.bind (Json.of_string line) event_of_json
+
+(* ---- channels and files ---- *)
+
+let sink_to_channel oc : Sink.t =
+ fun ev ->
+  output_string oc (line_of_event ev);
+  output_char oc '\n'
+
+let write_channel oc trace = List.iter (Sink.emit (sink_to_channel oc)) trace
+
+let read_channel ic =
+  let rec go lineno acc =
+    match In_channel.input_line ic with
+    | None -> Ok (List.rev acc)
+    | Some "" -> go (lineno + 1) acc
+    | Some line -> (
+      match event_of_line line with
+      | Ok ev -> go (lineno + 1) (ev :: acc)
+      | Error e -> Error (Fmt.str "line %d: %s" lineno e))
+  in
+  go 1 []
+
+let save path trace =
+  Out_channel.with_open_text path (fun oc -> write_channel oc trace)
+
+let load path =
+  try In_channel.with_open_text path read_channel
+  with Sys_error e -> Error e
+
+(* [fold_file] streams the file through [f] without materializing the
+   event list — the offline counterpart of a live sink. *)
+let fold_file path ~init ~f =
+  try
+    In_channel.with_open_text path (fun ic ->
+        let rec go lineno acc =
+          match In_channel.input_line ic with
+          | None -> Ok acc
+          | Some "" -> go (lineno + 1) acc
+          | Some line -> (
+            match event_of_line line with
+            | Ok ev -> go (lineno + 1) (f acc ev)
+            | Error e -> Error (Fmt.str "line %d: %s" lineno e))
+        in
+        go 1 init)
+  with Sys_error e -> Error e

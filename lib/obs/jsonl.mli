@@ -1,0 +1,37 @@
+(** JSONL trace export and reload: one event per line, so traces can be
+    captured from [sa_run --trace-out t.jsonl], inspected offline with
+    standard tools, and replayed into {!Shm.Analysis} and property
+    checks.  The schema is documented in DESIGN.md §Observability. *)
+
+(** {1 Encoding} *)
+
+val json_of_value : Shm.Value.t -> Json.t
+
+(** Exact inverse of {!json_of_value}. *)
+val value_of_json : Json.t -> (Shm.Value.t, string) result
+
+val json_of_event : Shm.Event.t -> Json.t
+val event_of_json : Json.t -> (Shm.Event.t, string) result
+
+(** One compact line, no trailing newline. *)
+val line_of_event : Shm.Event.t -> string
+
+val event_of_line : string -> (Shm.Event.t, string) result
+
+(** {1 Channels and files} *)
+
+(** A sink writing one line per event as it happens — O(1) memory. *)
+val sink_to_channel : out_channel -> Sink.t
+
+val write_channel : out_channel -> Shm.Event.t list -> unit
+
+(** Reads to end of channel; blank lines are skipped. *)
+val read_channel : in_channel -> (Shm.Event.t list, string) result
+
+val save : string -> Shm.Event.t list -> unit
+val load : string -> (Shm.Event.t list, string) result
+
+(** Stream a trace file through a fold without materializing the event
+    list — the offline counterpart of a live sink. *)
+val fold_file :
+  string -> init:'a -> f:('a -> Shm.Event.t -> 'a) -> ('a, string) result

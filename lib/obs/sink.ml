@@ -1,0 +1,33 @@
+(* Streaming event sinks.
+
+   A sink is just a callback on execution events.  [Shm.Exec.run] calls
+   the sink once per step, so observers (metrics, spans, JSONL export)
+   run in O(1) memory regardless of schedule length — the in-memory
+   trace of [~record:true] is recovered by [recorder], which is the
+   list-accumulating sink. *)
+
+type t = Shm.Event.t -> unit
+
+let null : t = ignore
+
+let emit (sink : t) ev = sink ev
+
+let of_fn f : t = f
+
+let tee sinks : t =
+ fun ev -> List.iter (fun (s : t) -> s ev) sinks
+
+let filter pred (sink : t) : t = fun ev -> if pred ev then sink ev
+
+let on_pid pid sink = filter (fun ev -> Shm.Event.pid ev = pid) sink
+
+(* The list-accumulating sink: what [~record:true] does, as a sink. *)
+let recorder () =
+  let acc = ref [] in
+  let sink ev = acc := ev :: !acc in
+  (sink, fun () -> List.rev !acc)
+
+let counter () =
+  let n = ref 0 in
+  let sink _ = incr n in
+  (sink, fun () -> !n)

@@ -1,0 +1,31 @@
+(** Streaming event sinks.
+
+    A sink is a callback invoked on every execution event.
+    {!Shm.Exec.run} accepts one as [?sink] and calls it once per step,
+    so observers run in O(1) memory regardless of schedule length.  The
+    in-memory trace of [~record:true] is just the {!recorder} sink. *)
+
+type t = Shm.Event.t -> unit
+
+(** Discards every event. *)
+val null : t
+
+val emit : t -> Shm.Event.t -> unit
+
+val of_fn : (Shm.Event.t -> unit) -> t
+
+(** Broadcast each event to every sink, in order. *)
+val tee : t list -> t
+
+(** Forward only events satisfying the predicate. *)
+val filter : (Shm.Event.t -> bool) -> t -> t
+
+(** Forward only events of one process. *)
+val on_pid : int -> t -> t
+
+(** [recorder ()] is a list-accumulating sink and a function returning
+    the events seen so far, in chronological order. *)
+val recorder : unit -> t * (unit -> Shm.Event.t list)
+
+(** [counter ()] counts events. *)
+val counter : unit -> t * (unit -> int)

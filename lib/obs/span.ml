@@ -1,0 +1,72 @@
+(* Per-propose spans: one span per (pid, instance) from its Invoke to
+   its Output, measured in global scheduler steps.  The latency of a
+   propose is how many steps of the whole system elapsed while it was
+   pending — contention and starvation show up directly, which per-
+   process step totals cannot express. *)
+
+type span = {
+  pid : int;
+  instance : int;
+  start_step : int;
+  end_step : int;  (* exclusive; latency = end_step - start_step *)
+}
+
+let latency s = s.end_step - s.start_step
+
+type t = {
+  mutable clock : int;  (* global steps seen so far *)
+  open_ : (int * int, int) Hashtbl.t;  (* (pid, instance) -> start step *)
+  hist : Metrics.Histogram.t;
+  mutable completed : span list;  (* reversed *)
+  mutable completed_count : int;
+}
+
+let create () =
+  {
+    clock = 0;
+    open_ = Hashtbl.create 16;
+    hist = Metrics.Histogram.create ();
+    completed = [];
+    completed_count = 0;
+  }
+
+let sink t : Sink.t =
+ fun ev ->
+  t.clock <- t.clock + 1;
+  match ev with
+  | Shm.Event.Invoke { pid; instance; _ } ->
+    Hashtbl.replace t.open_ (pid, instance) (t.clock - 1)
+  | Shm.Event.Output { pid; instance; _ } -> (
+    match Hashtbl.find_opt t.open_ (pid, instance) with
+    | None -> ()  (* output without a seen invoke: replayed suffix, ignore *)
+    | Some start_step ->
+      Hashtbl.remove t.open_ (pid, instance);
+      let s = { pid; instance; start_step; end_step = t.clock } in
+      Metrics.Histogram.observe t.hist (latency s);
+      t.completed <- s :: t.completed;
+      t.completed_count <- t.completed_count + 1)
+  | Shm.Event.Did_read _ | Shm.Event.Did_write _ | Shm.Event.Did_scan _ -> ()
+
+let completed t = List.rev t.completed
+
+let completed_count t = t.completed_count
+
+let open_count t = Hashtbl.length t.open_
+
+let histogram t = t.hist
+
+let p50 t = Metrics.Histogram.p50 t.hist
+let p90 t = Metrics.Histogram.p90 t.hist
+let p99 t = Metrics.Histogram.p99 t.hist
+
+let to_json t =
+  Json.Obj
+    [
+      ("completed", Json.Int t.completed_count);
+      ("open", Json.Int (open_count t));
+      ("latency_steps", Metrics.Histogram.to_json t.hist);
+    ]
+
+let pp ppf t =
+  Fmt.pf ppf "spans: %d completed, %d open; latency %a" t.completed_count
+    (open_count t) Metrics.Histogram.pp t.hist

@@ -1,0 +1,37 @@
+(** Per-propose spans: one span per (pid, instance) from its [Invoke]
+    to its [Output], measured in global scheduler steps.  The latency
+    of a propose is how many steps of the whole system elapsed while it
+    was pending, so contention and starvation are directly visible. *)
+
+type span = {
+  pid : int;
+  instance : int;
+  start_step : int;
+  end_step : int;  (** exclusive; latency = [end_step - start_step] *)
+}
+
+val latency : span -> int
+
+type t
+
+val create : unit -> t
+
+(** The tracking sink; feed it every event of a run. *)
+val sink : t -> Sink.t
+
+(** Completed spans, in completion order. *)
+val completed : t -> span list
+
+val completed_count : t -> int
+
+(** Invocations with no output yet. *)
+val open_count : t -> int
+
+(** Latency distribution over completed spans, in steps. *)
+val histogram : t -> Metrics.Histogram.t
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

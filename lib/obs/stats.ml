@@ -1,0 +1,97 @@
+(* Built-in execution statistics, as a streaming sink.
+
+   Subsumes and extends [Shm.Analysis]: everything [Analysis.of_trace]
+   derives from a recorded trace is accumulated here live via
+   [Analysis.feed] — O(n + registers) memory however long the run —
+   plus named aggregate counters in a [Metrics] registry (events by
+   kind, scheduler decisions) and per-register scan coverage for the
+   heat/contention view. *)
+
+type t = {
+  n : int;
+  registers : int;
+  acc : Shm.Analysis.acc;  (* steps/process, reads+scans and writes/register *)
+  scans_per_register : int array;  (* scan coverage alone, for the heat split *)
+  registry : Metrics.t;
+  decisions : Metrics.Counter.t;  (* scheduler decisions = events seen *)
+  invokes : Metrics.Counter.t;
+  reads : Metrics.Counter.t;
+  writes : Metrics.Counter.t;
+  scans : Metrics.Counter.t;
+  outputs : Metrics.Counter.t;
+}
+
+let create ?registry ~n ~registers () =
+  let registry = match registry with Some r -> r | None -> Metrics.create () in
+  let decisions = Metrics.counter registry "sched.decisions" in
+  let invokes = Metrics.counter registry "events.invoke" in
+  let reads = Metrics.counter registry "events.read" in
+  let writes = Metrics.counter registry "events.write" in
+  let scans = Metrics.counter registry "events.scan" in
+  let outputs = Metrics.counter registry "events.output" in
+  {
+    n;
+    registers;
+    acc = Shm.Analysis.create ~n ~registers;
+    scans_per_register = Array.make registers 0;
+    registry;
+    decisions;
+    invokes;
+    reads;
+    writes;
+    scans;
+    outputs;
+  }
+
+let sink t : Sink.t =
+ fun ev ->
+  Shm.Analysis.feed t.acc ev;
+  Metrics.Counter.incr t.decisions;
+  match ev with
+  | Shm.Event.Invoke _ -> Metrics.Counter.incr t.invokes
+  | Shm.Event.Did_read _ -> Metrics.Counter.incr t.reads
+  | Shm.Event.Did_write _ -> Metrics.Counter.incr t.writes
+  | Shm.Event.Output _ -> Metrics.Counter.incr t.outputs
+  | Shm.Event.Did_scan { off; len; _ } ->
+    Metrics.Counter.incr t.scans;
+    for r = max 0 off to min (off + len) t.registers - 1 do
+      t.scans_per_register.(r) <- t.scans_per_register.(r) + 1
+    done
+
+let to_analysis t = Shm.Analysis.snapshot t.acc
+
+let registry t = t.registry
+
+let total_steps t = Metrics.Counter.value t.decisions
+
+let scans_per_register t = Array.copy t.scans_per_register
+
+(* Register heat: reads (incl. scan coverage) + writes per register. *)
+let register_heat t =
+  let a = to_analysis t in
+  Array.init t.registers (fun r ->
+      a.Shm.Analysis.reads_per_register.(r) + a.Shm.Analysis.writes_per_register.(r))
+
+let write_skew t = Shm.Analysis.write_skew (to_analysis t)
+
+let to_json t =
+  let a = to_analysis t in
+  let ints arr = Json.Arr (Array.to_list arr |> List.map (fun i -> Json.Int i)) in
+  Json.Obj
+    [
+      ("n", Json.Int t.n);
+      ("registers", Json.Int t.registers);
+      ("total_steps", Json.Int a.Shm.Analysis.total_steps);
+      ("steps_per_process", ints a.Shm.Analysis.steps_per_process);
+      ("writes_per_register", ints a.Shm.Analysis.writes_per_register);
+      ("reads_per_register", ints a.Shm.Analysis.reads_per_register);
+      ("scans_per_register", ints t.scans_per_register);
+      ("register_heat", ints (register_heat t));
+      ("write_skew", Json.Float (write_skew t));
+      ("metrics", Metrics.to_json t.registry);
+    ]
+
+let pp ppf t =
+  let a = to_analysis t in
+  Fmt.pf ppf "@[<v>%a@,write skew: %.2f@,%a@]" Shm.Analysis.pp a (write_skew t)
+    Metrics.pp t.registry

@@ -1,0 +1,34 @@
+(** Built-in execution statistics, as a streaming sink.
+
+    Subsumes and extends {!Shm.Analysis}: the same per-process and
+    per-register aggregates are accumulated live in O(n + registers)
+    memory, plus named aggregate counters in a {!Metrics} registry and
+    per-register scan coverage for the heat/contention view. *)
+
+type t
+
+(** [create ~n ~registers ()] allocates the accumulator.  Pass
+    [?registry] to share one registry across several observers. *)
+val create : ?registry:Metrics.t -> n:int -> registers:int -> unit -> t
+
+(** The accumulating sink; feed it every event of a run. *)
+val sink : t -> Sink.t
+
+(** The classic {!Shm.Analysis.t} view of what was seen so far. *)
+val to_analysis : t -> Shm.Analysis.t
+
+val registry : t -> Metrics.t
+val total_steps : t -> int
+
+(** Scan coverage alone (reads_per_register of {!to_analysis} already
+    includes it). *)
+val scans_per_register : t -> int array
+
+(** Reads (incl. scan coverage) + writes, per register. *)
+val register_heat : t -> int array
+
+(** 0. when no register was written; see {!Shm.Analysis.write_skew}. *)
+val write_skew : t -> float
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

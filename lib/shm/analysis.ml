@@ -1,9 +1,14 @@
-(* Trace analysis: aggregate statistics over recorded executions.
+(* Trace analysis: aggregate statistics over executions.
 
    Used by the bench harness (register heat maps, contention metrics)
    and by tests that assert structural facts about executions — e.g.
    that a solo run touches every component, or that crash survivors
-   account for all late steps. *)
+   account for all late steps.
+
+   Aggregation is streaming: an [acc] folds events one at a time in
+   O(n + registers) memory, so it can sit behind an [Exec.run ?sink]
+   observer on multi-million-step schedules.  [of_trace] is the same
+   fold over an in-memory list. *)
 
 type t = {
   steps_per_process : int array;   (* shared-memory + response steps *)
@@ -14,34 +19,61 @@ type t = {
   total_steps : int;
 }
 
-let of_trace ~n ~registers trace =
-  let steps = Array.make n 0 in
-  let writes = Array.make registers 0 in
-  let reads = Array.make registers 0 in
-  let invocations = ref 0 and outputs = ref 0 and total = ref 0 in
-  List.iter
-    (fun ev ->
-      incr total;
-      let pid = Event.pid ev in
-      if pid < n then steps.(pid) <- steps.(pid) + 1;
-      match ev with
-      | Event.Invoke _ -> incr invocations
-      | Event.Output _ -> incr outputs
-      | Event.Did_write { reg; _ } -> if reg < registers then writes.(reg) <- writes.(reg) + 1
-      | Event.Did_read { reg; _ } -> if reg < registers then reads.(reg) <- reads.(reg) + 1
-      | Event.Did_scan { off; len; _ } ->
-        for r = off to min (off + len) registers - 1 do
-          reads.(r) <- reads.(r) + 1
-        done)
-    trace;
+type acc = {
+  n : int;
+  registers : int;
+  steps : int array;
+  writes : int array;
+  reads : int array;
+  mutable a_invocations : int;
+  mutable a_outputs : int;
+  mutable a_total : int;
+}
+
+let create ~n ~registers =
+  if n < 0 then invalid_arg "Analysis.create: n must be non-negative";
+  if registers < 0 then invalid_arg "Analysis.create: registers must be non-negative";
   {
-    steps_per_process = steps;
-    writes_per_register = writes;
-    reads_per_register = reads;
-    invocations = !invocations;
-    outputs = !outputs;
-    total_steps = !total;
+    n;
+    registers;
+    steps = Array.make n 0;
+    writes = Array.make registers 0;
+    reads = Array.make registers 0;
+    a_invocations = 0;
+    a_outputs = 0;
+    a_total = 0;
   }
+
+let feed acc ev =
+  acc.a_total <- acc.a_total + 1;
+  let pid = Event.pid ev in
+  if pid >= 0 && pid < acc.n then acc.steps.(pid) <- acc.steps.(pid) + 1;
+  match ev with
+  | Event.Invoke _ -> acc.a_invocations <- acc.a_invocations + 1
+  | Event.Output _ -> acc.a_outputs <- acc.a_outputs + 1
+  | Event.Did_write { reg; _ } ->
+    if reg >= 0 && reg < acc.registers then acc.writes.(reg) <- acc.writes.(reg) + 1
+  | Event.Did_read { reg; _ } ->
+    if reg >= 0 && reg < acc.registers then acc.reads.(reg) <- acc.reads.(reg) + 1
+  | Event.Did_scan { off; len; _ } ->
+    for r = max 0 off to min (off + len) acc.registers - 1 do
+      acc.reads.(r) <- acc.reads.(r) + 1
+    done
+
+let snapshot acc =
+  {
+    steps_per_process = Array.copy acc.steps;
+    writes_per_register = Array.copy acc.writes;
+    reads_per_register = Array.copy acc.reads;
+    invocations = acc.a_invocations;
+    outputs = acc.a_outputs;
+    total_steps = acc.a_total;
+  }
+
+let of_trace ~n ~registers trace =
+  let acc = create ~n ~registers in
+  List.iter (feed acc) trace;
+  snapshot acc
 
 (* Processes that took at least one step. *)
 let active_processes t =
@@ -52,7 +84,9 @@ let active_processes t =
 
 (* Contention metric: the write-count imbalance across registers —
    max writes / mean writes over written registers (1.0 = perfectly
-   even).  Register-efficient algorithms cycle evenly. *)
+   even).  Register-efficient algorithms cycle evenly.  When no
+   register was written (empty trace, read-only run, registers = 0)
+   there is no imbalance to report: 0. by convention, never NaN. *)
 let write_skew t =
   let written = Array.to_list t.writes_per_register |> List.filter (fun w -> w > 0) in
   match written with

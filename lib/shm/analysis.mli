@@ -1,6 +1,10 @@
-(** Trace analysis: aggregate statistics over recorded executions, for
-    the bench harness (register heat maps, contention metrics) and for
-    tests asserting structural facts about executions. *)
+(** Trace analysis: aggregate statistics over executions, for the bench
+    harness (register heat maps, contention metrics) and for tests
+    asserting structural facts about executions.
+
+    Aggregation is streaming: an {!acc} folds events one at a time in
+    O(n + registers) memory, so it can sit behind an [Exec.run ?sink]
+    observer on multi-million-step schedules. *)
 
 type t = {
   steps_per_process : int array;
@@ -11,12 +15,34 @@ type t = {
   total_steps : int;
 }
 
+(** {1 Streaming accumulation} *)
+
+(** A mutable accumulator; feed it events, snapshot at any point. *)
+type acc
+
+(** Raises [Invalid_argument] on negative [n] or [registers]; both may
+    be 0 (events for out-of-range pids or registers still count toward
+    [total_steps] but are not attributed). *)
+val create : n:int -> registers:int -> acc
+
+(** Fold one event into the accumulator — usable directly as an
+    [Exec.run ?sink] observer. *)
+val feed : acc -> Event.t -> unit
+
+(** The statistics so far; the accumulator keeps accepting events. *)
+val snapshot : acc -> t
+
+(** [of_trace ~n ~registers trace] = feed every event, snapshot.  Safe
+    on an empty trace and on [registers = 0]. *)
 val of_trace : n:int -> registers:int -> Event.t list -> t
+
+(** {1 Derived statistics} *)
 
 (** Processes that took at least one step. *)
 val active_processes : t -> int list
 
-(** Write imbalance across written registers: max/mean (1.0 = even). *)
+(** Write imbalance across written registers: max/mean (1.0 = even);
+    0. when no register was written — never NaN. *)
 val write_skew : t -> float
 
 val pp : Format.formatter -> t -> unit

@@ -17,8 +17,12 @@ type result = {
   trace : Event.t list;  (* chronological; empty unless [record] *)
 }
 
-let run ?(record = false) ?(max_steps = 1_000_000) ~sched ~inputs config =
+(* [sink] is called on every event as it happens, so observers (metric
+   registries, span trackers, JSONL export) run in O(1) memory however
+   long the schedule; [record] additionally keeps the in-memory list. *)
+let run ?(record = false) ?sink ?(max_steps = 1_000_000) ~sched ~inputs config =
   let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
+  let observe = match sink with Some f -> f | None -> fun _ -> () in
   let rec go config step trace =
     if step >= max_steps then
       { config; steps = step; stopped = Fuel_exhausted; trace = List.rev trace }
@@ -41,6 +45,7 @@ let run ?(record = false) ?(max_steps = 1_000_000) ~sched ~inputs config =
             invalid_arg "Exec.run: scheduler picked a halted process"
           | Program.Op _ | Program.Yield _ -> Config.step config pid
         in
+        observe ev;
         go config (step + 1) (if record then ev :: trace else trace)
   in
   go config 0 []

@@ -18,9 +18,12 @@ type result = {
 
 (** [run ~sched ~inputs config] drives [config] until quiescence or
     [max_steps] (default 1,000,000).  With [record:true] the full event
-    trace is kept. *)
+    trace is kept.  [sink] is called on every event as it happens, so
+    observers run in O(1) memory however long the schedule ([Obs.Sink]
+    provides composable sinks: tee, filter, metrics, spans, JSONL). *)
 val run :
   ?record:bool ->
+  ?sink:(Event.t -> unit) ->
   ?max_steps:int ->
   sched:Schedule.t ->
   inputs:(pid:int -> instance:int -> Value.t option) ->

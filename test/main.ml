@@ -4,6 +4,7 @@ let () =
       ("shm", Test_shm.suite);
       ("pp", Test_pp.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
       ("bounds", Test_bounds.suite);
       ("oneshot", Test_oneshot.suite);
       ("repeated", Test_repeated.suite);

@@ -1,0 +1,297 @@
+(* Tests for the observability layer (lib/obs) and the Analysis edge
+   cases it subsumes: streaming sinks vs recorded traces, metrics
+   histograms, per-propose spans, and the JSONL export round-trip. *)
+
+open Helpers
+open Shm
+
+let analysis_eq a b =
+  a.Analysis.steps_per_process = b.Analysis.steps_per_process
+  && a.Analysis.writes_per_register = b.Analysis.writes_per_register
+  && a.Analysis.reads_per_register = b.Analysis.reads_per_register
+  && a.Analysis.invocations = b.Analysis.invocations
+  && a.Analysis.outputs = b.Analysis.outputs
+  && a.Analysis.total_steps = b.Analysis.total_steps
+
+(* ---- Analysis edge cases ---- *)
+
+let analysis_empty_trace () =
+  let a = Analysis.of_trace ~n:3 ~registers:2 [] in
+  Alcotest.(check int) "no steps" 0 a.Analysis.total_steps;
+  Alcotest.(check int) "no invocations" 0 a.Analysis.invocations;
+  Alcotest.(check (list int)) "nobody active" [] (Analysis.active_processes a);
+  Alcotest.(check (float 0.)) "skew defined" 0. (Analysis.write_skew a)
+
+let analysis_zero_registers () =
+  (* registers = 0: events mentioning registers are counted in totals
+     but not attributed; no out-of-bounds access, no NaN *)
+  let trace =
+    [
+      Event.Invoke { pid = 0; instance = 1; input = vi 1 };
+      Event.Did_scan { pid = 0; off = 0; len = 3 };
+      Event.Did_write { pid = 0; reg = 1; value = vi 9 };
+      Event.Output { pid = 0; instance = 1; value = vi 1 };
+    ]
+  in
+  let a = Analysis.of_trace ~n:1 ~registers:0 trace in
+  Alcotest.(check int) "total steps" 4 a.Analysis.total_steps;
+  Alcotest.(check int) "writes array empty" 0 (Array.length a.Analysis.writes_per_register);
+  Alcotest.(check (float 0.)) "skew 0, not NaN" 0. (Analysis.write_skew a)
+
+let analysis_write_skew_no_writes () =
+  let trace = [ Event.Did_read { pid = 0; reg = 0; value = Value.Bot } ] in
+  let a = Analysis.of_trace ~n:1 ~registers:2 trace in
+  let skew = Analysis.write_skew a in
+  Alcotest.(check bool) "not NaN" false (Float.is_nan skew);
+  Alcotest.(check (float 0.)) "zero by convention" 0. skew
+
+let analysis_scan_clipped () =
+  (* a scan overrunning the register file only credits real registers *)
+  let trace = [ Event.Did_scan { pid = 0; off = 1; len = 10 } ] in
+  let a = Analysis.of_trace ~n:1 ~registers:3 trace in
+  Alcotest.(check (array int)) "clipped coverage" [| 0; 1; 1 |]
+    a.Analysis.reads_per_register
+
+(* ---- Sinks ---- *)
+
+let counter ~reg ~ops =
+  Program.await (fun _ ->
+      let rec go left last =
+        if left = 0 then Program.yield last Program.stop
+        else
+          Program.read reg (fun v ->
+              let x = match v with Value.Int i -> i | _ -> 0 in
+              Program.write reg (vi (x + 1)) (fun () -> go (left - 1) (vi (x + 1))))
+      in
+      go ops Value.Bot)
+
+let run_counters ?record ?sink ~n ~ops () =
+  let procs = Array.init n (fun pid -> counter ~reg:pid ~ops) in
+  let config = Config.create ~registers:n ~procs in
+  Exec.run ?record ?sink ~sched:(Schedule.round_robin n)
+    ~inputs:(Exec.oneshot_inputs (Array.make n (vi 0)))
+    ~max_steps:100_000 config
+
+let sink_sees_recorded_trace () =
+  let recorder, events = Obs.Sink.recorder () in
+  let res = run_counters ~record:true ~sink:recorder ~n:3 ~ops:5 () in
+  Alcotest.(check int) "same length" (List.length res.Exec.trace)
+    (List.length (events ()));
+  Alcotest.(check bool) "same events in order" true
+    (List.for_all2 (fun a b -> a = b) res.Exec.trace (events ()))
+
+let sink_tee_and_filter () =
+  let c_all, n_all = Obs.Sink.counter () in
+  let c_p0, n_p0 = Obs.Sink.counter () in
+  let c_writes, n_writes = Obs.Sink.counter () in
+  let is_write = function Event.Did_write _ -> true | _ -> false in
+  let sink =
+    Obs.Sink.tee
+      [ c_all; Obs.Sink.on_pid 0 c_p0; Obs.Sink.filter is_write c_writes ]
+  in
+  let res = run_counters ~sink ~n:2 ~ops:3 () in
+  Alcotest.(check int) "tee sees every step" res.Exec.steps (n_all ());
+  (* each process: invoke + 3*(read+write) + output = 8 steps, 3 writes *)
+  Alcotest.(check int) "pid filter" 8 (n_p0 ());
+  Alcotest.(check int) "event filter" 6 (n_writes ())
+
+let stats_sink_matches_analysis () =
+  let n = 3 and ops = 4 in
+  let stats = Obs.Stats.create ~n ~registers:n () in
+  let res = run_counters ~record:true ~sink:(Obs.Stats.sink stats) ~n ~ops () in
+  let live = Obs.Stats.to_analysis stats in
+  let replayed = Analysis.of_trace ~n ~registers:n res.Exec.trace in
+  Alcotest.(check bool) "streaming = batch" true (analysis_eq live replayed);
+  Alcotest.(check int) "decision counter = steps" res.Exec.steps
+    (Obs.Stats.total_steps stats);
+  Alcotest.(check bool) "heat covers every register" true
+    (Array.for_all (fun h -> h > 0) (Obs.Stats.register_heat stats))
+
+(* ---- Metrics ---- *)
+
+let histogram_quantiles () =
+  let h = Obs.Metrics.Histogram.create () in
+  Alcotest.(check (float 0.)) "empty p50" 0. (Obs.Metrics.Histogram.p50 h);
+  for v = 1 to 1000 do
+    Obs.Metrics.Histogram.observe h v
+  done;
+  Alcotest.(check int) "count" 1000 (Obs.Metrics.Histogram.count h);
+  Alcotest.(check int) "min" 1 (Obs.Metrics.Histogram.min_value h);
+  Alcotest.(check int) "max" 1000 (Obs.Metrics.Histogram.max_value h);
+  let p50 = Obs.Metrics.Histogram.p50 h in
+  let p90 = Obs.Metrics.Histogram.p90 h in
+  let p99 = Obs.Metrics.Histogram.p99 h in
+  (* log buckets: estimates correct to within one octave *)
+  Alcotest.(check bool) "p50 in octave" true (p50 >= 250. && p50 <= 1000.);
+  Alcotest.(check bool) "p99 near max" true (p99 >= 500. && p99 <= 1000.);
+  Alcotest.(check bool) "monotone" true (p50 <= p90 && p90 <= p99);
+  Alcotest.(check (float 1e-9)) "mean exact" 500.5 (Obs.Metrics.Histogram.mean h)
+
+let registry_get_or_create () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r "steps" in
+  Obs.Metrics.Counter.incr c;
+  Obs.Metrics.Counter.incr ~by:2 (Obs.Metrics.counter r "steps");
+  Alcotest.(check int) "same counter" 3
+    (Obs.Metrics.Counter.value (Obs.Metrics.counter r "steps"));
+  Alcotest.(check (list string)) "registration order" [ "steps" ] (Obs.Metrics.names r);
+  Alcotest.check_raises "kind clash" (Invalid_argument "Metrics.gauge: \"steps\" is not a gauge")
+    (fun () -> ignore (Obs.Metrics.gauge r "steps"))
+
+(* ---- Spans ---- *)
+
+let spans_track_proposes () =
+  let n = 4 in
+  let p = Agreement.Params.make ~n ~m:1 ~k:2 in
+  let span = Obs.Span.create () in
+  let res = Agreement.Runner.run_oneshot ~sink:(Obs.Span.sink span) p in
+  let outs = List.length (Config.outputs res.Exec.config) in
+  Alcotest.(check int) "one span per decided propose" outs
+    (Obs.Span.completed_count span);
+  Alcotest.(check int) "nothing left open" 0 (Obs.Span.open_count span);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "positive latency" true (Obs.Span.latency s > 0);
+      Alcotest.(check bool) "within run" true
+        (s.Obs.Span.start_step >= 0 && s.Obs.Span.end_step <= res.Exec.steps))
+    (Obs.Span.completed span);
+  Alcotest.(check bool) "p50 <= p99" true (Obs.Span.p50 span <= Obs.Span.p99 span)
+
+let spans_leave_starved_open () =
+  (* solo schedule: only p1 decides, the other invocations never start *)
+  let n = 3 in
+  let p = Agreement.Params.make ~n ~m:1 ~k:2 in
+  let span = Obs.Span.create () in
+  let res =
+    Agreement.Runner.run_oneshot ~sched:(Schedule.solo 1) ~sink:(Obs.Span.sink span) p
+  in
+  ignore res;
+  Alcotest.(check int) "one completed" 1 (Obs.Span.completed_count span);
+  Alcotest.(check int) "no phantom opens" 0 (Obs.Span.open_count span)
+
+(* ---- Json / Jsonl ---- *)
+
+let sample_values =
+  [
+    Value.Bot;
+    vi 0;
+    vi (-42);
+    Value.Str "plain";
+    Value.Str "esc \"quotes\" \\ and\nnewline\ttab";
+    Value.Pair (vi 1, vi 2);
+    Value.Pair (Value.Bot, Value.Str "x");
+    Value.List [];
+    Value.List [ vi 1; vi 2 ];
+    Value.List [ Value.Pair (vi 1, Value.List [ Value.Bot ]); Value.Str "" ];
+  ]
+
+let value_json_roundtrip () =
+  List.iter
+    (fun v ->
+      match Obs.Jsonl.value_of_json (Obs.Jsonl.json_of_value v) with
+      | Ok v' -> check_value (Value.to_string v) v v'
+      | Error e -> Alcotest.failf "decode %s: %s" (Value.to_string v) e)
+    sample_values;
+  (* a pair is not a 2-element list after the round trip *)
+  let p = Value.Pair (vi 1, vi 2) and l = Value.List [ vi 1; vi 2 ] in
+  let rt v = Result.get_ok (Obs.Jsonl.value_of_json (Obs.Jsonl.json_of_value v)) in
+  Alcotest.(check bool) "pair/list distinct" false (Value.equal (rt p) (rt l))
+
+let event_line_roundtrip () =
+  let events =
+    [
+      Event.Invoke { pid = 0; instance = 1; input = Value.Pair (vi 1, Value.Bot) };
+      Event.Did_read { pid = 1; reg = 3; value = Value.Bot };
+      Event.Did_write { pid = 2; reg = 0; value = Value.List [ vi 7; Value.Str "s" ] };
+      Event.Did_scan { pid = 3; off = 2; len = 5 };
+      Event.Output { pid = 4; instance = 2; value = vi 9 };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let line = Obs.Jsonl.line_of_event ev in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match Obs.Jsonl.event_of_line line with
+      | Ok ev' -> Alcotest.(check bool) (Fmt.str "%a" Event.pp ev) true (ev = ev')
+      | Error e -> Alcotest.failf "decode %S: %s" line e)
+    events
+
+let jsonl_rejects_garbage () =
+  (match Obs.Jsonl.event_of_line "{\"ev\":\"warp\",\"pid\":0}" with
+  | Ok _ -> Alcotest.fail "accepted unknown event"
+  | Error _ -> ());
+  (match Obs.Jsonl.event_of_line "not json at all" with
+  | Ok _ -> Alcotest.fail "accepted non-JSON"
+  | Error _ -> ());
+  match Obs.Json.of_string "{\"a\":1} trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing input"
+  | Error _ -> ()
+
+(* The acceptance-criterion round trip: stream a run to a JSONL file
+   via the sink, reload it, and check the reloaded trace reproduces the
+   live run's aggregate statistics exactly. *)
+let jsonl_file_roundtrip_analysis () =
+  let n = 4 in
+  let p = Agreement.Params.make ~n ~m:1 ~k:2 in
+  let registers = Agreement.Params.r_oneshot p in
+  let path = Filename.temp_file "sa_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let stats = Obs.Stats.create ~n ~registers () in
+      let res =
+        Agreement.Runner.run_oneshot ~record:true
+          ~sink:(Obs.Sink.tee [ Obs.Jsonl.sink_to_channel oc; Obs.Stats.sink stats ])
+          ~sched:(Schedule.random ~seed:5 n) p
+      in
+      close_out oc;
+      match Obs.Jsonl.load path with
+      | Error e -> Alcotest.failf "reload: %s" e
+      | Ok trace ->
+        Alcotest.(check int) "every event exported" res.Exec.steps (List.length trace);
+        Alcotest.(check bool) "identical trace" true (trace = res.Exec.trace);
+        let live = Obs.Stats.to_analysis stats in
+        let reloaded = Analysis.of_trace ~n ~registers trace in
+        Alcotest.(check bool) "aggregates reproduced" true (analysis_eq live reloaded);
+        (* and the streaming fold agrees with the materializing reader *)
+        let folded =
+          Obs.Jsonl.fold_file path ~init:(Analysis.create ~n ~registers)
+            ~f:(fun acc ev ->
+              Analysis.feed acc ev;
+              acc)
+          |> Result.get_ok |> Analysis.snapshot
+        in
+        Alcotest.(check bool) "fold_file agrees" true (analysis_eq folded reloaded))
+
+let bench_out_format () =
+  let doc =
+    Obs.Bench_out.document ~experiment:"probe"
+      [ Obs.Json.Obj [ ("n", Obs.Json.Int 4); ("p50", Obs.Json.Float 12.5) ] ]
+  in
+  match Obs.Json.of_string (Obs.Json.to_pretty_string doc) with
+  | Error e -> Alcotest.failf "pretty output unparseable: %s" e
+  | Ok parsed ->
+    Alcotest.(check bool) "pretty/compact agree" true (parsed = doc);
+    Alcotest.(check (option int)) "schema tagged" (Some Obs.Bench_out.schema_version)
+      (Option.bind (Obs.Json.member "schema" parsed) Obs.Json.to_int_opt)
+
+let suite =
+  [
+    test "analysis: empty trace" analysis_empty_trace;
+    test "analysis: zero registers" analysis_zero_registers;
+    test "analysis: write_skew with no writes" analysis_write_skew_no_writes;
+    test "analysis: scan clipped to register file" analysis_scan_clipped;
+    test "sink sees exactly the recorded trace" sink_sees_recorded_trace;
+    test "sink tee and filter compose" sink_tee_and_filter;
+    test "stats sink matches batch analysis" stats_sink_matches_analysis;
+    test "histogram quantiles within an octave" histogram_quantiles;
+    test "metrics registry get-or-create" registry_get_or_create;
+    test "spans track every propose" spans_track_proposes;
+    test "spans: starved proposes stay open, none phantom" spans_leave_starved_open;
+    test "value JSON round-trip" value_json_roundtrip;
+    test "event JSONL line round-trip" event_line_roundtrip;
+    test "jsonl rejects malformed input" jsonl_rejects_garbage;
+    test "jsonl file round-trip reproduces analysis" jsonl_file_roundtrip_analysis;
+    test "bench output format parses back" bench_out_format;
+  ]
