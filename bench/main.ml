@@ -14,6 +14,7 @@
                               fig1-anon-lower anon-frontier
                               conjecture-probe baseline
                               consensus-exact snapshot-ablation
+                              explore
      main.exe series <id>     one series: progress-vs-m steps-vs-n
                               diversity-vs-workload
      main.exe bechamel        microbenchmarks only *)
@@ -314,6 +315,89 @@ let conjecture_probe () =
          done)
 
 (* ------------------------------------------------------------------ *)
+(* E13: exploration engines — naive enumeration vs DPOR vs DPOR with   *)
+(* state caching, at equal depth, on the Figure 3 one-shot.  The       *)
+(* headline number: DPOR+cache explores orders of magnitude fewer      *)
+(* states than the naive engine with the same verdict.                 *)
+
+let explore_table () =
+  section
+    "E13 Exploration engines on Figure 3 one-shot: naive vs dpor vs dpor+cache at equal \
+     depth";
+  let engines =
+    [
+      ("naive", Spec.Modelcheck.Naive);
+      ("dpor", Spec.Modelcheck.Dpor { cache = false; jobs = 1 });
+      ("dpor+cache", Spec.Modelcheck.Dpor { cache = true; jobs = 1 });
+    ]
+  in
+  (* (case label, n, k, r override, depth); r = None means the correct
+     n+2m−k budget.  Depths chosen so naive stays tractable; the
+     starved case needs depth 14 for its concurrency-only violation. *)
+  let cases =
+    [
+      ("correct", 3, 1, None, 8);
+      ("correct", 3, 1, None, 10);
+      ("starved-r3", 3, 1, Some 3, 14);
+    ]
+  in
+  Fmt.pr "%-12s %-6s %-12s %-10s %-10s %-8s %-8s %-10s %-10s@." "case" "depth" "engine"
+    "explored" "leaves" "hits" "pruned" "verdict" "wall ms";
+  let rows = ref [] in
+  List.iter
+    (fun (case, n, k, r, depth) ->
+      let p = Params.make ~n ~m:1 ~k in
+      let r = Option.value r ~default:(Params.r_oneshot p) in
+      let inputs =
+        Shm.Exec.oneshot_inputs (Array.init n (fun pid -> Shm.Value.Int (pid + 1)))
+      in
+      let check = Spec.Properties.check_safety ~k in
+      let naive_explored = ref 0 in
+      List.iter
+        (fun (name, engine) ->
+          let t0 = Unix.gettimeofday () in
+          let outcome =
+            Spec.Modelcheck.run ~engine ~depth ~inputs ~check (Instances.oneshot ~r p)
+          in
+          let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+          let s = Spec.Modelcheck.stats_of outcome in
+          let verdict, ce_len =
+            match outcome with
+            | Spec.Modelcheck.Ok_bounded _ -> ("ok", None)
+            | Spec.Modelcheck.Counterexample { schedule; _ } ->
+              ("violation", Some (List.length schedule))
+          in
+          if name = "naive" then naive_explored := s.Spec.Modelcheck.explored;
+          let reduction =
+            float_of_int !naive_explored /. float_of_int s.Spec.Modelcheck.explored
+          in
+          rows :=
+            Obs.Json.Obj
+              (point_fields ~n ~m:1 ~k
+              @ [
+                  ("case", Obs.Json.String case);
+                  ("registers", Obs.Json.Int r);
+                  ("engine", Obs.Json.String name);
+                  ("depth", Obs.Json.Int depth);
+                  ("explored", Obs.Json.Int s.Spec.Modelcheck.explored);
+                  ("leaves", Obs.Json.Int s.Spec.Modelcheck.leaves);
+                  ("cache_hits", Obs.Json.Int s.Spec.Modelcheck.cache_hits);
+                  ("pruned", Obs.Json.Int s.Spec.Modelcheck.pruned);
+                  ("verdict", Obs.Json.String verdict);
+                  ( "ce_len",
+                    match ce_len with Some l -> Obs.Json.Int l | None -> Obs.Json.Null );
+                  ("reduction_vs_naive", Obs.Json.Float reduction);
+                  ("wall_ms", Obs.Json.Float wall_ms);
+                ])
+            :: !rows;
+          Fmt.pr "%-12s %-6d %-12s %-10d %-10d %-8d %-8d %-10s %-10.1f@." case depth name
+            s.Spec.Modelcheck.explored s.Spec.Modelcheck.leaves
+            s.Spec.Modelcheck.cache_hits s.Spec.Modelcheck.pruned verdict wall_ms)
+        engines)
+    cases;
+  write_bench ~experiment:"explore" ~file:"BENCH_explore.json" (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* E5: DFGR'13 baseline comparison (Section 4.1).                      *)
 
 let baseline_table () =
@@ -579,6 +663,7 @@ let tables =
     ("baseline", baseline_table);
     ("consensus-exact", consensus_exact);
     ("snapshot-ablation", snapshot_ablation);
+    ("explore", explore_table);
   ]
 
 let series =

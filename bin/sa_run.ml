@@ -1,11 +1,15 @@
 (* sa-run: run any of the set-agreement algorithms under a chosen
-   scheduler and report decisions, safety, and space usage.
+   scheduler and report decisions, safety, and space usage — or
+   model-check them over *all* schedules with --explore.
 
    Examples:
      sa_run -n 5 -m 1 -k 2
      sa_run -n 5 -m 2 -k 3 --algo repeated --rounds 4 --sched random:7
      sa_run -n 4 -m 1 -k 2 --algo anonymous --impl collect --trace
-     sa_run -n 6 -m 2 -k 3 --sched m-bounded:7:2 --stats --trace-out t.jsonl *)
+     sa_run -n 6 -m 2 -k 3 --sched m-bounded:7:2 --stats --trace-out t.jsonl
+     sa_run -n 3 -m 1 -k 1 --explore dpor:10
+     sa_run -n 3 -m 1 -k 1 --registers 3 --explore dpor:14 --shrink
+     sa_run -n 3 -m 1 -k 1 --explore dpor:12 --jobs 4 --stats *)
 
 open Cmdliner
 
@@ -62,7 +66,69 @@ let parse_sched spec ~n =
       (Fmt.str "unknown scheduler %S; valid specs: %s" spec
          (String.concat " | " sched_specs))
 
-let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_steps =
+(* exploration spec: engine:DEPTH *)
+let explore_specs = [ "naive:DEPTH"; "dpor:DEPTH"; "dpor-nocache:DEPTH" ]
+
+let parse_explore spec ~jobs =
+  let engine_of = function
+    | "naive" -> Some Spec.Modelcheck.Naive
+    | "dpor" -> Some (Spec.Modelcheck.Dpor { cache = true; jobs })
+    | "dpor-nocache" -> Some (Spec.Modelcheck.Dpor { cache = false; jobs })
+    | _ -> None
+  in
+  match String.split_on_char ':' spec with
+  | [ name; d ] -> (
+    match (engine_of name, int_of_string_opt d) with
+    | Some engine, Some depth when depth >= 0 -> Ok (engine, depth)
+    | Some _, _ -> Error (Fmt.str "--explore %S: depth %S is not a non-negative integer" spec d)
+    | None, _ ->
+      Error
+        (Fmt.str "--explore %S: unknown engine %S; valid specs: %s" spec name
+           (String.concat " | " explore_specs)))
+  | _ ->
+    Error
+      (Fmt.str "--explore %S: expected engine:DEPTH; valid specs: %s" spec
+         (String.concat " | " explore_specs))
+
+(* Model-check the configured instance over all schedules up to the
+   depth bound, instead of running one schedule. *)
+let explore_main ~engine ~depth ~shrink ~stats ~k ~inputs config =
+  let check = Spec.Properties.check_safety ~k in
+  let metrics = Obs.Metrics.create () in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Spec.Modelcheck.run ~engine ~depth ~inputs ~metrics ~check config in
+  let wall = Unix.gettimeofday () -. t0 in
+  let s = Spec.Modelcheck.stats_of outcome in
+  Fmt.pr "engine: %s, depth bound: %d@." (Spec.Modelcheck.engine_name engine) depth;
+  Fmt.pr
+    "explored %d nodes (%d completions checked, %d cache hits, %d sleep-set pruned) in \
+     %.3fs@."
+    s.Spec.Modelcheck.explored s.Spec.Modelcheck.leaves s.Spec.Modelcheck.cache_hits
+    s.Spec.Modelcheck.pruned wall;
+  (match outcome with
+  | Spec.Modelcheck.Ok_bounded _ ->
+    Fmt.pr "verdict: no safety violation within the bound@."
+  | Spec.Modelcheck.Counterexample { schedule; error; _ } ->
+    Fmt.pr "verdict: VIOLATION — %s@." error;
+    Fmt.pr "schedule (%d steps): [%s]@." (List.length schedule)
+      (String.concat " " (List.map string_of_int schedule));
+    if shrink then begin
+      let replay s =
+        (* fresh copy: Config.t is persistent, replay never mutates [config] *)
+        Spec.Counterex.replay ~completion_steps:50_000 ~inputs ~check config s
+      in
+      match
+        Option.bind (Spec.Modelcheck.counterex_of outcome) (fun ce ->
+            Spec.Shrink.minimize ~replay ce.Spec.Counterex.schedule)
+      with
+      | Some r -> Fmt.pr "%a@." Spec.Shrink.pp_result r
+      | None -> Fmt.pr "shrink: counterexample did not reproduce under replay@."
+    end);
+  if stats then Fmt.pr "--- metrics ---@.%a@." Obs.Metrics.pp metrics;
+  match outcome with Spec.Modelcheck.Ok_bounded _ -> () | _ -> exit 1
+
+let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_steps
+    registers explore jobs shrink =
   let params = Agreement.Params.make ~n ~m ~k in
   let sched =
     match parse_sched sched_spec ~n with
@@ -80,16 +146,27 @@ let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_step
   let input_fn pid instance = Shm.Value.Int ((100 * instance) + pid) in
   let config =
     match algo with
-    | One_shot -> Agreement.Instances.oneshot ~impl params
-    | Repeated -> Agreement.Instances.repeated ~impl params
-    | Baseline -> Agreement.Instances.baseline ~impl params
+    | One_shot -> Agreement.Instances.oneshot ?r:registers ~impl params
+    | Repeated -> Agreement.Instances.repeated ?r:registers ~impl params
+    | Baseline ->
+      if registers <> None then
+        Fmt.epr "note: --registers is ignored for the baseline algorithm@.";
+      Agreement.Instances.baseline ~impl params
     | Anonymous ->
-      Agreement.Instances.anonymous
+      Agreement.Instances.anonymous ?r:registers
         ~anonymous_collect:(impl = Agreement.Instances.Double_collect)
         params
   in
   let rounds = match algo with One_shot | Baseline -> 1 | Repeated | Anonymous -> rounds in
   let inputs = Shm.Exec.repeated_inputs ~rounds input_fn in
+  match explore with
+  | Some spec -> (
+    match parse_explore spec ~jobs with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok (engine, depth) -> explore_main ~engine ~depth ~shrink ~stats ~k ~inputs config)
+  | None ->
   (* Streaming observers: spans and stats always (they are O(1) and
      cheap), JSONL export when --trace-out was given. *)
   let registers = Shm.Memory.size (Shm.Config.mem config) in
@@ -186,10 +263,41 @@ let cmd =
   let max_steps =
     Arg.(value & opt int 500_000 & info [ "max-steps" ] ~doc:"Step budget.")
   in
+  let registers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "registers" ] ~docv:"R"
+          ~doc:
+            "Override the register budget (components) of the instance.  Fewer than \
+             n+2m-k voids the correctness argument — that is the point: combine with \
+             --explore to exhibit violations of register-starved instances.")
+  in
+  let explore =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explore" ] ~docv:"ENGINE:DEPTH"
+          ~doc:
+            "Model-check over all schedules up to DEPTH instead of running one \
+             schedule: naive:DEPTH | dpor:DEPTH | dpor-nocache:DEPTH.  Exits 1 on a \
+             violation.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~doc:"Worker domains for --explore dpor (default 1).")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize the counterexample schedule found by --explore before printing.")
+  in
   Cmd.v
     (Cmd.info "sa_run" ~doc:"Run m-obstruction-free k-set agreement in the simulator")
     Term.(
       const run $ algo $ n $ m $ k $ impl $ sched $ rounds $ trace $ diagram $ stats
-      $ trace_out $ max_steps)
+      $ trace_out $ max_steps $ registers $ explore $ jobs $ shrink)
 
 let () = exit (Cmd.eval cmd)

@@ -58,6 +58,34 @@ let pp_op ppf = function
 
 let poised_op = function Op (o, _) -> Some o | Stop | Yield _ | Await _ -> None
 
+(* The memory footprint of the poised step — which registers executing
+   it would read and write.  Yield and Await steps (and halted
+   processes) touch no shared memory: their footprint is empty, which
+   makes them independent of every other process's steps.  The
+   exploration engine (Spec.Dpor) uses footprints to decide, without
+   executing anything, whether two enabled steps commute. *)
+
+type footprint = { reads : int list; writes : int list }
+
+let empty_footprint = { reads = []; writes = [] }
+
+let footprint = function
+  | Op (Read r, _) -> { reads = [ r ]; writes = [] }
+  | Op (Write (r, _), _) -> { reads = []; writes = [ r ] }
+  | Op (Scan (off, len), _) -> { reads = List.init len (fun i -> off + i); writes = [] }
+  | Stop | Yield _ | Await _ -> empty_footprint
+
+let footprint_is_local { reads; writes } = reads = [] && writes = []
+
+(* Two steps of *different* processes are independent iff neither
+   writes a register the other touches: performing them in either order
+   yields the same memory and the same results (read/read pairs and
+   accesses to distinct registers commute; write/write to the same
+   register, and read/write of the same register, do not). *)
+let independent a b =
+  let disjoint xs ys = not (List.exists (fun x -> List.mem x ys) xs) in
+  disjoint a.writes (b.reads @ b.writes) && disjoint b.writes (a.reads @ a.writes)
+
 let poised_write = function
   | Op (Write (r, _), _) -> Some r
   | Stop | Op ((Read _ | Scan _), _) | Yield _ | Await _ -> None

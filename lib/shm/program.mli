@@ -45,6 +45,30 @@ val pp_op : Format.formatter -> op -> unit
 
 val poised_op : t -> op option
 
+(** {1 Step footprints}
+
+    The registers the poised step would read and write, decidable
+    without executing it.  {!Spec.Dpor} builds its independence
+    relation on footprints: two steps of different processes commute
+    iff neither writes a register the other touches. *)
+
+type footprint = { reads : int list; writes : int list }
+
+val empty_footprint : footprint
+
+(** Footprint of the poised step.  [Yield], [Await] and [Stop] heads
+    have the empty footprint — they touch no shared memory. *)
+val footprint : t -> footprint
+
+(** No shared-memory access at all: such a step is independent of
+    every step of every other process. *)
+val footprint_is_local : footprint -> bool
+
+(** [independent a b]: steps with footprints [a] and [b], taken by
+    {e different} processes, commute — performing them in either order
+    reaches the same memory state and observes the same values. *)
+val independent : footprint -> footprint -> bool
+
 (** [poised_write p] is [Some r] iff the head step is a write to [r]. *)
 val poised_write : t -> int option
 

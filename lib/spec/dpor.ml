@@ -1,0 +1,353 @@
+(* Exploration engine v2: partial-order reduction, state caching, and
+   multi-domain exploration of the schedule tree.
+
+   The naive checker (Spec.Modelcheck.exhaustive) enumerates every
+   schedule of length ≤ depth — n^depth nodes.  This engine exploits
+   the structure of the shared-memory model to explore one
+   representative per equivalence class of schedules instead, without
+   weakening the verdict for the bundled (record-order-insensitive)
+   properties:
+
+   - Independence / local-step priority.  Two steps of different
+     processes commute when neither writes a register the other
+     touches (Program.independent on Config.footprint).  A step with
+     an *empty* footprint (an invocation, an output) commutes with
+     everything forever, so when some process is poised at one, it is
+     a singleton persistent ("ample") set: exploring only that branch
+     loses no behaviour — every execution is trace-equivalent to one
+     that takes the local step first, and frontier completion performs
+     any postponed local steps deterministically.
+
+   - Sleep sets.  When several memory-touching steps are enabled, all
+     are branched on, but a branch that merely re-orders independent
+     steps already covered by an earlier sibling is pruned: after
+     exploring pid p, p joins the "sleep set" of the later siblings'
+     subtrees and stays there while the steps taken commute with p's.
+
+   - State caching.  A canonical key of the reached state
+     (Spec.Statehash) memoizes explored states, so different
+     interleavings of independent steps that converge to the same
+     state are explored once.  An entry may only short-circuit a new
+     visit if it had at least as much remaining depth budget and was
+     explored with a sleep set no larger than the current one — both
+     guards are required for soundness (docs/EXPLORATION.md).
+
+   - Parallel domains.  The schedule tree is sharded across OCaml 5
+     domains with work-stealing deques: each domain runs depth-first
+     over its own deque and steals the oldest (largest-subtree) half
+     of a victim's deque when empty.  Caches and counters are
+     domain-local (no contention); counters merge at the end, and the
+     first violation found wins via a compare-and-set flag.
+
+   Caveat, stated once and repeated in the docs: under a *finite*
+   depth bound, reduction changes which length-≤-depth prefixes exist,
+   so naive and reduced engines complete slightly different frontier
+   sets.  Every class explored is genuine (violations are real and
+   re-checkable); a violation reachable only at the very edge of the
+   bound can require a slightly larger depth under reduction. *)
+
+open Shm
+module Iset = Set.Make (Int)
+
+type stats = {
+  explored : int;      (* nodes visited (interior + frontier) *)
+  leaves : int;        (* frontier configurations completed and checked *)
+  max_depth : int;
+  cache_hits : int;    (* nodes short-circuited by the state cache *)
+  sleep_pruned : int;  (* branches pruned by sleep sets *)
+  domains : int;
+}
+
+type outcome = Complete of stats | Violation of Counterex.t * stats
+
+let pp_outcome ppf = function
+  | Complete { explored; leaves; cache_hits; sleep_pruned; _ } ->
+    Fmt.pf ppf "no violation (%d nodes, %d completions checked, %d cache hits, %d sleep-pruned)"
+      explored leaves cache_hits sleep_pruned
+  | Violation (ce, { explored; _ }) ->
+    Fmt.pf ppf "counterexample after %d nodes — %a" explored Counterex.pp ce
+
+(* ---- exploration nodes and per-domain work deques ---- *)
+
+type node = {
+  config : Config.t;
+  hash : Statehash.t;      (* per-pid observation digests, for the cache *)
+  depth : int;
+  sched : int list;        (* pids stepped so far, reversed *)
+  sleep : Iset.t;          (* pids whose branches are covered elsewhere *)
+}
+
+type deque = { lock : Mutex.t; mutable items : node list (* head = freshest *) }
+
+let push_deque dq n =
+  Mutex.lock dq.lock;
+  dq.items <- n :: dq.items;
+  Mutex.unlock dq.lock
+
+let pop_deque dq =
+  Mutex.lock dq.lock;
+  let r =
+    match dq.items with
+    | [] -> None
+    | n :: rest ->
+      dq.items <- rest;
+      Some n
+  in
+  Mutex.unlock dq.lock;
+  r
+
+(* A thief takes the *oldest* half — shallow nodes with the largest
+   subtrees — leaving the owner its freshest (cache-warm) half. *)
+let steal_deque dq =
+  Mutex.lock dq.lock;
+  let stolen =
+    match dq.items with
+    | [] -> []
+    | [ n ] ->
+      dq.items <- [];
+      [ n ]
+    | items ->
+      let keep = List.length items / 2 in
+      let rec split i = function
+        | rest when i = 0 -> ([], rest)
+        | x :: rest ->
+          let kept, taken = split (i - 1) rest in
+          (x :: kept, taken)
+        | [] -> ([], [])
+      in
+      let kept, taken = split keep items in
+      dq.items <- kept;
+      taken
+  in
+  Mutex.unlock dq.lock;
+  stolen
+
+(* ---- the engine ---- *)
+
+type ctx = {
+  bound : int;
+  completion_steps : int;
+  inputs : pid:int -> instance:int -> Value.t option;
+  check : Config.t -> (unit, string) result;
+  use_cache : bool;
+  deques : deque array;
+  pending : int Atomic.t;             (* nodes queued or in flight *)
+  found : Counterex.t option Atomic.t;
+}
+
+type acc = {
+  mutable explored : int;
+  mutable leaves : int;
+  mutable max_depth : int;
+  mutable cache_hits : int;
+  mutable sleep_pruned : int;
+}
+
+let report ctx ce = ignore (Atomic.compare_and_set ctx.found None (Some ce))
+
+(* Cache lookup-or-insert.  Skipping a revisit is sound only against an
+   entry that (a) had at least as much remaining budget and (b) was
+   explored with a sleep set no larger than ours — a smaller sleep set
+   means *more* branches were explored there, covering ours. *)
+let cache_covers cache node ~remaining acc =
+  match cache with
+  | None -> false
+  | Some tbl ->
+    let key = Statehash.key node.hash node.config in
+    let entries = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+    if List.exists (fun (r, sl) -> r >= remaining && Iset.subset sl node.sleep) entries
+    then begin
+      acc.cache_hits <- acc.cache_hits + 1;
+      true
+    end
+    else begin
+      let entries = (remaining, node.sleep) :: entries in
+      let entries =
+        if List.length entries > 8 then List.filteri (fun i _ -> i < 8) entries
+        else entries
+      in
+      Hashtbl.replace tbl key entries;
+      false
+    end
+
+let process ctx cache acc ~push node =
+  acc.explored <- acc.explored + 1;
+  if node.depth > acc.max_depth then acc.max_depth <- node.depth;
+  let config = node.config in
+  let has_input pid inst = Option.is_some (ctx.inputs ~pid ~instance:inst) in
+  let runnable =
+    List.filter
+      (fun pid -> Config.runnable config ~has_input pid)
+      (List.init (Config.n config) Fun.id)
+  in
+  if cache_covers cache node ~remaining:(ctx.bound - node.depth) acc then ()
+  else
+    let leaf () =
+      acc.leaves <- acc.leaves + 1;
+      let final =
+        Counterex.complete ~inputs:ctx.inputs ~max_steps:ctx.completion_steps config
+      in
+      match ctx.check final with
+      | Ok () -> ()
+      | Error error ->
+        report ctx { Counterex.schedule = List.rev node.sched; error; config = final }
+    in
+    match runnable with
+    | [] -> leaf ()
+    | _ when node.depth >= ctx.bound -> leaf ()
+    | _ ->
+      let fp pid = Config.footprint config pid in
+      (* a local (empty-footprint) step is a singleton persistent set *)
+      let ample =
+        match List.find_opt (fun pid -> Program.footprint_is_local (fp pid)) runnable with
+        | Some p -> [ p ]
+        | None -> runnable
+      in
+      let branches = List.filter (fun p -> not (Iset.mem p node.sleep)) ample in
+      acc.sleep_pruned <- acc.sleep_pruned + (List.length ample - List.length branches);
+      let _, children =
+        List.fold_left
+          (fun (explored_siblings, children) pid ->
+            (* siblings explored before [pid] go to sleep in its
+               subtree, as long as the steps taken commute with theirs *)
+            let sleep =
+              Iset.filter
+                (fun q -> Program.independent (fp q) (fp pid))
+                (Iset.union node.sleep explored_siblings)
+            in
+            let config', ev =
+              match Config.proc config pid with
+              | Program.Await _ ->
+                let inst = Config.instance config pid + 1 in
+                Config.invoke config pid (Option.get (ctx.inputs ~pid ~instance:inst))
+              | Program.Stop -> assert false (* not runnable *)
+              | Program.Op _ | Program.Yield _ -> Config.step config pid
+            in
+            let child =
+              {
+                config = config';
+                hash = Statehash.record node.hash config' ev;
+                depth = node.depth + 1;
+                sched = pid :: node.sched;
+                sleep;
+              }
+            in
+            (Iset.add pid explored_siblings, child :: children))
+          (Iset.empty, []) branches
+      in
+      (* children is highest-pid-first; pushing in that order leaves the
+         lowest pid on top of the deque, so DFS visits pids ascending *)
+      List.iter push children
+
+let worker ctx id =
+  let cache = if ctx.use_cache then Some (Hashtbl.create 4096) else None in
+  let acc =
+    { explored = 0; leaves = 0; max_depth = 0; cache_hits = 0; sleep_pruned = 0 }
+  in
+  let my = ctx.deques.(id) in
+  let push n =
+    Atomic.incr ctx.pending;
+    push_deque my n
+  in
+  let jobs = Array.length ctx.deques in
+  let try_steal () =
+    let rec go i =
+      if i >= jobs then None
+      else
+        match steal_deque ctx.deques.((id + i) mod jobs) with
+        | [] -> go (i + 1)
+        | n :: rest ->
+          (* stolen nodes are already counted in [pending] *)
+          List.iter (push_deque my) rest;
+          Some n
+    in
+    go 1
+  in
+  let rec loop () =
+    if Atomic.get ctx.found <> None then ()
+    else
+      match pop_deque my with
+      | Some node ->
+        process ctx cache acc ~push node;
+        Atomic.decr ctx.pending;
+        loop ()
+      | None ->
+        if Atomic.get ctx.pending = 0 then ()
+        else begin
+          (match try_steal () with
+          | Some node ->
+            process ctx cache acc ~push node;
+            Atomic.decr ctx.pending
+          | None -> Domain.cpu_relax ());
+          loop ()
+        end
+  in
+  loop ();
+  acc
+
+let merge_stats ~domains accs =
+  Array.fold_left
+    (fun (s : stats) (a : acc) ->
+      {
+        explored = s.explored + a.explored;
+        leaves = s.leaves + a.leaves;
+        max_depth = max s.max_depth a.max_depth;
+        cache_hits = s.cache_hits + a.cache_hits;
+        sleep_pruned = s.sleep_pruned + a.sleep_pruned;
+        domains = s.domains;
+      })
+    { explored = 0; leaves = 0; max_depth = 0; cache_hits = 0; sleep_pruned = 0; domains }
+    accs
+
+(* Merge the final counters into a metrics registry, one counter per
+   stat (per-domain counts were summed above). *)
+let export_metrics m (stats : stats) =
+  let bump name v = Obs.Metrics.Counter.incr ~by:v (Obs.Metrics.counter m name) in
+  bump "explore.nodes" stats.explored;
+  bump "explore.leaves" stats.leaves;
+  bump "explore.cache_hits" stats.cache_hits;
+  bump "explore.sleep_pruned" stats.sleep_pruned;
+  Obs.Metrics.Gauge.set (Obs.Metrics.gauge m "explore.domains") (float_of_int stats.domains)
+
+let explore ~depth ?(cache = true) ?(jobs = 1) ?(completion_steps = 50_000) ?metrics
+    ~inputs ~check config =
+  if depth < 0 then invalid_arg "Dpor.explore: negative depth";
+  let jobs = max 1 jobs in
+  let deques = Array.init jobs (fun _ -> { lock = Mutex.create (); items = [] }) in
+  let root =
+    {
+      config;
+      hash = Statehash.create config;
+      depth = 0;
+      sched = [];
+      sleep = Iset.empty;
+    }
+  in
+  deques.(0).items <- [ root ];
+  let ctx =
+    {
+      bound = depth;
+      completion_steps;
+      inputs;
+      check;
+      use_cache = cache;
+      deques;
+      pending = Atomic.make 1;
+      found = Atomic.make None;
+    }
+  in
+  let accs =
+    if jobs = 1 then [| worker ctx 0 |]
+    else begin
+      let others =
+        Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker ctx (i + 1)))
+      in
+      let mine = worker ctx 0 in
+      Array.append [| mine |] (Array.map Domain.join others)
+    end
+  in
+  let stats = merge_stats ~domains:jobs accs in
+  Option.iter (fun m -> export_metrics m stats) metrics;
+  match Atomic.get ctx.found with
+  | Some ce -> Violation (ce, stats)
+  | None -> Complete stats

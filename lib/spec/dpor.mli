@@ -1,0 +1,58 @@
+(** Exploration engine v2: dynamic partial-order reduction, state
+    caching, and multi-domain exploration of the schedule tree.
+
+    Explores the same bounded schedule space as
+    {!Modelcheck.exhaustive} but prunes redundant interleavings using
+    the structure of the shared-memory model:
+
+    - {b independence}: two steps of different processes commute when
+      neither writes a register the other touches
+      ({!Shm.Program.independent} over {!Shm.Config.footprint});
+      steps with an empty footprint (invocations, outputs) are
+      singleton persistent sets and are scheduled first;
+    - {b sleep sets}: a branch that merely re-orders independent steps
+      already covered by an earlier sibling is pruned;
+    - {b state caching}: a canonical state key ({!Statehash})
+      deduplicates configurations reached by different schedules, with
+      remaining-depth and sleep-set guards for soundness;
+    - {b parallel domains}: with [jobs > 1] the tree is sharded over
+      OCaml domains with work-stealing deques; caches and counters are
+      domain-local and merged at the end.
+
+    Verdicts are reported as {!Counterex.t}, so violations replay and
+    shrink ({!Shrink}).  Caveats of bounded-depth reduction are
+    documented in [docs/EXPLORATION.md]. *)
+
+type stats = {
+  explored : int;      (** nodes visited (interior + frontier) *)
+  leaves : int;        (** frontier configurations completed and checked *)
+  max_depth : int;
+  cache_hits : int;    (** nodes short-circuited by the state cache *)
+  sleep_pruned : int;  (** branches pruned by sleep sets *)
+  domains : int;
+}
+
+type outcome = Complete of stats | Violation of Counterex.t * stats
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [explore ~depth ~inputs ~check config] explores one representative
+    schedule per equivalence class, up to [depth] steps, completing
+    each frontier configuration deterministically (budget
+    [completion_steps], default 50k) before applying [check].
+
+    [cache] (default [true]) enables state caching; [jobs] (default 1)
+    is the number of domains; [metrics], when given, receives the
+    merged [explore.*] counters.  The first violation found wins (with
+    [jobs > 1] which one is found first may vary between runs; whether
+    one exists does not). *)
+val explore :
+  depth:int ->
+  ?cache:bool ->
+  ?jobs:int ->
+  ?completion_steps:int ->
+  ?metrics:Obs.Metrics.t ->
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  check:(Shm.Config.t -> (unit, string) result) ->
+  Shm.Config.t ->
+  outcome

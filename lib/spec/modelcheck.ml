@@ -1,16 +1,28 @@
-(* Bounded exhaustive model checking of the simulated system.
+(* Bounded model checking of the simulated system: one front door over
+   two engines.
 
    Because configurations are pure values and processes are
    deterministic, the only nondeterminism is the schedule; exploring all
    schedules up to a depth bound therefore covers *every* reachable
    configuration prefix.  After the bound, each frontier configuration
-   is optionally driven to quiescence with a deterministic completion
-   schedule, and the property is evaluated there — so the check covers
-   "all executions that diverge in their first [depth] steps".
+   is driven to quiescence with a deterministic completion schedule,
+   and the property is evaluated there — so the check covers "all
+   executions that diverge in their first [depth] steps".
 
-   This complements the randomized tests: for small n it is a proof (up
-   to the depth bound) rather than a sample, and it finds minimal
-   counterexample schedules, reported as the list of pids stepped. *)
+   Two engines implement that contract:
+
+   - [Naive] (also available directly as [exhaustive]): literal
+     enumeration of every schedule — n^depth nodes, the reference
+     semantics, and the engine whose counterexamples are
+     lexicographically first;
+   - [Dpor] (Spec.Dpor): partial-order reduction + state caching +
+     optional parallel domains — orders of magnitude fewer nodes, same
+     class coverage (see docs/EXPLORATION.md for the bounded-depth
+     caveat).
+
+   For small n the naive engine is a proof (up to the depth bound)
+   rather than a sample, and it finds minimal counterexample schedules,
+   reported as the list of pids stepped. *)
 
 open Shm
 
@@ -18,6 +30,8 @@ type stats = {
   explored : int;        (* interior nodes visited *)
   leaves : int;          (* frontier configurations checked *)
   max_depth : int;
+  cache_hits : int;      (* Dpor only: nodes short-circuited by the cache *)
+  pruned : int;          (* Dpor only: branches pruned by sleep sets *)
 }
 
 type outcome =
@@ -37,11 +51,15 @@ let pp_outcome ppf = function
       Fmt.(list ~sep:comma int)
       schedule error
 
+(* Extract the counterexample as the common currency of the stack, for
+   shrinking and replay. *)
+let counterex_of = function
+  | Ok_bounded _ -> None
+  | Counterexample { schedule; error; config; _ } ->
+    Some { Counterex.schedule; error; config }
+
 (* Drive [config] to quiescence deterministically (solo bursts). *)
-let complete ~inputs ~max_steps config =
-  let n = Config.n config in
-  let sched = Schedule.quantum_round_robin ~quantum:2000 n in
-  (Exec.run ~sched ~inputs ~max_steps config).Exec.config
+let complete ~inputs ~max_steps config = Counterex.complete ~inputs ~max_steps config
 
 (* [exhaustive ~depth ~inputs ~check config] explores every schedule of
    length ≤ depth, completes each frontier, and applies [check].  Stops
@@ -80,14 +98,61 @@ let exhaustive ~depth ~inputs ?(completion_steps = 50_000) ~check config =
              in
              go config' (d + 1) (pid :: schedule))
   in
+  let stats () =
+    { explored = !explored; leaves = !leaves; max_depth = !deepest;
+      cache_hits = 0; pruned = 0 }
+  in
   try
     go config 0 [];
-    Ok_bounded { explored = !explored; leaves = !leaves; max_depth = !deepest }
+    Ok_bounded (stats ())
   with Found (schedule, error, config) ->
-    Counterexample
+    Counterexample { schedule; error; config; stats = stats () }
+
+(* ---- engine dispatch ---- *)
+
+type engine = Naive | Dpor of { cache : bool; jobs : int }
+
+let engine_name = function
+  | Naive -> "naive"
+  | Dpor { cache; jobs } ->
+    Fmt.str "dpor%s%s"
+      (if cache then "+cache" else "")
+      (if jobs > 1 then Fmt.str " (%d domains)" jobs else "")
+
+(* Export an outcome's counters into a metrics registry, same names as
+   Dpor.explore uses (so --stats output is uniform across engines). *)
+let export_metrics m (stats : stats) =
+  let bump name v = Obs.Metrics.Counter.incr ~by:v (Obs.Metrics.counter m name) in
+  bump "explore.nodes" stats.explored;
+  bump "explore.leaves" stats.leaves;
+  bump "explore.cache_hits" stats.cache_hits;
+  bump "explore.sleep_pruned" stats.pruned
+
+let stats_of = function Ok_bounded s -> s | Counterexample { stats; _ } -> stats
+
+let run ~engine ~depth ~inputs ?completion_steps ?metrics ~check config =
+  match engine with
+  | Naive ->
+    let out = exhaustive ~depth ~inputs ?completion_steps ~check config in
+    Option.iter (fun m -> export_metrics m (stats_of out)) metrics;
+    out
+  | Dpor { cache; jobs } -> (
+    let to_stats (s : Dpor.stats) =
       {
-        schedule;
-        error;
-        config;
-        stats = { explored = !explored; leaves = !leaves; max_depth = !deepest };
+        explored = s.Dpor.explored;
+        leaves = s.Dpor.leaves;
+        max_depth = s.Dpor.max_depth;
+        cache_hits = s.Dpor.cache_hits;
+        pruned = s.Dpor.sleep_pruned;
       }
+    in
+    match Dpor.explore ~depth ~cache ~jobs ?completion_steps ?metrics ~inputs ~check config with
+    | Dpor.Complete s -> Ok_bounded (to_stats s)
+    | Dpor.Violation (ce, s) ->
+      Counterexample
+        {
+          schedule = ce.Counterex.schedule;
+          error = ce.Counterex.error;
+          config = ce.Counterex.config;
+          stats = to_stats s;
+        })

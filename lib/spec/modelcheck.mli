@@ -1,13 +1,23 @@
-(** Bounded exhaustive model checking.
+(** Bounded model checking: one front door over two engines.
 
     Configurations are pure values and processes deterministic, so the
     only nondeterminism is the schedule; exploring all schedules up to
     a depth bound covers every reachable configuration prefix.  Each
     frontier configuration is driven to quiescence deterministically
     and the property evaluated there — a proof (up to the bound) rather
-    than a sample, with minimal counterexample schedules. *)
+    than a sample, with minimal counterexample schedules.
 
-type stats = { explored : int; leaves : int; max_depth : int }
+    {!exhaustive} is the reference engine (literal enumeration);
+    {!run} additionally dispatches to the reduced engine {!Dpor}
+    (partial-order reduction + state caching + parallel domains). *)
+
+type stats = {
+  explored : int;    (** interior nodes visited *)
+  leaves : int;      (** frontier configurations checked *)
+  max_depth : int;
+  cache_hits : int;  (** [Dpor] engine only; 0 for [Naive] *)
+  pruned : int;      (** [Dpor] engine only; 0 for [Naive] *)
+}
 
 type outcome =
   | Ok_bounded of stats
@@ -20,7 +30,12 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-(** Drive a configuration to quiescence deterministically. *)
+(** The counterexample (if any) as the stack's common currency, ready
+    for {!Counterex.replay} and {!Shrink.minimize}. *)
+val counterex_of : outcome -> Counterex.t option
+
+(** Drive a configuration to quiescence deterministically
+    (= {!Counterex.complete}). *)
 val complete :
   inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
   max_steps:int ->
@@ -35,6 +50,32 @@ val exhaustive :
   depth:int ->
   inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
   ?completion_steps:int ->
+  check:(Shm.Config.t -> (unit, string) result) ->
+  Shm.Config.t ->
+  outcome
+
+(** {1 Engine dispatch} *)
+
+type engine =
+  | Naive  (** literal enumeration — the reference semantics *)
+  | Dpor of { cache : bool; jobs : int }
+      (** partial-order reduction, optional state caching, [jobs]
+          domains (see {!Dpor.explore}) *)
+
+val engine_name : engine -> string
+
+val stats_of : outcome -> stats
+
+(** [run ~engine …] checks with the chosen engine; same contract and
+    outcome type as {!exhaustive}.  When [metrics] is given, the final
+    counters are exported into it under [explore.*] names (both
+    engines). *)
+val run :
+  engine:engine ->
+  depth:int ->
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  ?completion_steps:int ->
+  ?metrics:Obs.Metrics.t ->
   check:(Shm.Config.t -> (unit, string) result) ->
   Shm.Config.t ->
   outcome

@@ -1,0 +1,128 @@
+(* Counterexample shrinking: delta-debug a failing pid schedule down to
+   a locally-minimal one.
+
+   The only interface to the system under test is a replay oracle
+   [int list -> (error, config) option] — typically built from
+   Counterex.replay — so the same shrinker serves the model checkers
+   (replay + deterministic completion + check) and the stress harness
+   (replay + check, no completion).  Replay is tolerant: dropping a
+   step can strand a later step of the same process, which then simply
+   does not happen; the candidate is judged on whether the property
+   still fails.
+
+   Three phases, each preserving "still fails":
+
+   1. chunk removal (ddmin): try deleting progressively finer chunks,
+      restarting coarse after every success;
+   2. single-step removal to a fixpoint — the result is 1-minimal:
+      removing any one remaining step makes the violation disappear;
+   3. solo-collapse: adjacent steps of different processes are swapped
+      when that strictly reduces the number of context switches (and
+      the violation survives), so the final schedule reads as a few
+      solo bursts rather than a fine interleaving. *)
+
+type result = {
+  ce : Counterex.t;   (* the minimized counterexample *)
+  replays : int;      (* oracle calls spent *)
+  removed : int;      (* steps removed from the original schedule *)
+  collapsed : int;    (* solo-collapse swaps applied *)
+}
+
+let pp_result ppf { ce; replays; removed; collapsed } =
+  Fmt.pf ppf "@[<v>shrunk by %d steps (%d replays, %d collapse swaps)@,%a@]" removed
+    replays collapsed Counterex.pp ce
+
+(* Remove elements with indices in [lo, hi) *)
+let remove_range lst lo hi = List.filteri (fun i _ -> i < lo || i >= hi) lst
+
+let context_switches = function
+  | [] -> 0
+  | x :: rest -> fst (List.fold_left (fun (n, prev) y -> ((n + if y = prev then 0 else 1), y)) (0, x) rest)
+
+let minimize ~replay schedule =
+  let replays = ref 0 in
+  let try_ s =
+    incr replays;
+    replay s
+  in
+  match try_ schedule with
+  | None -> None  (* the original schedule does not reproduce: nothing to shrink *)
+  | Some witness ->
+    let best = ref (schedule, witness) in
+    (* phase 1+2: ddmin — chunk removal at granularity [g], refining to
+       single steps; [g >= length] tries every single-step removal, so
+       reaching a fixpoint there is 1-minimality *)
+    let rec ddmin g =
+      let current, _ = !best in
+      let len = List.length current in
+      if len = 0 then ()
+      else begin
+        let size = max 1 (len / g) in
+        let rec chunks lo =
+          if lo >= len then None
+          else
+            let hi = min (lo + size) len in
+            let cand = remove_range current lo hi in
+            match try_ cand with
+            | Some w ->
+              best := (cand, w);
+              Some ()
+            | None -> chunks hi
+        in
+        match chunks 0 with
+        | Some () -> ddmin (max 2 (g - 1))  (* smaller list: re-try coarser *)
+        | None -> if size > 1 then ddmin (min len (2 * g)) else ()  (* 1-minimal *)
+      end
+    in
+    (* phase 3: solo-collapse — swap adjacent steps of different pids
+       when it strictly reduces context switches and still fails; each
+       accepted swap decreases the switch count, so this terminates *)
+    let collapsed = ref 0 in
+    let rec collapse () =
+      let current, _ = !best in
+      let arr = Array.of_list current in
+      let sw = context_switches current in
+      let accepted = ref false in
+      let i = ref 1 in
+      while (not !accepted) && !i < Array.length arr do
+        let j = !i in
+        if arr.(j - 1) <> arr.(j) then begin
+          let cand_arr = Array.copy arr in
+          cand_arr.(j - 1) <- arr.(j);
+          cand_arr.(j) <- arr.(j - 1);
+          let cand = Array.to_list cand_arr in
+          if context_switches cand < sw then
+            match try_ cand with
+            | Some w ->
+              best := (cand, w);
+              incr collapsed;
+              accepted := true
+            | None -> ()
+        end;
+        incr i
+      done;
+      if !accepted then collapse ()
+    in
+    (* a collapse swap can make a step removable again, so alternate
+       the two phases to a joint fixpoint; (length, switches) strictly
+       decreases lexicographically each round, so this terminates and
+       the result is 1-minimal *)
+    let rec fixpoint () =
+      let before = fst !best in
+      ddmin 2;
+      collapse ();
+      let after = fst !best in
+      if
+        List.length after < List.length before
+        || context_switches after < context_switches before
+      then fixpoint ()
+    in
+    fixpoint ();
+    let sched, (error, config) = !best in
+    Some
+      {
+        ce = { Counterex.schedule = sched; error; config };
+        replays = !replays;
+        removed = List.length schedule - List.length sched;
+        collapsed = !collapsed;
+      }

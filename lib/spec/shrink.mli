@@ -1,0 +1,28 @@
+(** Counterexample shrinking: delta-debug a failing pid schedule down
+    to a locally-minimal one.
+
+    Works against a replay oracle
+    [int list -> (error * config) option] — build one with
+    {!Counterex.replay} — so model-checker counterexamples (replay +
+    completion + check) and stress witnesses (replay + check) shrink
+    the same way.  Phases: ddmin chunk removal, single-step removal to
+    1-minimality (removing any one remaining step loses the
+    violation), then solo-collapse (adjacent-step swaps that reduce
+    context switches), each preserving "still fails". *)
+
+type result = {
+  ce : Counterex.t;   (** the minimized counterexample *)
+  replays : int;      (** oracle calls spent *)
+  removed : int;      (** steps removed from the original schedule *)
+  collapsed : int;    (** solo-collapse swaps applied *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [minimize ~replay schedule] shrinks [schedule].  [None] iff the
+    original schedule does not reproduce a violation under [replay]
+    (nothing to shrink). *)
+val minimize :
+  replay:(int list -> (string * Shm.Config.t) option) ->
+  int list ->
+  result option

@@ -1,0 +1,107 @@
+(* Canonical hashing of configurations, for exploration-time state
+   caching.
+
+   Two schedules that interleave independent steps differently reach
+   configurations that are *behaviourally* the same state, and the
+   engine should explore from it once.  The obstacle is the local state
+   of a process: it is an OCaml closure, which cannot be inspected or
+   compared structurally.  We exploit determinism instead: a process's
+   local state is a function of its initial program and the sequence of
+   values it has consumed (invocation inputs, read results, scan
+   views).  So alongside the configuration we thread one digest per
+   process, folded over exactly those observations, and the canonical
+   key of a state is
+
+     MD5 ( memory contents
+         ∥ per-process observation digests
+         ∥ per-process instance counters
+         ∥ the input and output records, sorted )
+
+   Soundness direction matters.  A cache must never *merge* two states
+   that behave differently; merging too little only costs cache hits.
+   The digest distinguishes at least as much as the real state:
+   observation histories determine local states (never the converse
+   trap), and everything else is compared by value.  Three deliberate
+   choices, documented in docs/EXPLORATION.md:
+
+   - step/space bookkeeping (read/write counters, the written-register
+     set) is *excluded*: it does not affect behaviour, and including
+     it would make commuted schedules never merge;
+   - the input/output records are sorted by (pid, instance, value), so
+     orders that differ only by commuted independent steps merge; the
+     property checkers must therefore not depend on record order (the
+     bundled ones do not);
+   - distinct histories can produce the same local state (a process
+     re-reading an unchanged register grows its history without
+     changing state), so some genuinely equal states fail to merge —
+     a missed optimization, never a missed behaviour. *)
+
+open Shm
+
+type t = { locals : string array }  (* one observation digest per pid *)
+
+let create config = { locals = Array.make (Config.n config) (Digest.string "init") }
+
+(* Fold one event into the stepping process's digest.  [config] is the
+   configuration *after* the step: scans need their result vector,
+   which the event does not carry; a scan does not change memory, so
+   reading it back from [config] reproduces what the process saw. *)
+let record t config ev =
+  let buf = Buffer.create 64 in
+  let pid = Event.pid ev in
+  Buffer.add_string buf t.locals.(pid);
+  (match ev with
+  | Event.Invoke { instance; input; _ } ->
+    Buffer.add_string buf (Fmt.str "I%d=%s" instance (Value.to_string input))
+  | Event.Did_read { reg; value; _ } ->
+    Buffer.add_string buf (Fmt.str "r%d=%s" reg (Value.to_string value))
+  | Event.Did_write { reg; value; _ } ->
+    Buffer.add_string buf (Fmt.str "w%d=%s" reg (Value.to_string value))
+  | Event.Did_scan { off; len; _ } ->
+    Buffer.add_string buf (Fmt.str "s%d+%d=" off len);
+    Memory.scan (Config.mem config) ~off ~len
+    |> Array.iter (fun v ->
+           Buffer.add_string buf (Value.to_string v);
+           Buffer.add_char buf ';')
+  | Event.Output { instance; value; _ } ->
+    Buffer.add_string buf (Fmt.str "O%d=%s" instance (Value.to_string value)));
+  let locals = Array.copy t.locals in
+  locals.(pid) <- Digest.string (Buffer.contents buf);
+  { locals }
+
+let compare_io (p1, i1, v1) (p2, i2, v2) =
+  let c = Stdlib.compare (p1 : int) p2 in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (i1 : int) i2 in
+    if c <> 0 then c else Value.compare v1 v2
+
+(* The uncompressed canonical form; [key] is its MD5.  Exposed so the
+   test suite can certify that equal keys mean equal canonical forms
+   over an enumerated state space. *)
+let repr t config =
+  let buf = Buffer.create 256 in
+  let mem = Config.mem config in
+  let size = Memory.size mem in
+  Buffer.add_string buf (Fmt.str "mem%d:" size);
+  Memory.scan mem ~off:0 ~len:size
+  |> Array.iter (fun v ->
+         Buffer.add_string buf (Value.to_string v);
+         Buffer.add_char buf ';');
+  Buffer.add_string buf "|locals:";
+  Array.iteri
+    (fun pid d ->
+      Buffer.add_string buf (Digest.to_hex d);
+      Buffer.add_string buf (Fmt.str "#%d;" (Config.instance config pid)))
+    t.locals;
+  let add_io tag io =
+    Buffer.add_string buf tag;
+    List.sort compare_io io
+    |> List.iter (fun (pid, inst, v) ->
+           Buffer.add_string buf (Fmt.str "%d.%d=%s;" pid inst (Value.to_string v)))
+  in
+  add_io "|in:" (Config.inputs config);
+  add_io "|out:" (Config.outputs config);
+  Buffer.contents buf
+
+let key t config = Digest.string (repr t config)

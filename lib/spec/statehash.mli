@@ -1,0 +1,37 @@
+(** Canonical hashing of configurations, for exploration-time state
+    caching.
+
+    A process's local state is an OCaml closure, so it cannot be
+    hashed structurally — but processes are deterministic, so the local
+    state is a function of the initial program and the sequence of
+    values the process has consumed.  A value of type {!t} threads one
+    digest per process over exactly those observations; {!key} combines
+    them with the memory contents, instance counters, and the (sorted)
+    input/output records into a canonical state key.
+
+    The key never merges states that behave differently; it may fail
+    to merge states that do behave the same (a missed cache hit, never
+    a missed behaviour).  Bookkeeping (step counters, the
+    written-register set) is excluded on purpose, and the i/o records
+    are sorted, so schedules that differ only in the order of
+    independent steps produce equal keys.  Caveats are documented in
+    [docs/EXPLORATION.md]. *)
+
+type t
+
+(** Fresh digests for the initial configuration (no observations). *)
+val create : Shm.Config.t -> t
+
+(** [record t config ev] folds the event into the stepping process's
+    digest.  [config] must be the configuration {e after} the step
+    ([record] re-reads scan results from it; scans do not change
+    memory). *)
+val record : t -> Shm.Config.t -> Shm.Event.t -> t
+
+(** The uncompressed canonical form behind {!key} — exposed so tests
+    can certify key collisions are absent over an enumerated state
+    space. *)
+val repr : t -> Shm.Config.t -> string
+
+(** MD5 of {!repr}: the cache key for this state. *)
+val key : t -> Shm.Config.t -> Digest.t

@@ -30,16 +30,29 @@ type verdict =
       family : family;
       error : string;
       config : Config.t;
+      schedule : int list;  (* the pid sequence that produced it *)
     }
 
 let pp_verdict ppf = function
   | Survived { runs } -> Fmt.pf ppf "no violation in %d runs" runs
-  | Broken { seed; family; error; _ } ->
-    Fmt.pf ppf "VIOLATION (%s schedule, seed %d): %s" (family_name family) seed error
+  | Broken { seed; family; error; schedule; _ } ->
+    Fmt.pf ppf "VIOLATION (%s schedule, seed %d, %d steps): %s" (family_name family)
+      seed (List.length schedule) error
+
+(* The witness as the stack's common counterexample currency, ready for
+   Counterex.replay (no completion — stress checks the raw final
+   configuration) and Shrink.minimize. *)
+let counterex_of = function
+  | Survived _ -> None
+  | Broken { error; config; schedule; _ } ->
+    Some { Counterex.schedule; error; config }
 
 (* [run ~k ~n ~build ~inputs ()] stress-tests the system produced by
    [build] (fresh per run): [runs] seeds per schedule family, each run
-   capped at [max_steps]; stops at the first safety violation. *)
+   capped at [max_steps]; stops at the first safety violation.  Runs
+   record their trace, so a violation carries the pid schedule that
+   produced it — every event is one scheduler pick, so the projection
+   of the trace onto pids replays the run exactly. *)
 let run ?(runs = 100) ?(max_steps = 60_000) ?(families = [ Bursty; Uniform ]) ~k ~n
     ~build ~inputs () =
   let exception Found of verdict in
@@ -51,11 +64,13 @@ let run ?(runs = 100) ?(max_steps = 60_000) ?(families = [ Bursty; Uniform ]) ~k
           incr total;
           let config = (build () : Config.t) in
           let sched = sched_of family ~seed ~n in
-          let res = Exec.run ~sched ~inputs ~max_steps config in
+          let res = Exec.run ~record:true ~sched ~inputs ~max_steps config in
           match Properties.check_safety ~k res.Exec.config with
           | Ok () -> ()
           | Error error ->
-            raise (Found (Broken { seed; family; error; config = res.Exec.config }))
+            let schedule = List.map Event.pid res.Exec.trace in
+            raise
+              (Found (Broken { seed; family; error; config = res.Exec.config; schedule }))
         done)
       families;
     Survived { runs = !total }

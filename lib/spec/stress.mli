@@ -17,9 +17,17 @@ type verdict =
       family : family;
       error : string;
       config : Shm.Config.t;
+      schedule : int list;
+          (** the pid sequence that produced the violation — replays
+              the run exactly (processes are deterministic) *)
     }
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** The witness (if any) as the stack's common counterexample
+    currency, ready for {!Counterex.replay} (without completion) and
+    {!Shrink.minimize}. *)
+val counterex_of : verdict -> Counterex.t option
 
 (** [run ~k ~n ~build ~inputs ()]: [runs] seeds per family (default
     100 × {Bursty, Uniform}), fresh system per run via [build], each

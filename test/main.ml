@@ -28,5 +28,6 @@ let () =
       ("scale", Test_scale.suite);
       ("native", Test_native.suite);
       ("stress", Test_stress.suite);
+      ("explore", Test_explore.suite);
       ("properties", Test_props.suite);
     ]

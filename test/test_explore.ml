@@ -1,0 +1,285 @@
+(* Tests for exploration engine v2: DPOR vs naive agreement, state-hash
+   collision freedom, counterexample shrinking, parallel-domain
+   agreement, and the stress harness's replayable schedules. *)
+
+open Helpers
+open Agreement
+
+let inputs_for n = Shm.Exec.oneshot_inputs (Array.init n (fun pid -> vi (pid + 1)))
+
+let check_safety ~k config = Spec.Properties.check_safety ~k config
+
+let is_ok = function Spec.Modelcheck.Ok_bounded _ -> true | _ -> false
+
+let explored = function
+  | Spec.Modelcheck.Ok_bounded s -> s.Spec.Modelcheck.explored
+  | Spec.Modelcheck.Counterexample { stats; _ } -> stats.Spec.Modelcheck.explored
+
+let run_engine ~engine ~depth ~n ~k ~r =
+  let p = Params.make ~n ~m:1 ~k in
+  Spec.Modelcheck.run ~engine ~depth ~inputs:(inputs_for n) ~check:(check_safety ~k)
+    (Instances.oneshot ~r p)
+
+(* Replay oracle over a fresh instance: model-checker style (tolerant
+   replay + deterministic completion + safety check). *)
+let shrink_oracle ~n ~k ~r =
+  let p = Params.make ~n ~m:1 ~k in
+  fun schedule ->
+    Spec.Counterex.replay ~completion_steps:50_000 ~inputs:(inputs_for n)
+      ~check:(check_safety ~k)
+      (Instances.oneshot ~r p)
+      schedule
+
+(* ---- DPOR vs naive: verdict agreement and state-count reduction ---- *)
+
+(* Correct and starved one-shot instances, 2 and 3 processes: the two
+   engines agree on every verdict, and on fully-explored (Ok) spaces
+   DPOR visits at most as many nodes as the naive engine. *)
+let dpor_agrees_with_naive () =
+  [ (2, 1, 1, 10); (2, 1, 2, 10); (2, 1, 3, 10); (3, 2, 2, 8); (3, 2, 4, 7) ]
+  |> List.iter (fun (n, k, r, depth) ->
+         let naive = run_engine ~engine:Spec.Modelcheck.Naive ~depth ~n ~k ~r in
+         let dpor =
+           run_engine
+             ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 })
+             ~depth ~n ~k ~r
+         in
+         Alcotest.(check bool)
+           (Fmt.str "verdicts agree (n=%d k=%d r=%d)" n k r)
+           (is_ok naive) (is_ok dpor);
+         if is_ok naive then
+           Alcotest.(check bool)
+             (Fmt.str "dpor explores no more (n=%d k=%d r=%d)" n k r)
+             true
+             (explored dpor <= explored naive))
+
+(* On a starved 2-process/2-register config both engines find a
+   counterexample, and DPOR's independently re-checks: replaying its
+   schedule (plus completion) still violates safety. *)
+let dpor_counterexample_recheck () =
+  let n = 2 and k = 1 and r = 1 and depth = 10 in
+  let naive = run_engine ~engine:Spec.Modelcheck.Naive ~depth ~n ~k ~r in
+  let dpor =
+    run_engine ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 }) ~depth ~n ~k ~r
+  in
+  match Spec.Modelcheck.counterex_of naive, Spec.Modelcheck.counterex_of dpor with
+  | Some nce, Some ce ->
+    let replay = shrink_oracle ~n ~k ~r in
+    Alcotest.(check bool) "dpor counterexample re-checks" true
+      (replay ce.Spec.Counterex.schedule <> None);
+    (* the engines visit the tree in different orders, so the raw first
+       counterexamples differ (and greedy shrinking can land them in
+       different local minima) — but both shrink to genuine violating
+       schedules *)
+    List.iter
+      (fun c ->
+        match Spec.Shrink.minimize ~replay c.Spec.Counterex.schedule with
+        | Some { ce = m; _ } ->
+          Alcotest.(check bool) "shrunk schedule still violates" true
+            (replay m.Spec.Counterex.schedule <> None)
+        | None -> Alcotest.fail "shrinker lost a counterexample")
+      [ nce; ce ]
+  | _ -> Alcotest.fail "expected counterexamples from both engines"
+
+(* The state cache earns its keep: with caching strictly fewer nodes
+   than without, same verdict. *)
+let cache_reduces_states () =
+  let n = 3 and k = 1 and depth = 8 in
+  let p = Params.make ~n ~m:1 ~k in
+  let r = Params.r_oneshot p in
+  let nocache =
+    run_engine ~engine:(Spec.Modelcheck.Dpor { cache = false; jobs = 1 }) ~depth ~n ~k ~r
+  in
+  let cached =
+    run_engine ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 }) ~depth ~n ~k ~r
+  in
+  Alcotest.(check bool) "both ok" true (is_ok nocache && is_ok cached);
+  Alcotest.(check bool) "cache strictly reduces" true (explored cached < explored nocache)
+
+(* ---- state hashing ---- *)
+
+(* Enumerate every state reachable within a depth bound (every
+   schedule, no reduction) and certify the canonical key is
+   collision-free: equal keys always mean equal canonical forms. *)
+let statehash_no_collisions () =
+  let n = 2 and k = 1 and depth = 10 in
+  let p = Params.make ~n ~m:1 ~k in
+  let inputs = inputs_for n in
+  let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
+  let seen : (Digest.t, string) Hashtbl.t = Hashtbl.create 1024 in
+  let states = ref 0 in
+  let rec go config hash d =
+    incr states;
+    let key = Spec.Statehash.key hash config in
+    let repr = Spec.Statehash.repr hash config in
+    (match Hashtbl.find_opt seen key with
+    | Some repr' ->
+      Alcotest.(check string) "equal key implies equal canonical form" repr' repr
+    | None -> Hashtbl.add seen key repr);
+    if d < depth then
+      List.init n Fun.id
+      |> List.filter (fun pid -> Shm.Config.runnable config ~has_input pid)
+      |> List.iter (fun pid ->
+             let config', ev =
+               match Shm.Config.proc config pid with
+               | Shm.Program.Await _ ->
+                 let inst = Shm.Config.instance config pid + 1 in
+                 Shm.Config.invoke config pid (Option.get (inputs ~pid ~instance:inst))
+               | Shm.Program.Stop -> assert false
+               | Shm.Program.Op _ | Shm.Program.Yield _ -> Shm.Config.step config pid
+             in
+             go config' (Spec.Statehash.record hash config' ev) (d + 1))
+  in
+  go (Instances.oneshot p) (Spec.Statehash.create (Instances.oneshot p)) 0;
+  Alcotest.(check bool) "enumerated a real space" true (!states > 1000)
+
+(* Commuted independent steps produce the same key: two processes
+   writing distinct registers in either order. *)
+let statehash_merges_commuted_writes () =
+  let program reg =
+    Shm.Program.await (fun v ->
+        Shm.Program.write reg v (fun () -> Shm.Program.yield v Shm.Program.stop))
+  in
+  let config =
+    Shm.Config.create ~registers:2 ~procs:[| program 0; program 1 |]
+  in
+  let inputs = inputs_for 2 in
+  let run schedule =
+    List.fold_left
+      (fun (config, hash) pid ->
+        let config', ev =
+          match Shm.Config.proc config pid with
+          | Shm.Program.Await _ ->
+            let inst = Shm.Config.instance config pid + 1 in
+            Shm.Config.invoke config pid (Option.get (inputs ~pid ~instance:inst))
+          | _ -> Shm.Config.step config pid
+        in
+        (config', Spec.Statehash.record hash config' ev))
+      (config, Spec.Statehash.create config)
+      schedule
+  in
+  let c1, h1 = run [ 0; 1; 0; 1 ] (* invoke 0, invoke 1, write R0, write R1 *)
+  and c2, h2 = run [ 1; 0; 1; 0 ] (* same steps, writes commuted *) in
+  Alcotest.(check string) "same canonical form" (Spec.Statehash.repr h1 c1)
+    (Spec.Statehash.repr h2 c2)
+
+(* ---- shrinking ---- *)
+
+(* Shrinking a model-checker counterexample: the result still violates
+   and is 1-minimal (removing any single remaining step loses the
+   violation).  n=3/k=1/r=3 is one register short of the n+2m−k bound
+   and violates only under a genuine interleaving — the empty schedule
+   is safe — so 1-minimality is non-trivial here. *)
+let shrinker_one_minimal () =
+  let n = 3 and k = 1 and r = 3 and depth = 14 in
+  let replay = shrink_oracle ~n ~k ~r in
+  Alcotest.(check bool) "completion alone is safe at r=3" true (replay [] = None);
+  let dpor =
+    run_engine ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 }) ~depth ~n ~k ~r
+  in
+  let ce =
+    match Spec.Modelcheck.counterex_of dpor with
+    | Some ce -> ce
+    | None -> Alcotest.fail "expected a counterexample"
+  in
+  match Spec.Shrink.minimize ~replay ce.Spec.Counterex.schedule with
+  | None -> Alcotest.fail "shrinker lost the violation"
+  | Some { ce = shrunk; _ } ->
+    let s = shrunk.Spec.Counterex.schedule in
+    Alcotest.(check bool) "shrunk no longer than original" true
+      (List.length s <= List.length ce.Spec.Counterex.schedule);
+    Alcotest.(check bool) "shrunk still violates" true (replay s <> None);
+    List.iteri
+      (fun i _ ->
+        let without = List.filteri (fun j _ -> j <> i) s in
+        Alcotest.(check bool)
+          (Fmt.str "1-minimal: dropping step %d loses the violation" i)
+          true
+          (replay without = None))
+      s
+
+(* At r=1 even the deterministic completion violates — no adversarial
+   scheduling needed — and the shrinker discovers exactly that: the
+   counterexample shrinks to the empty schedule. *)
+let shrinker_reaches_empty () =
+  let n = 2 and k = 1 and r = 1 and depth = 10 in
+  let dpor =
+    run_engine ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 }) ~depth ~n ~k ~r
+  in
+  let ce =
+    match Spec.Modelcheck.counterex_of dpor with
+    | Some ce -> ce
+    | None -> Alcotest.fail "expected a counterexample"
+  in
+  let replay = shrink_oracle ~n ~k ~r in
+  match Spec.Shrink.minimize ~replay ce.Spec.Counterex.schedule with
+  | None -> Alcotest.fail "shrinker lost the violation"
+  | Some { ce = shrunk; _ } ->
+    Alcotest.(check (list int)) "shrinks to the empty schedule" []
+      shrunk.Spec.Counterex.schedule
+
+(* ---- parallel domains ---- *)
+
+(* --jobs 1 and --jobs 4 agree on the outcome, on both a correct and a
+   starved instance. *)
+let jobs_agree () =
+  [ (2, 1, 3, 10, true); (2, 1, 1, 10, false); (3, 1, 1, 7, false) ]
+  |> List.iter (fun (n, k, r, depth, expect_ok) ->
+         let j1 =
+           run_engine ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 }) ~depth ~n
+             ~k ~r
+         and j4 =
+           run_engine ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 4 }) ~depth ~n
+             ~k ~r
+         in
+         Alcotest.(check bool) (Fmt.str "jobs=1 verdict (n=%d r=%d)" n r) expect_ok (is_ok j1);
+         Alcotest.(check bool) (Fmt.str "jobs=4 verdict (n=%d r=%d)" n r) expect_ok (is_ok j4))
+
+(* ---- stress: replayable witness schedules ---- *)
+
+(* A Broken verdict now carries the pid schedule; replaying it from a
+   fresh configuration reproduces a safety violation, and it shrinks. *)
+let stress_schedule_replays_and_shrinks () =
+  let n = 5 and k = 2 and r = 2 in
+  let p = Params.make ~n ~m:2 ~k in
+  let build () = Instances.oneshot ~r p in
+  let inputs = Shm.Exec.oneshot_inputs (Array.init n (fun pid -> vi pid)) in
+  match Spec.Stress.run ~runs:100 ~k ~n ~build ~inputs () with
+  | Spec.Stress.Survived _ -> Alcotest.fail "starved system survived stress"
+  | Spec.Stress.Broken { schedule; _ } as verdict ->
+    Alcotest.(check bool) "non-empty schedule" true (schedule <> []);
+    let replay s = Spec.Counterex.replay ~inputs ~check:(check_safety ~k) (build ()) s in
+    Alcotest.(check bool) "witness schedule replays to a violation" true
+      (replay schedule <> None);
+    let ce = Option.get (Spec.Stress.counterex_of verdict) in
+    (match Spec.Shrink.minimize ~replay ce.Spec.Counterex.schedule with
+    | None -> Alcotest.fail "shrinker lost the stress violation"
+    | Some { ce = shrunk; _ } ->
+      Alcotest.(check bool) "shrunk stress schedule is shorter" true
+        (List.length shrunk.Spec.Counterex.schedule < List.length schedule);
+      Alcotest.(check bool) "shrunk stress schedule still violates" true
+        (replay shrunk.Spec.Counterex.schedule <> None);
+      (* stress oracle has no completion, so 1-minimality is never vacuous *)
+      let s = shrunk.Spec.Counterex.schedule in
+      List.iteri
+        (fun i _ ->
+          let without = List.filteri (fun j _ -> j <> i) s in
+          Alcotest.(check bool)
+            (Fmt.str "stress 1-minimal: dropping step %d loses the violation" i)
+            true
+            (replay without = None))
+        s)
+
+let suite =
+  [
+    slow_test "dpor agrees with naive on seeded configs" dpor_agrees_with_naive;
+    slow_test "dpor counterexample independently re-checks" dpor_counterexample_recheck;
+    slow_test "state cache strictly reduces explored states" cache_reduces_states;
+    slow_test "state hash: no collisions over an enumerated space" statehash_no_collisions;
+    test "state hash merges commuted independent writes" statehash_merges_commuted_writes;
+    slow_test "shrinker output violates and is 1-minimal" shrinker_one_minimal;
+    slow_test "shrinker reaches the empty schedule when completion violates"
+      shrinker_reaches_empty;
+    slow_test "jobs=1 and jobs=4 agree on outcomes" jobs_agree;
+    slow_test "stress witness schedule replays and shrinks" stress_schedule_replays_and_shrinks;
+  ]
