@@ -14,7 +14,7 @@
                               fig1-anon-lower anon-frontier
                               conjecture-probe baseline
                               consensus-exact snapshot-ablation
-                              explore
+                              explore conform
      main.exe series <id>     one series: progress-vs-m steps-vs-n
                               diversity-vs-workload
      main.exe bechamel        microbenchmarks only *)
@@ -398,6 +398,82 @@ let explore_table () =
   write_bench ~experiment:"explore" ~file:"BENCH_explore.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* E14: native conformance harness — linearizability-checker           *)
+(* throughput and native op latency under each chaos profile.          *)
+
+let conform_table () =
+  section
+    "E14 Native conformance (lib/conform): op latency and checker throughput per chaos \
+     profile (4 domains x 16 ops, 150 histories)";
+  Fmt.pr "%-10s %-8s %-10s %-12s %-12s %-12s %-12s %-14s %-10s@." "profile" "iters"
+    "ops" "upd p50 ns" "upd p99 ns" "scan p50 ns" "scan p99 ns" "check ops/s" "wall ms";
+  let rows = ref [] in
+  Conform.Chaos.all_profiles
+  |> List.iter (fun profile ->
+         let metrics = Obs.Metrics.create () in
+         let cfg =
+           {
+             Conform.Harness.domains = 4;
+             components = 4;
+             ops = 16;
+             profile;
+             seed = 42;
+             iters = 150;
+           }
+         in
+         let t0 = Unix.gettimeofday () in
+         let outcome = Conform.Harness.run_snapshot ~metrics ~sut:Conform.Sut.real cfg in
+         let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+         let counter name =
+           Obs.Metrics.Counter.value (Obs.Metrics.counter metrics name)
+         in
+         let hist name = Obs.Metrics.histogram metrics name in
+         let ops = counter "conform.ops" in
+         let check_ns = counter "conform.check_ns" in
+         let violations = counter "conform.violations" in
+         (* checker throughput: operations graded per second of checker
+            time (the checker sees every completed op of every history) *)
+         let check_ops_per_s =
+           if check_ns = 0 then 0. else float_of_int ops /. (float_of_int check_ns /. 1e9)
+         in
+         let upd = hist "conform.update_ns" and scn = hist "conform.scan_ns" in
+         let ok = match outcome with Conform.Harness.Pass _ -> true | _ -> false in
+         rows :=
+           Obs.Json.Obj
+             [
+               ("object", Obs.Json.String "snapshot");
+               ("impl", Obs.Json.String Conform.Sut.real.Conform.Sut.name);
+               ("profile", Obs.Json.String (Conform.Chaos.profile_name profile));
+               ("domains", Obs.Json.Int cfg.Conform.Harness.domains);
+               ("components", Obs.Json.Int cfg.Conform.Harness.components);
+               ("ops_per_domain", Obs.Json.Int cfg.Conform.Harness.ops);
+               ("iters", Obs.Json.Int cfg.Conform.Harness.iters);
+               ("ops", Obs.Json.Int ops);
+               ("pending", Obs.Json.Int (counter "conform.crashes"));
+               ("violations", Obs.Json.Int violations);
+               ("linearizable", Obs.Json.Bool ok);
+               ("update_p50_ns", Obs.Json.Float (Obs.Metrics.Histogram.p50 upd));
+               ("update_p99_ns", Obs.Json.Float (Obs.Metrics.Histogram.p99 upd));
+               ("scan_p50_ns", Obs.Json.Float (Obs.Metrics.Histogram.p50 scn));
+               ("scan_p99_ns", Obs.Json.Float (Obs.Metrics.Histogram.p99 scn));
+               ("check_ns_total", Obs.Json.Int check_ns);
+               ("check_ops_per_s", Obs.Json.Float check_ops_per_s);
+               ("wall_ms", Obs.Json.Float wall_ms);
+             ]
+           :: !rows;
+         Fmt.pr "%-10s %-8d %-10d %-12.0f %-12.0f %-12.0f %-12.0f %-14.0f %-10.1f@."
+           (Conform.Chaos.profile_name profile)
+           cfg.Conform.Harness.iters ops
+           (Obs.Metrics.Histogram.p50 upd)
+           (Obs.Metrics.Histogram.p99 upd)
+           (Obs.Metrics.Histogram.p50 scn)
+           (Obs.Metrics.Histogram.p99 scn)
+           check_ops_per_s wall_ms;
+         if not ok then
+           Fmt.pr "  !! unexpected violation on the real implementation@.");
+  write_bench ~experiment:"conform" ~file:"BENCH_conform.json" (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* E5: DFGR'13 baseline comparison (Section 4.1).                      *)
 
 let baseline_table () =
@@ -664,6 +740,7 @@ let tables =
     ("consensus-exact", consensus_exact);
     ("snapshot-ablation", snapshot_ablation);
     ("explore", explore_table);
+    ("conform", conform_table);
   ]
 
 let series =

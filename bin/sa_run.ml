@@ -1,6 +1,7 @@
 (* sa-run: run any of the set-agreement algorithms under a chosen
    scheduler and report decisions, safety, and space usage — or
-   model-check them over *all* schedules with --explore.
+   model-check them over *all* schedules with --explore — or audit the
+   native multicore layer with the conformance harness (`conform`).
 
    Examples:
      sa_run -n 5 -m 1 -k 2
@@ -9,7 +10,10 @@
      sa_run -n 6 -m 2 -k 3 --sched m-bounded:7:2 --stats --trace-out t.jsonl
      sa_run -n 3 -m 1 -k 1 --explore dpor:10
      sa_run -n 3 -m 1 -k 1 --registers 3 --explore dpor:14 --shrink
-     sa_run -n 3 -m 1 -k 1 --explore dpor:12 --jobs 4 --stats *)
+     sa_run -n 3 -m 1 -k 1 --explore dpor:12 --jobs 4 --stats
+     sa_run conform --object snapshot --domains 4 --iters 500
+     sa_run conform --object snapshot --mutant single-collect --chaos yields
+     sa_run conform --object agreement --domains 4 -m 2 -k 2 --chaos crashes *)
 
 open Cmdliner
 
@@ -227,6 +231,127 @@ let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_step
   end;
   Option.iter (fun path -> Fmt.pr "trace written to %s (JSONL)@." path) trace_out
 
+(* ------------------------------------------------------------------ *)
+(* The `conform` subcommand: native conformance harness (lib/conform). *)
+
+let conform obj domains components ops chaos seed iters mutant m k stats =
+  let profile =
+    match Conform.Chaos.profile_of_string chaos with
+    | Some p -> p
+    | None ->
+      Fmt.epr "unknown chaos profile %S; valid: %s@." chaos
+        (String.concat " | "
+           (List.map Conform.Chaos.profile_name Conform.Chaos.all_profiles));
+      exit 2
+  in
+  let metrics = Obs.Metrics.create () in
+  let finish code =
+    if stats then Fmt.pr "--- metrics ---@.%a@." Obs.Metrics.pp metrics;
+    exit code
+  in
+  match obj with
+  | `Snapshot -> (
+    let sut =
+      match mutant with
+      | None -> Conform.Sut.real
+      | Some name -> (
+        match Conform.Sut.by_name name with
+        | Some s -> s
+        | None ->
+          Fmt.epr "unknown implementation %S; valid: %s@." name
+            (String.concat " | " (List.map (fun s -> s.Conform.Sut.name) Conform.Sut.all));
+          exit 2)
+    in
+    let cfg = { Conform.Harness.domains; components; ops; profile; seed; iters } in
+    Fmt.pr "object: snapshot (%s), %d domains x %d ops, %d components, chaos %s, seed %d, \
+            %d iterations@."
+      sut.Conform.Sut.name domains ops components
+      (Conform.Chaos.profile_name profile)
+      seed iters;
+    let outcome = Conform.Harness.run_snapshot ~metrics ~sut cfg in
+    Fmt.pr "%a@." Conform.Harness.pp_outcome outcome;
+    match outcome with
+    | Conform.Harness.Pass _ -> finish 0
+    | Conform.Harness.Fail v ->
+      (* the seed pins the workload and chaos plan, but the physical
+         race still needs retries: give the replay a few dozen
+         iterations (sub-second) rather than promising one-shot
+         reproduction of a timing-dependent failure *)
+      Fmt.pr "replay: sa_run conform --object snapshot%s --domains %d --components %d \
+              --ops %d --chaos %s --seed %d --iters 40@."
+        (match mutant with Some mu -> " --mutant " ^ mu | None -> "")
+        domains components ops
+        (Conform.Chaos.profile_name profile)
+        v.Conform.Harness.iter_seed;
+      finish 1)
+  | `Agreement -> (
+    if mutant <> None then begin
+      Fmt.epr "--mutant applies to --object snapshot only@.";
+      exit 2
+    end;
+    let params = Agreement.Params.make ~n:domains ~m ~k in
+    Fmt.pr "object: agreement (Fig. 3 native, %s), chaos %s, seed %d, %d instances@."
+      (Agreement.Params.to_string params)
+      (Conform.Chaos.profile_name profile)
+      seed iters;
+    let outcome =
+      Conform.Harness.run_agreement ~metrics ~params ~profile ~seed ~iters ()
+    in
+    Fmt.pr "%a@." Conform.Harness.pp_agreement_outcome outcome;
+    match outcome with
+    | Conform.Harness.Agree_pass _ -> finish 0
+    | Conform.Harness.Agree_fail _ -> finish 1)
+
+let conform_cmd =
+  let obj =
+    Arg.(
+      value
+      & opt (enum [ ("snapshot", `Snapshot); ("agreement", `Agreement) ]) `Snapshot
+      & info [ "object" ] ~doc:"Object to audit: snapshot | agreement.")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"OCaml domains (= processes).")
+  in
+  let components =
+    Arg.(value & opt int 4 & info [ "components" ] ~doc:"Snapshot components.")
+  in
+  let ops =
+    Arg.(value & opt int 12 & info [ "ops" ] ~doc:"Operations per domain per iteration.")
+  in
+  let chaos =
+    Arg.(
+      value & opt string "calm"
+      & info [ "chaos" ]
+          ~doc:"Chaos profile: calm | yields | stalls | crashes | mixed.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed (replayable).") in
+  let iters =
+    Arg.(value & opt int 100 & info [ "iters" ] ~doc:"Iterations (fresh object each).")
+  in
+  let mutant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            "Audit a deliberately broken snapshot instead of the real one: \
+             single-collect | torn-update.  The harness must reject it.")
+  in
+  let m = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Obstruction bound (agreement).") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement bound (agreement).") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the conform.* metrics registry.")
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Audit the native multicore layer: capture real histories, check real-time \
+          linearizability (chaos injection, crash-pending completion), shrink failures \
+          to 1-minimal witnesses")
+    Term.(
+      const conform $ obj $ domains $ components $ ops $ chaos $ seed $ iters $ mutant
+      $ m $ k $ stats)
+
 let cmd =
   let algo =
     Arg.(value & opt algo_conv One_shot & info [ "algo"; "a" ] ~doc:"Algorithm to run.")
@@ -294,10 +419,15 @@ let cmd =
       & info [ "shrink" ]
           ~doc:"Minimize the counterexample schedule found by --explore before printing.")
   in
-  Cmd.v
-    (Cmd.info "sa_run" ~doc:"Run m-obstruction-free k-set agreement in the simulator")
-    Term.(
-      const run $ algo $ n $ m $ k $ impl $ sched $ rounds $ trace $ diagram $ stats
-      $ trace_out $ max_steps $ registers $ explore $ jobs $ shrink)
+  Cmd.group
+    ~default:
+      Term.(
+        const run $ algo $ n $ m $ k $ impl $ sched $ rounds $ trace $ diagram $ stats
+        $ trace_out $ max_steps $ registers $ explore $ jobs $ shrink)
+    (Cmd.info "sa_run"
+       ~doc:
+         "Run m-obstruction-free k-set agreement in the simulator, or audit the native \
+          layer with `conform'")
+    [ conform_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,30 @@
+(** Seeded, replayable chaos injection for native runs: yield storms,
+    long mid-operation stalls, and crash aborts, all decided by a
+    per-domain PRNG derived from (plan seed, pid). *)
+
+type profile = Calm | Yields | Stalls | Crashes | Mixed
+
+(** Raised by {!crash_point} to abort the current operation; the
+    harness records the operation as pending and stops the domain. *)
+exception Crashed
+
+val profile_name : profile -> string
+val profile_of_string : string -> profile option
+val all_profiles : profile list
+
+(** A disturbance plan: profile + seed.  Same plan, same decisions. *)
+type plan
+
+val plan : profile -> seed:int -> plan
+
+(** A domain's private chaos stream. *)
+type handle
+
+val handle : plan -> pid:int -> handle
+
+(** Disturbance point inside an operation — may burn a yield storm or a
+    long stall; never raises. *)
+val point : handle -> unit
+
+(** Crash point around an operation's effect — may raise {!Crashed}. *)
+val crash_point : handle -> unit

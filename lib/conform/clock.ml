@@ -1,0 +1,17 @@
+(* The one clock of the conformance harness: CLOCK_MONOTONIC
+   nanoseconds, as an OCaml int (63 bits ≈ 292 years — safe).  All
+   history intervals are differences of this clock, which is global
+   across domains, so invoke/response intervals captured on different
+   cores are directly comparable — exactly the real-time order the
+   linearizability checker needs. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Busy-wait for [ns] nanoseconds: chaos stalls must not release the
+   domain (Unix.sleepf would let the scheduler tidy everything up and
+   hide the interleaving we are trying to provoke). *)
+let busy_wait_ns ns =
+  let deadline = now_ns () + ns in
+  while now_ns () < deadline do
+    Domain.cpu_relax ()
+  done

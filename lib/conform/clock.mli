@@ -1,0 +1,7 @@
+(** Monotonic time for native history capture: CLOCK_MONOTONIC in
+    nanoseconds, global across domains, as an OCaml int. *)
+
+val now_ns : unit -> int
+
+(** Busy-wait (never yields the domain) for [ns] nanoseconds. *)
+val busy_wait_ns : int -> unit

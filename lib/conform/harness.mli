@@ -1,0 +1,68 @@
+(** The conformance harness: run seeded random workloads on real OCaml
+    5 domains against a {!Sut}, capture every operation's
+    invoke/response interval, check each merged history for real-time
+    linearizability (pending operations from injected crashes handled
+    by completion-point enumeration), and shrink failures to 1-minimal
+    sub-histories through the {!Spec.Shrink} ddmin pipeline. *)
+
+type config = {
+  domains : int;
+  components : int;
+  ops : int;  (** operations per domain per iteration *)
+  profile : Chaos.profile;
+  seed : int;
+  iters : int;
+}
+
+val default_config : config
+
+type violation = {
+  iter : int;
+  iter_seed : int;  (** replay: re-run one iteration with this seed *)
+  error : string;
+  completed : Spec.Linearize.event list;
+  pending : Spec.Linearize.event list;
+  shrunk : Spec.Linearize.event list;  (** 1-minimal failing sub-history *)
+  shrink_replays : int;
+}
+
+type outcome =
+  | Pass of { iters : int; ops : int }
+  | Fail of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** The per-iteration seed derived from (config seed, iteration) —
+    exposed so a printed witness can be replayed as a 1-iteration
+    run. *)
+val iter_seed : seed:int -> iter:int -> int
+
+(** Snapshot conformance: [iters] iterations of [domains] domains each
+    performing [ops] random updates/scans under the chaos profile.
+    Counters and latency histograms land in [metrics] under
+    [conform.*]. *)
+val run_snapshot : ?metrics:Obs.Metrics.t -> sut:Sut.t -> config -> outcome
+
+(** {1 Agreement conformance} *)
+
+type agreement_violation = { iter : int; iter_seed : int; error : string }
+
+type agreement_outcome =
+  | Agree_pass of { iters : int; decided : int; crashed : int }
+  | Agree_fail of agreement_violation
+
+val pp_agreement_outcome : Format.formatter -> agreement_outcome -> unit
+
+(** Figure 3 one-shot on real domains under chaos: validity and
+    k-agreement over deciding processes ([Chaos.Crashed] proposers
+    legally decide nothing), propose latency into
+    [conform.propose_ns]. *)
+val run_agreement :
+  ?metrics:Obs.Metrics.t ->
+  params:Agreement.Params.t ->
+  profile:Chaos.profile ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  agreement_outcome

@@ -1,0 +1,30 @@
+(** Low-overhead per-domain history capture: invoke/response intervals
+    on the monotonic clock, recorded into lock-free per-domain buffers
+    and merged post-run into a {!Spec.Linearize} history. *)
+
+type t
+
+(** One buffer per domain, indexed by pid. *)
+val create : domains:int -> t
+
+(** A domain's private recording handle; only that domain may use it. *)
+type handle
+
+val handle : t -> pid:int -> handle
+
+(** Nanoseconds since the recorder was created (rebased monotonic
+    clock); use for both endpoints of an operation. *)
+val now : handle -> int
+
+(** Record an operation whose response was observed. *)
+val completed : handle -> start:int -> finish:int -> Spec.Linearize.op -> unit
+
+(** Record an operation that was invoked but never responded (crashed
+    mid-operation); it becomes a pending op with [finish = max_int]. *)
+val pending : handle -> start:int -> Spec.Linearize.op -> unit
+
+(** Merge all buffers — call only after joining every recording
+    domain.  Returns (completed sorted by invocation time, pending). *)
+val history : t -> Spec.Linearize.event list * Spec.Linearize.event list
+
+val ops_recorded : t -> int

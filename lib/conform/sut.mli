@@ -1,0 +1,36 @@
+(** Systems under test for the snapshot conformance harness: the real
+    {!Native.Native_snapshot} plus deliberately broken mutants
+    (single-collect scan, non-atomic two-step update) that the checker
+    must reject — the mutation smoke tests' targets. *)
+
+type handle = {
+  update : int -> Shm.Value.t -> unit;
+  scan : unit -> Shm.Value.t array;
+}
+
+type instance = {
+  handle : pid:int -> pause:(unit -> unit) -> handle;
+      (** [pause] is the chaos injection the implementation calls at
+          its internal vulnerable points (double-collect window, torn
+          store window). *)
+}
+
+type t = {
+  name : string;
+  mutant : bool;  (** true iff the checker is expected to reject it *)
+  create : components:int -> instance;
+}
+
+val real : t
+
+(** Scan = one collect; returns new/old-inverted views under
+    concurrent multi-component writers. *)
+val single_collect : t
+
+(** Update = store ⊥ then the entry; scans can observe a component
+    regress to ⊥. *)
+val torn_update : t
+
+val mutants : t list
+val all : t list
+val by_name : string -> t option

@@ -34,8 +34,11 @@ let create ~(params : Agreement.Params.t) =
 let registers t = Native_snapshot.components t.snap
 
 (* One process's Propose(v); call from its own domain.  [seed] feeds
-   the backoff jitter only — never the algorithm. *)
-let propose t ~pid ~seed v =
+   the backoff jitter only — never the algorithm.  [chaos] fires once
+   per update-scan-check iteration: the conformance harness uses it to
+   inject yield storms, stalls, and crash aborts (by raising) into the
+   middle of a propose without touching the algorithm itself. *)
+let propose ?(chaos = fun () -> ()) t ~pid ~seed v =
   let r = Native_snapshot.components t.snap in
   let h = Native_snapshot.handle t.snap ~pid in
   let rng = Shm.Rng.create (seed + (31 * pid)) in
@@ -48,6 +51,7 @@ let propose t ~pid ~seed v =
     if !backoff_window < 4096 then backoff_window := !backoff_window * 2
   in
   let rec loop pref i iters =
+    chaos ();
     Native_snapshot.update h i (Agreement.Oneshot.pair ~pref ~pid);
     let view = Native_snapshot.scan ~on_retry:(fun _ -> Domain.cpu_relax ()) h in
     match Agreement.Oneshot.decide_check ~m:t.m view with

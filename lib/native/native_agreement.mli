@@ -12,8 +12,11 @@ val create : params:Agreement.Params.t -> t
 val registers : t -> int
 
 (** One process's Propose(v); call from its own domain.  [seed] feeds
-    only the backoff jitter. *)
-val propose : t -> pid:int -> seed:int -> Shm.Value.t -> Shm.Value.t
+    only the backoff jitter.  [chaos] fires once per algorithm
+    iteration; the conformance harness injects disturbances (or aborts,
+    by raising) through it. *)
+val propose :
+  ?chaos:(unit -> unit) -> t -> pid:int -> seed:int -> Shm.Value.t -> Shm.Value.t
 
 (** Run a full one-shot instance: one domain per process, process [pid]
     proposing [inputs.(pid)].  Returns the object and the decisions in

@@ -53,10 +53,14 @@ let same_collect a b =
   go 0
 
 (* Non-blocking scan: retry until a clean double collect.  [on_retry]
-   lets the caller back off between attempts. *)
-let scan ?(on_retry = fun _attempt -> ()) h =
+   lets the caller back off between attempts; [on_collect] fires after
+   every collect — i.e. inside the window between the two collects of a
+   clean pair — which is where the conformance harness injects stalls
+   to probe the double-collect's atomicity on real hardware. *)
+let scan ?(on_retry = fun _attempt -> ()) ?(on_collect = fun _attempt -> ()) h =
   let rec attempt n prev =
     let cur = collect h.snap in
+    on_collect n;
     match prev with
     | Some p when same_collect p cur ->
       Array.map (function Some e -> e.v | None -> Shm.Value.Bot) cur

@@ -21,5 +21,8 @@ val handle : t -> pid:int -> handle
 val update : handle -> int -> Shm.Value.t -> unit
 
 (** Non-blocking scan: retries until a clean double collect;
-    [on_retry] is called between attempts (for backoff). *)
-val scan : ?on_retry:(int -> unit) -> handle -> Shm.Value.t array
+    [on_retry] is called between attempts (for backoff), [on_collect]
+    after every collect — inside the double-collect window, where the
+    conformance harness injects chaos stalls. *)
+val scan :
+  ?on_retry:(int -> unit) -> ?on_collect:(int -> unit) -> handle -> Shm.Value.t array

@@ -1,11 +1,22 @@
 (* A Wing–Gong-style linearizability checker for snapshot histories.
 
-   A history is a set of completed operations — updates and scans — with
-   real-time intervals taken from the simulator's global step counter.
-   The checker searches for a total order that (a) respects real time
-   (if o1 finishes before o2 starts, o1 precedes o2) and (b) is a legal
-   sequential snapshot history (each scan returns exactly the latest
-   value written to every component, ⊥ if none).
+   A history is a set of operations — updates and scans — with real-time
+   intervals.  Intervals are abstract: any monotone integer clock works,
+   so the same checker grades simulator histories (global step counters)
+   and native multicore histories (monotonic-clock nanoseconds captured
+   by Conform.Recorder).  The checker searches for a total order that
+   (a) respects real time (if o1 finishes before o2 starts, o1 precedes
+   o2) and (b) is a legal sequential snapshot history (each scan returns
+   exactly the latest value written to every component, ⊥ if none).
+
+   Operations divide into *completed* ones (response observed; both
+   endpoints known) and *pending* ones (invocation observed, no
+   response — e.g. the process crashed mid-operation).  A pending
+   operation may have taken effect at any point after its invocation, or
+   never; the search enumerates completion points by treating pending
+   operations as optional candidates with an infinite finish time.  This
+   is the standard completion-point enumeration of Wing–Gong extended to
+   partial histories.
 
    Histories produced by the test harnesses are small (tens of
    operations), so a memoized depth-first search is ample. *)
@@ -19,24 +30,36 @@ type op =
 type event = {
   pid : int;
   op : op;
-  start : int;   (* global step index of the operation's first step *)
-  finish : int;  (* global step index of its last step *)
+  start : int;   (* clock value at invocation (steps or ns) *)
+  finish : int;  (* clock value at response; [max_int] if pending *)
 }
 
 let pp_event ppf e =
+  let pp_iv ppf (s, f) =
+    if f = max_int then Fmt.pf ppf "[%d,pending]" s else Fmt.pf ppf "[%d,%d]" s f
+  in
   match e.op with
   | Update { i; v } ->
-    Fmt.pf ppf "p%d: update(%d,%a) @[%d,%d]" e.pid i Value.pp v e.start e.finish
+    Fmt.pf ppf "p%d: update(%d,%a) %a" e.pid i Value.pp v pp_iv (e.start, e.finish)
   | Scan { view } ->
-    Fmt.pf ppf "p%d: scan->[%a] @[%d,%d]" e.pid
+    Fmt.pf ppf "p%d: scan->[%a] %a" e.pid
       Fmt.(array ~sep:(any ";") Value.pp)
-      view e.start e.finish
+      view pp_iv (e.start, e.finish)
 
-(* [check ~components events] returns true iff the history is
-   linearizable as an atomic snapshot object. *)
-let check ~components events =
-  let events = Array.of_list events in
+(* [witness ~components ?pending events] searches for a linearization:
+   a total order of all completed [events] plus any subset of [pending]
+   operations that respects real time and snapshot semantics.  Returns
+   the order (completed and linearized-pending operations interleaved)
+   or [None].  Pending scans are droppable without loss of generality —
+   nobody observed their view — so they are discarded up front. *)
+let witness ~components ?(pending = []) completed =
+  let pending =
+    List.filter (fun e -> match e.op with Update _ -> true | Scan _ -> false) pending
+  in
+  let events = Array.of_list (completed @ pending) in
+  let nc = List.length completed in
   let n = Array.length events in
+  let finish_of j = if j < nc then events.(j).finish else max_int in
   (* The memo key must pair the linearized set with the component state:
      two different orders of same-component updates cover the same set
      but leave different states, and only one of them may admit a
@@ -49,34 +72,37 @@ let check ~components events =
   end in
   let module Memo = Hashtbl.Make (Key) in
   let failed = Memo.create 97 in
-  (* state: current component values; done_: linearized set *)
-  let rec search done_ state remaining =
-    if remaining = 0 then true
-    else if Memo.mem failed (done_, state) then false
+  (* state: current component values; done_: linearized set; [remaining]
+     counts completed operations only — pending ones need not linearize.
+     [acc] is the order built so far, reversed. *)
+  let rec search done_ state remaining acc =
+    if remaining = 0 then Some (List.rev_map (fun j -> events.(j)) acc)
+    else if Memo.mem failed (done_, state) then None
     else begin
-      (* earliest finish among not-yet-linearized ops *)
+      (* earliest finish among not-yet-linearized ops: nothing that
+         starts after it may be linearized before it *)
       let min_finish = ref max_int in
       for j = 0 to n - 1 do
-        if (not done_.(j)) && events.(j).finish < !min_finish then
-          min_finish := events.(j).finish
+        if (not done_.(j)) && finish_of j < !min_finish then min_finish := finish_of j
       done;
-      let ok = ref false in
+      let result = ref None in
       let j = ref 0 in
-      while (not !ok) && !j < n do
+      while Option.is_none !result && !j < n do
         let idx = !j in
         incr j;
         if (not done_.(idx)) && events.(idx).start <= !min_finish then begin
+          let dec = if idx < nc then 1 else 0 in
           (* events.(idx) may be linearized next *)
           match events.(idx).op with
           | Update { i; v } ->
             let prev = state.(i) in
             state.(i) <- v;
             done_.(idx) <- true;
-            if search done_ state (remaining - 1) then ok := true
-            else begin
+            (match search done_ state (remaining - dec) (idx :: acc) with
+            | Some _ as w -> result := w
+            | None ->
               done_.(idx) <- false;
-              state.(i) <- prev
-            end
+              state.(i) <- prev)
           | Scan { view } ->
             let matches =
               Array.length view = components
@@ -88,16 +114,22 @@ let check ~components events =
             in
             if matches then begin
               done_.(idx) <- true;
-              if search done_ state (remaining - 1) then ok := true
-              else done_.(idx) <- false
+              match search done_ state (remaining - dec) (idx :: acc) with
+              | Some _ as w -> result := w
+              | None -> done_.(idx) <- false
             end
         end
       done;
-      if not !ok then Memo.add failed (Array.copy done_, Array.copy state) ();
-      !ok
+      if Option.is_none !result then Memo.add failed (Array.copy done_, Array.copy state) ();
+      !result
     end
   in
-  search (Array.make n false) (Array.make components Value.Bot) n
+  search (Array.make n false) (Array.make components Value.Bot) nc []
+
+let check ~components events = Option.is_some (witness ~components events)
+
+let check_partial ~components ~pending completed =
+  Option.is_some (witness ~components ~pending completed)
 
 (* Harness support: extract a snapshot history from a recorded trace of
    tester processes.  Testers announce each completed operation with an

@@ -1,14 +1,17 @@
-(* Counterexample shrinking: delta-debug a failing pid schedule down to
-   a locally-minimal one.
+(* Counterexample shrinking: delta-debug a failing schedule down to a
+   locally-minimal one.
 
    The only interface to the system under test is a replay oracle
-   [int list -> (error, config) option] — typically built from
-   Counterex.replay — so the same shrinker serves the model checkers
-   (replay + deterministic completion + check) and the stress harness
-   (replay + check, no completion).  Replay is tolerant: dropping a
-   step can strand a later step of the same process, which then simply
-   does not happen; the candidate is judged on whether the property
-   still fails.
+   [int list -> 'w option] — the ints are usually pids (built from
+   Counterex.replay), but any integer currency works: the conformance
+   harness (Conform.Harness) shrinks native histories by feeding
+   *event indices* through the same pipeline.  So the one shrinker
+   serves the model checkers (replay + deterministic completion +
+   check), the stress harness (replay + check, no completion), and the
+   native linearizability checker (subset re-check).  Replay is
+   tolerant: dropping a step can strand a later step of the same
+   process, which then simply does not happen; the candidate is judged
+   on whether the property still fails.
 
    Three phases, each preserving "still fails":
 
@@ -28,6 +31,14 @@ type result = {
   collapsed : int;    (* solo-collapse swaps applied *)
 }
 
+type 'w shrunk = {
+  schedule : int list;  (* the minimized schedule *)
+  witness : 'w;         (* what the oracle returned for it *)
+  g_replays : int;
+  g_removed : int;
+  g_collapsed : int;
+}
+
 let pp_result ppf { ce; replays; removed; collapsed } =
   Fmt.pf ppf "@[<v>shrunk by %d steps (%d replays, %d collapse swaps)@,%a@]" removed
     replays collapsed Counterex.pp ce
@@ -39,7 +50,7 @@ let context_switches = function
   | [] -> 0
   | x :: rest -> fst (List.fold_left (fun (n, prev) y -> ((n + if y = prev then 0 else 1), y)) (0, x) rest)
 
-let minimize ~replay schedule =
+let minimize_generic ~replay schedule =
   let replays = ref 0 in
   let try_ s =
     incr replays;
@@ -118,11 +129,24 @@ let minimize ~replay schedule =
       then fixpoint ()
     in
     fixpoint ();
-    let sched, (error, config) = !best in
+    let sched, witness = !best in
     Some
       {
-        ce = { Counterex.schedule = sched; error; config };
-        replays = !replays;
-        removed = List.length schedule - List.length sched;
-        collapsed = !collapsed;
+        schedule = sched;
+        witness;
+        g_replays = !replays;
+        g_removed = List.length schedule - List.length sched;
+        g_collapsed = !collapsed;
+      }
+
+let minimize ~replay schedule =
+  match minimize_generic ~replay schedule with
+  | None -> None
+  | Some { schedule; witness = error, config; g_replays; g_removed; g_collapsed } ->
+    Some
+      {
+        ce = { Counterex.schedule; error; config };
+        replays = g_replays;
+        removed = g_removed;
+        collapsed = g_collapsed;
       }

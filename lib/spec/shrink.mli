@@ -17,7 +17,25 @@ type result = {
   collapsed : int;    (** solo-collapse swaps applied *)
 }
 
+(** The generic shrink result: the minimized integer schedule and
+    whatever witness the oracle returned for it. *)
+type 'w shrunk = {
+  schedule : int list;
+  witness : 'w;
+  g_replays : int;
+  g_removed : int;
+  g_collapsed : int;
+}
+
 val pp_result : Format.formatter -> result -> unit
+
+(** [minimize_generic ~replay schedule] is the polymorphic ddmin core:
+    the ints need not be pids — the conformance harness shrinks native
+    histories by passing event indices and an oracle that re-checks
+    linearizability of the surviving subset.  [None] iff the original
+    schedule does not reproduce a failure under [replay]. *)
+val minimize_generic :
+  replay:(int list -> 'w option) -> int list -> 'w shrunk option
 
 (** [minimize ~replay schedule] shrinks [schedule].  [None] iff the
     original schedule does not reproduce a violation under [replay]

@@ -31,3 +31,26 @@ let assert_all_done ~ops result =
 let test name f = Alcotest.test_case name `Quick f
 
 let slow_test name f = Alcotest.test_case name `Slow f
+
+(* Seed discipline for randomized tests: every random choice derives
+   from [base_seed], overridable with SA_TEST_SEED so a CI failure
+   reproduces locally with one env var; [seeded_test]/[seeded_slow_test]
+   print the seed in play whenever the test fails. *)
+let base_seed =
+  match Sys.getenv_opt "SA_TEST_SEED" with
+  | None -> 0x5eed
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "SA_TEST_SEED=%S is not an integer" s))
+
+let with_seed_report f () =
+  try f base_seed
+  with e ->
+    Fmt.epr "[test seed %d — rerun with SA_TEST_SEED=%d to reproduce]@." base_seed
+      base_seed;
+    raise e
+
+let seeded_test name f = Alcotest.test_case name `Quick (with_seed_report f)
+
+let seeded_slow_test name f = Alcotest.test_case name `Slow (with_seed_report f)

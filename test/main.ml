@@ -27,6 +27,7 @@ let () =
       ("complexity", Test_complexity.suite);
       ("scale", Test_scale.suite);
       ("native", Test_native.suite);
+      ("conform", Test_conform.suite);
       ("stress", Test_stress.suite);
       ("explore", Test_explore.suite);
       ("properties", Test_props.suite);

@@ -198,6 +198,54 @@ let shrinker_one_minimal () =
           (replay without = None))
       s
 
+(* The polymorphic ddmin core on a synthetic oracle: failure iff the
+   subset keeps both sentinel elements; the 1-minimal result is exactly
+   those two, in their original relative order. *)
+let minimize_generic_synthetic () =
+  let replay keep =
+    if List.mem 3 keep && List.mem 7 keep then Some (List.length keep) else None
+  in
+  match Spec.Shrink.minimize_generic ~replay (List.init 12 Fun.id) with
+  | None -> Alcotest.fail "generic shrinker lost the failure"
+  | Some r ->
+    Alcotest.(check (list int)) "exact minimum, order preserved" [ 3; 7 ]
+      r.Spec.Shrink.schedule;
+    Alcotest.(check int) "witness from the final oracle call" 2 r.Spec.Shrink.witness;
+    Alcotest.(check int) "removed the other ten" 10 r.Spec.Shrink.g_removed;
+    Alcotest.(check bool) "oracle consulted" true (r.Spec.Shrink.g_replays > 0);
+  (* an oracle that never fails: nothing to shrink *)
+  Alcotest.(check bool) "non-failing start refused" true
+    (Spec.Shrink.minimize_generic ~replay:(fun _ -> None) [ 1; 2; 3 ] = None)
+
+(* The Counterex wrapper is the generic core: on the same oracle both
+   produce the same schedule, and the generic witness carries the
+   (error, config) pair that re-checks. *)
+let minimize_generic_agrees_with_wrapper () =
+  let n = 3 and k = 1 and r = 3 and depth = 14 in
+  let dpor =
+    run_engine ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 }) ~depth ~n ~k ~r
+  in
+  let ce =
+    match Spec.Modelcheck.counterex_of dpor with
+    | Some ce -> ce
+    | None -> Alcotest.fail "expected a counterexample"
+  in
+  let replay = shrink_oracle ~n ~k ~r in
+  match
+    ( Spec.Shrink.minimize ~replay ce.Spec.Counterex.schedule,
+      Spec.Shrink.minimize_generic ~replay ce.Spec.Counterex.schedule )
+  with
+  | Some w, Some g ->
+    Alcotest.(check (list int)) "same minimized schedule"
+      w.Spec.Shrink.ce.Spec.Counterex.schedule g.Spec.Shrink.schedule;
+    Alcotest.(check int) "same oracle spend" w.Spec.Shrink.replays g.Spec.Shrink.g_replays;
+    let error, _config = g.Spec.Shrink.witness in
+    Alcotest.(check string) "same violation" w.Spec.Shrink.ce.Spec.Counterex.error error;
+    (* shrink-then-recheck: replaying the generic schedule still fails *)
+    Alcotest.(check bool) "generic schedule re-checks" true
+      (replay g.Spec.Shrink.schedule <> None)
+  | _ -> Alcotest.fail "one of the shrinkers lost the counterexample"
+
 (* At r=1 even the deterministic completion violates — no adversarial
    scheduling needed — and the shrinker discovers exactly that: the
    counterexample shrinks to the empty schedule. *)
@@ -278,6 +326,9 @@ let suite =
     slow_test "state hash: no collisions over an enumerated space" statehash_no_collisions;
     test "state hash merges commuted independent writes" statehash_merges_commuted_writes;
     slow_test "shrinker output violates and is 1-minimal" shrinker_one_minimal;
+    test "generic ddmin finds the exact synthetic minimum" minimize_generic_synthetic;
+    slow_test "generic shrinker agrees with the Counterex wrapper"
+      minimize_generic_agrees_with_wrapper;
     slow_test "shrinker reaches the empty schedule when completion violates"
       shrinker_reaches_empty;
     slow_test "jobs=1 and jobs=4 agree on outcomes" jobs_agree;

@@ -264,6 +264,41 @@ let jsonl_file_roundtrip_analysis () =
         in
         Alcotest.(check bool) "fold_file agrees" true (analysis_eq folded reloaded))
 
+(* Scale round-trip: a synthetic 10k-event trace with every event
+   shape and awkward values survives save/load byte-for-byte. *)
+let jsonl_10k_roundtrip () =
+  let mk i =
+    let pid = i mod 7 in
+    match i mod 5 with
+    | 0 -> Event.Invoke { pid; instance = i / 5; input = Value.Pair (vi i, Value.Bot) }
+    | 1 -> Event.Did_read { pid; reg = i mod 11; value = vi (-i) }
+    | 2 ->
+      Event.Did_write
+        { pid; reg = i mod 11; value = Value.List [ vi i; Value.Str (string_of_int i) ] }
+    | 3 -> Event.Did_scan { pid; off = i mod 3; len = i mod 13 }
+    | _ -> Event.Output { pid; instance = i / 5; value = Value.Str "s \"q\" \\ \n\t" }
+  in
+  let trace = List.init 10_000 mk in
+  let path = Filename.temp_file "sa_10k" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Jsonl.save path trace;
+      match Obs.Jsonl.load path with
+      | Error e -> Alcotest.failf "reload: %s" e
+      | Ok trace' ->
+        Alcotest.(check int) "10k events back" 10_000 (List.length trace');
+        Alcotest.(check bool) "identical trace" true (trace = trace');
+        (* and the streaming fold visits the same events in order *)
+        let arr = Array.of_list trace in
+        let n =
+          Obs.Jsonl.fold_file path ~init:0 ~f:(fun acc ev ->
+              assert (ev = arr.(acc));
+              acc + 1)
+          |> Result.get_ok
+        in
+        Alcotest.(check int) "fold_file count" 10_000 n)
+
 let bench_out_format () =
   let doc =
     Obs.Bench_out.document ~experiment:"probe"
@@ -293,5 +328,6 @@ let suite =
     test "event JSONL line round-trip" event_line_roundtrip;
     test "jsonl rejects malformed input" jsonl_rejects_garbage;
     test "jsonl file round-trip reproduces analysis" jsonl_file_roundtrip_analysis;
+    test "jsonl 10k-event trace round-trips exactly" jsonl_10k_roundtrip;
     test "bench output format parses back" bench_out_format;
   ]
