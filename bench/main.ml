@@ -14,7 +14,7 @@
                               fig1-anon-lower anon-frontier
                               conjecture-probe baseline
                               consensus-exact snapshot-ablation
-                              explore conform
+                              explore conform analyze
      main.exe series <id>     one series: progress-vs-m steps-vs-n
                               diversity-vs-workload
      main.exe bechamel        microbenchmarks only *)
@@ -493,6 +493,53 @@ let baseline_table () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* E15: static analyzer — abstract footprints vs paper bounds vs       *)
+(* dynamically measured registers, plus the mutation tests.            *)
+
+let analyze_table () =
+  section
+    "E15 Static analyzer: abstract footprint <= paper bound, dynamic subset \
+     of static (n <= 6), mutants rejected";
+  let t0 = Unix.gettimeofday () in
+  let rows = Analyze.Report.sweep ~max_n:6 () in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Fmt.pr "%a@." Analyze.Report.pp_header ();
+  List.iter (fun r -> Fmt.pr "%a@." Analyze.Report.pp_row r) rows;
+  let bad = Analyze.Report.violations rows in
+  Fmt.pr "%d rows, %d violations, %.0f ms@." (List.length rows)
+    (List.length bad) wall_ms;
+  let p = Params.make ~n:4 ~m:1 ~k:2 in
+  let mutant_rows =
+    List.map
+      (fun (mu : Analyze.Mutants.mutant) ->
+        let rejected = Analyze.Mutants.rejected mu p in
+        Fmt.pr "mutant %-20s at %s: %s@." mu.Analyze.Mutants.name
+          (Params.to_string p)
+          (if rejected then "rejected" else "ACCEPTED (analyzer failure)");
+        Obs.Json.Obj
+          [
+            ("kind", Obs.Json.String "mutant");
+            ("algo", Obs.Json.String mu.Analyze.Mutants.name);
+            ("n", Obs.Json.Int p.Params.n);
+            ("m", Obs.Json.Int p.Params.m);
+            ("k", Obs.Json.Int p.Params.k);
+            ("rejected", Obs.Json.Bool rejected);
+          ])
+      Analyze.Mutants.all
+  in
+  let sweep_rows =
+    List.map
+      (fun r ->
+        match Analyze.Report.row_to_json r with
+        | Obs.Json.Obj fields ->
+          Obs.Json.Obj (("kind", Obs.Json.String "sweep") :: fields)
+        | j -> j)
+      rows
+  in
+  write_bench ~experiment:"analyze" ~file:"BENCH_analyze.json"
+    (sweep_rows @ mutant_rows)
+
+(* ------------------------------------------------------------------ *)
 (* E6: repeated consensus needs exactly n registers (m = k = 1).       *)
 
 let consensus_exact () =
@@ -741,6 +788,7 @@ let tables =
     ("snapshot-ablation", snapshot_ablation);
     ("explore", explore_table);
     ("conform", conform_table);
+    ("analyze", analyze_table);
   ]
 
 let series =

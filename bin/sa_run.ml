@@ -232,6 +232,206 @@ let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_step
   Option.iter (fun path -> Fmt.pr "trace written to %s (JSONL)@." path) trace_out
 
 (* ------------------------------------------------------------------ *)
+(* The `analyze` subcommand: static protocol analyzer (lib/analyze).   *)
+
+let print_diags ~witness diags =
+  List.iter
+    (fun (d : Analyze.Lint.diag) ->
+      if witness then Fmt.pr "  %a@." Analyze.Lint.pp_diag d
+      else
+        Fmt.pr "  [%s] %s: %s@."
+          (Analyze.Lint.severity_name d.Analyze.Lint.severity)
+          d.Analyze.Lint.rule d.Analyze.Lint.message)
+    diags
+
+let analyze_mutants ~witness ~params =
+  Fmt.pr "--- mutants (must be rejected) ---@.";
+  List.fold_left
+    (fun ok (mu : Analyze.Mutants.mutant) ->
+      let summary, diags = Analyze.Mutants.check mu params in
+      let rejected = Analyze.Mutants.rejected mu params in
+      let static = Analyze.Absint.IntSet.cardinal summary.Analyze.Absint.writes in
+      Fmt.pr "%s at %s: static footprint %d, bound %d, lint errors %d -> %s@."
+        mu.Analyze.Mutants.name
+        (Agreement.Params.to_string params)
+        static (mu.Analyze.Mutants.bound params)
+        (List.length (Analyze.Lint.errors diags))
+        (if rejected then "rejected" else "ACCEPTED (analyzer failure)");
+      (* the witness that pins the rejection *)
+      (if static > mu.Analyze.Mutants.bound params then
+         match
+           Analyze.Absint.write_witness summary (mu.Analyze.Mutants.bound params)
+         with
+         | Some w when witness ->
+           Fmt.pr "  witness (write beyond bound):@.    %a@."
+             (Fmt.list ~sep:(Fmt.any "@.    ") Fmt.string)
+             w
+         | Some _ -> Fmt.pr "  witness available (re-run with --witness)@."
+         | None -> ());
+      print_diags ~witness (Analyze.Lint.errors diags);
+      ok && rejected)
+    true Analyze.Mutants.all
+
+let analyze algos all n m k max_n mutants json_path witness no_dynamic =
+  let algos = match algos with [] -> None | l -> Some l in
+  (match algos with
+  | Some l ->
+    List.iter
+      (fun a ->
+        if Analyze.Registry.find a = None then begin
+          Fmt.epr "unknown algorithm %S; known: %s@." a
+            (String.concat " | " Analyze.Registry.names);
+          exit 2
+        end)
+      l
+  | None -> ());
+  let dynamic = not no_dynamic in
+  let rows =
+    if all then Analyze.Report.sweep ~dynamic ~max_n ?algos ()
+    else
+      let p = Agreement.Params.make ~n ~m ~k in
+      Analyze.Registry.all
+      |> List.filter (fun (e : Analyze.Registry.entry) ->
+             (match algos with None -> true | Some l -> List.mem e.name l)
+             && e.applicable p)
+      |> List.map (fun e -> Analyze.Report.row_for ~dynamic e p)
+  in
+  Fmt.pr "%a@." Analyze.Report.pp_header ();
+  List.iter (fun r -> Fmt.pr "%a@." Analyze.Report.pp_row r) rows;
+  (* with --witness in single-triple mode, show the discovered path to
+     every register in each algorithm's static footprint *)
+  if witness && not all then begin
+    let p = Agreement.Params.make ~n ~m ~k in
+    Analyze.Registry.all
+    |> List.filter (fun (e : Analyze.Registry.entry) ->
+           (match algos with None -> true | Some l -> List.mem e.name l)
+           && e.applicable p)
+    |> List.iter (fun (e : Analyze.Registry.entry) ->
+           let summary =
+             Analyze.Absint.analyze ~rounds:e.Analyze.Registry.rounds
+               (e.Analyze.Registry.config p)
+           in
+           Fmt.pr "@.%s write witnesses:@." e.Analyze.Registry.name;
+           Analyze.Absint.IntSet.iter
+             (fun r ->
+               match Analyze.Absint.write_witness summary r with
+               | Some w ->
+                 Fmt.pr "    R%d:@.      %a@." r
+                   (Fmt.list ~sep:(Fmt.any "@.      ") Fmt.string)
+                   w
+               | None -> ())
+             summary.Analyze.Absint.writes)
+  end;
+  let bad = Analyze.Report.violations rows in
+  List.iter
+    (fun (r : Analyze.Report.row) ->
+      Fmt.pr "@.violation: %s at %s (static %d vs bound %d, dynamic within \
+              static: %b):@."
+        r.Analyze.Report.algo
+        (Agreement.Params.to_string r.Analyze.Report.params)
+        r.Analyze.Report.static_writes r.Analyze.Report.bound
+        r.Analyze.Report.dynamic_within_static;
+      print_diags ~witness (Analyze.Lint.errors r.Analyze.Report.diags))
+    bad;
+  let mutants_ok =
+    if mutants then
+      analyze_mutants ~witness ~params:(Agreement.Params.make ~n ~m ~k)
+    else true
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let mutant_rows =
+      if mutants then
+        List.map
+          (fun (mu : Analyze.Mutants.mutant) ->
+            let p = Agreement.Params.make ~n ~m ~k in
+            Obs.Json.Obj
+              [
+                ("kind", Obs.Json.String "mutant");
+                ("algo", Obs.Json.String mu.Analyze.Mutants.name);
+                ("n", Obs.Json.Int p.Agreement.Params.n);
+                ("m", Obs.Json.Int p.Agreement.Params.m);
+                ("k", Obs.Json.Int p.Agreement.Params.k);
+                ("rejected", Obs.Json.Bool (Analyze.Mutants.rejected mu p));
+              ])
+          Analyze.Mutants.all
+      else []
+    in
+    let sweep_rows =
+      List.map
+        (fun r ->
+          match Analyze.Report.row_to_json r with
+          | Obs.Json.Obj fields ->
+            Obs.Json.Obj (("kind", Obs.Json.String "sweep") :: fields)
+          | j -> j)
+        rows
+    in
+    Obs.Bench_out.write ~experiment:"analyze" ~path (sweep_rows @ mutant_rows);
+    Fmt.pr "wrote %s@." path);
+  Fmt.pr "@.%d rows, %d violations%s@." (List.length rows) (List.length bad)
+    (if mutants then
+       Fmt.str ", mutants %s" (if mutants_ok then "all rejected" else "NOT all rejected")
+     else "");
+  if bad <> [] || not mutants_ok then exit 1
+
+let analyze_cmd =
+  let algos =
+    Arg.(
+      value & opt_all string []
+      & info [ "algo"; "a" ] ~docv:"NAME"
+          ~doc:"Algorithm(s) to analyze (repeatable): oneshot | repeated | \
+                anonymous | baseline.  Default: all.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Sweep the whole parameter grid (n <= $(b,--max-n), 1 <= m <= k \
+                < n) instead of one triple.")
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.") in
+  let m = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Obstruction bound.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement bound.") in
+  let max_n =
+    Arg.(value & opt int 6 & info [ "max-n" ] ~doc:"Grid limit for --all.")
+  in
+  let mutants =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:"Also analyze the seeded broken protocols; exit 1 unless every \
+                one is rejected.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the rows as a BENCH-style JSON document.")
+  in
+  let witness =
+    Arg.(
+      value & flag
+      & info [ "witness" ] ~doc:"Print full witness paths for every finding.")
+  in
+  let no_dynamic =
+    Arg.(
+      value & flag
+      & info [ "no-dynamic" ]
+          ~doc:"Skip the concrete runs; static analysis and lints only.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze the algorithms: abstract-interpretation register \
+          footprints checked against the paper bounds and against dynamically \
+          measured registers, plus well-formedness and anonymity lints.  Exits \
+          1 on any violation.")
+    Term.(
+      const analyze $ algos $ all $ n $ m $ k $ max_n $ mutants $ json_path
+      $ witness $ no_dynamic)
+
+(* ------------------------------------------------------------------ *)
 (* The `conform` subcommand: native conformance harness (lib/conform). *)
 
 let conform obj domains components ops chaos seed iters mutant m k stats =
@@ -428,6 +628,6 @@ let cmd =
        ~doc:
          "Run m-obstruction-free k-set agreement in the simulator, or audit the native \
           layer with `conform'")
-    [ conform_cmd ]
+    [ conform_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,153 @@
+(* The abstract value domain: one growing value set per register.
+
+   Collecting semantics over all explored paths of all processes: a
+   register's set holds every value some explored execution may have
+   stored there, ⊥ included.  Joins forget interleavings on purpose —
+   any schedule whose writes stay inside the collected sets reads only
+   collected values, which is the over-approximation the footprint
+   soundness argument rests on (docs/ANALYSIS.md).
+
+   Sets are kept as insertion-ordered lists (⊥ first) with linear
+   dedup: the widening cap keeps them tiny, and insertion order is
+   load-bearing — [latest] drives the preferred, no-fork path of the
+   interpreter. *)
+
+type reg = {
+  mutable vals : Shm.Value.t list;  (* insertion order, ⊥ first *)
+  mutable count : int;
+  mutable capped : bool;
+}
+
+type t = {
+  regs : reg array;
+  set_cap : int;
+  mutable version : int;
+  mutable widened : bool;
+}
+
+let create ~registers ~set_cap =
+  if registers < 0 then invalid_arg "Absdom.create: negative registers";
+  if set_cap < 2 then invalid_arg "Absdom.create: set_cap < 2";
+  {
+    regs =
+      Array.init registers (fun _ ->
+          { vals = [ Shm.Value.Bot ]; count = 1; capped = false });
+    set_cap;
+    version = 0;
+    widened = false;
+  }
+
+let registers t = Array.length t.regs
+
+let version t = t.version
+
+let widened t = t.widened
+
+let mem_value vals v = List.exists (Shm.Value.equal v) vals
+
+let add t r v =
+  if r >= 0 && r < Array.length t.regs then begin
+    let reg = t.regs.(r) in
+    if not (mem_value reg.vals v) then
+      if reg.count >= t.set_cap then begin
+        reg.capped <- true;
+        t.widened <- true
+      end
+      else begin
+        reg.vals <- reg.vals @ [ v ];
+        reg.count <- reg.count + 1;
+        t.version <- t.version + 1
+      end
+  end
+
+let values t r =
+  if r >= 0 && r < Array.length t.regs then t.regs.(r).vals else [ Shm.Value.Bot ]
+
+let latest t r =
+  match List.rev (values t r) with v :: _ -> v | [] -> Shm.Value.Bot
+
+let cardinal t r =
+  if r >= 0 && r < Array.length t.regs then t.regs.(r).count else 1
+
+(* ------------------------------------------------------------------ *)
+(* Read alternatives.                                                  *)
+
+let dedup_values vs =
+  List.fold_left (fun acc v -> if mem_value acc v then acc else acc @ [ v ]) [] vs
+
+let read_alternatives t ~width r =
+  let vals = values t r in
+  if List.length vals <= width then
+    (* exhaustive; preferred (latest) first *)
+    dedup_values (latest t r :: vals)
+  else
+    let first_written =
+      match vals with _bot :: v :: _ -> [ v ] | _ -> []
+    in
+    let picks = (latest t r :: Shm.Value.Bot :: first_written) @ List.rev vals in
+    let deduped = dedup_values picks in
+    List.filteri (fun i _ -> i < width) deduped
+
+(* ------------------------------------------------------------------ *)
+(* Scan alternatives.                                                  *)
+
+let product_size t ~cap ~off ~len =
+  let rec go i acc =
+    if i >= len then Some acc
+    else
+      let acc = acc * cardinal t (off + i) in
+      if acc > cap then None else go (i + 1) acc
+  in
+  go 0 1
+
+(* Full product enumeration — exact value coverage for the scan.  The
+   first emitted view is latest-everywhere (the preferred path). *)
+let enumerate t ~off ~len =
+  let choices = Array.init len (fun i -> values t (off + i)) in
+  let rec go i =
+    if i >= len then [ [] ]
+    else
+      let rest = go (i + 1) in
+      List.concat_map (fun v -> List.map (fun tl -> v :: tl) rest) choices.(i)
+  in
+  let all = List.map Array.of_list (go 0) in
+  let pref = Array.init len (fun i -> latest t (off + i)) in
+  pref :: List.filter (fun v -> not (Array.for_all2 Shm.Value.equal v pref)) all
+
+let dedup_views vs =
+  let eq a b = Array.length a = Array.length b && Array.for_all2 Shm.Value.equal a b in
+  List.fold_left (fun acc v -> if List.exists (eq v) acc then acc else acc @ [ v ]) [] vs
+
+let scan_views t ~width ~exhaustive_cap ?just_wrote ~off ~len () =
+  if len = 0 then [ [||] ]
+  else
+    match product_size t ~cap:exhaustive_cap ~off ~len with
+    | Some _ -> enumerate t ~off ~len
+    | None ->
+      let latest_view = Array.init len (fun i -> latest t (off + i)) in
+      (* A half-finished block of writes: fresh values at the low
+         registers, ⊥ above — the view a scanner racing a slower block
+         writer observes.  This is the template that exposes branches
+         guarded on "foreign value present while some register is
+         still ⊥" (cf. the out-of-bound mutant). *)
+      let prefix_view =
+        Array.init len (fun i ->
+            if i < (len + 1) / 2 then latest t (off + i) else Shm.Value.Bot)
+      in
+      let uniform_own =
+        match just_wrote with
+        | Some v -> [ Array.make len v ]
+        | None -> []
+      in
+      (* Maximal value diversity: cycle each register through its set. *)
+      let diverse =
+        Array.init len (fun i ->
+            let vals = values t (off + i) in
+            List.nth vals (i mod List.length vals))
+      in
+      let bot_view = Array.make len Shm.Value.Bot in
+      let all =
+        dedup_views
+          ((latest_view :: uniform_own) @ [ prefix_view; diverse; bot_view ])
+      in
+      List.filteri (fun i _ -> i < width) all

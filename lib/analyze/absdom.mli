@@ -1,0 +1,74 @@
+(** The abstract value domain of the static analyzer.
+
+    A register's abstract value is the {e set} of concrete values any
+    execution explored so far may have stored there (collecting
+    semantics), always including ⊥ — joins deliberately forget which
+    interleaving produced a value, so a set over-approximates every
+    schedule that writes only collected values.  Sets are widened by a
+    size cap: once a register collects more than [set_cap] distinct
+    values, further values are dropped and the memory is marked
+    {!widened} — the analyzer reports the cap in its soundness caveat
+    (see docs/ANALYSIS.md).
+
+    The memory is shared, mutable and monotone: it only ever grows, and
+    {!version} bumps on every growth, which is what the joint fixpoint
+    iteration of {!Absint} watches. *)
+
+type t
+
+(** [create ~registers ~set_cap] — all registers start as \{⊥\}. *)
+val create : registers:int -> set_cap:int -> t
+
+val registers : t -> int
+
+(** Bumped every time any register's set grows. *)
+val version : t -> int
+
+(** Some register hit the widening cap: value coverage is incomplete. *)
+val widened : t -> bool
+
+(** [add t r v]: join [v] into register [r]'s set.  Out-of-range
+    registers are ignored (the access itself is diagnosed by the
+    interpreter). *)
+val add : t -> int -> Shm.Value.t -> unit
+
+(** All collected values of register [r], ⊥ first, then insertion
+    order (most recent last). *)
+val values : t -> int -> Shm.Value.t list
+
+(** Most recently collected value of [r]; ⊥ if nothing was written. *)
+val latest : t -> int -> Shm.Value.t
+
+(** Number of distinct values collected for [r] (including ⊥). *)
+val cardinal : t -> int -> int
+
+(** {1 Read and scan alternatives}
+
+    What a fabricated operation result may be.  When the concrete
+    possibilities are few, the enumeration is exhaustive (and the
+    analysis of loop-free programs over such registers is exact);
+    otherwise a bounded set of representative templates is explored —
+    the documented precision/soundness trade of the bounded analysis. *)
+
+(** Alternatives for a single read of [r]: every collected value when
+    there are at most [width], else \{⊥ (if never overwritten... always
+    collected), latest, first-written\} truncated to [width].  The
+    preferred (no-fork) alternative is first. *)
+val read_alternatives : t -> width:int -> int -> Shm.Value.t list
+
+(** Alternatives for a scan of [off..off+len-1].  Exhaustive product
+    enumeration when it has at most [exhaustive_cap] views; otherwise
+    deterministic templates — latest-everywhere, written-prefix (models
+    a half-finished block of writes), uniform-[just_wrote] (models the
+    scanner running solo after its own write), value-diverse (cycles
+    each register through its set), all-⊥ — deduplicated and truncated
+    to [width].  The preferred alternative is first. *)
+val scan_views :
+  t ->
+  width:int ->
+  exhaustive_cap:int ->
+  ?just_wrote:Shm.Value.t ->
+  off:int ->
+  len:int ->
+  unit ->
+  Shm.Value.t array list

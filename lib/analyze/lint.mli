@@ -1,0 +1,73 @@
+(** Well-formedness lints with machine-readable diagnostics.
+
+    Every finding carries a stable rule id, a severity, a one-line
+    message and a witness path (chronological step descriptions leading
+    to the offending event).  Gate decisions look only at {!errors};
+    warnings and infos are advisory.
+
+    Rules:
+    - [space/out-of-bounds] ({e error}) — a read, write or scan range
+      outside the allocated registers, from the abstract interpreter.
+    - [decide/write-after-decide] ({e error}) — a shared write between
+      a [Yield] and the next [Await]/[Stop]: output must be the last
+      visible action of an operation.
+    - [loop/unbounded-solo] ({e error}) — run {e solo} (the m ≥ 1
+      obstruction-free case every algorithm must satisfy), a process
+      fails to output within the widening fuel: no [Yield]/[Stop]
+      reached.  Checked by exact concrete interpretation, not
+      abstraction.
+    - [anon/pid-dependent-value] ({e error}, anonymous algorithms
+      only) — lockstep differential execution of two processes fed
+      identical inputs and identical operation results diverges in a
+      visible action (operation shape, written value, or output): some
+      shared value's construction depends on the process identity.
+    - [absint/path-abandoned] ({e info}) — an explored path died in the
+      program's own decode logic under an abstract value mix.
+    - [absint/widened] ({e warning}) — value sets hit the widening cap;
+      value coverage (not register coverage) is incomplete. *)
+
+type severity = Error | Warning | Info
+
+type diag = {
+  rule : string;
+  severity : severity;
+  message : string;
+  witness : Absint.witness;
+}
+
+val severity_name : severity -> string
+val errors : diag list -> diag list
+val pp_diag : Format.formatter -> diag -> unit
+
+(** Diagnostics derivable from an existing abstract-interpretation
+    summary: out-of-bounds, write-after-decide, abandoned paths,
+    widening. *)
+val of_summary : Absint.summary -> diag list
+
+(** Concrete solo execution of every process ([fuel] ops per
+    invocation, default scaled as {!Absint.budgets_for}); diagnoses
+    [loop/unbounded-solo]. *)
+val solo_termination :
+  ?fuel:int ->
+  ?inputs:(pid:int -> instance:int -> Shm.Value.t) ->
+  ?rounds:int ->
+  Shm.Config.t ->
+  diag list
+
+(** Lockstep differential execution of processes 0 and 1 under
+    identical inputs and identical fabricated results; diagnoses
+    [anon/pid-dependent-value].  Configurations with fewer than two
+    processes trivially pass. *)
+val anonymity :
+  ?fuel:int -> ?rounds:int -> ?input:Shm.Value.t -> Shm.Config.t -> diag list
+
+(** All applicable rules: abstract interpretation (or reuse [summary]),
+    solo termination, and — when [anonymous] — the anonymity check.
+    Returns the summary used and the diagnostics. *)
+val check :
+  ?budgets:Absint.budgets ->
+  ?rounds:int ->
+  ?summary:Absint.summary ->
+  anonymous:bool ->
+  Shm.Config.t ->
+  Absint.summary * diag list

@@ -44,7 +44,26 @@ let oneshot_anonymous =
     upper = (fun p -> fi (Agreement.Params.r_anonymous p));
   }
 
+(* §4.1 baseline row: the DFGR'13 algorithm itself (m = 1 only) — the
+   register count the paper improves on.  Lower = upper = 2(n−k): the
+   cell records the baseline's own cost, not a bound of this paper. *)
+let dfgr13_baseline =
+  {
+    label = "DFGR'13 baseline (m = 1)";
+    lower = (fun p -> fi (Agreement.Params.r_dfgr13 p));
+    upper = (fun p -> fi (Agreement.Params.r_dfgr13 p));
+  }
+
 let all = [ repeated_non_anonymous; oneshot_non_anonymous; repeated_anonymous; oneshot_anonymous ]
+
+(* Lookup by registry algorithm name (see Analyze.Registry). *)
+let for_algorithm = function
+  | "oneshot" -> Some oneshot_non_anonymous
+  | "repeated" -> Some repeated_non_anonymous
+  | "anonymous" | "anonymous-repeated" -> Some repeated_anonymous
+  | "anonymous-oneshot" -> Some oneshot_anonymous
+  | "baseline" | "dfgr13" -> Some dfgr13_baseline
+  | _ -> None
 
 (* Headline corollaries. *)
 

@@ -20,7 +20,18 @@ val repeated_anonymous : cell
 (** Row 2': Theorem 10 lower, Theorem 11 (minus H) upper. *)
 val oneshot_anonymous : cell
 
+(** Section 4.1's comparison row: the DFGR'13 algorithm's own cost,
+    2(n−k) registers, m = 1 only (lower = upper — a baseline, not a
+    bound of this paper). *)
+val dfgr13_baseline : cell
+
 val all : cell list
+
+(** The cell a registry algorithm ({!Analyze.Registry}) is measured
+    against: ["oneshot"], ["repeated"], ["anonymous"] (alias
+    ["anonymous-repeated"]), ["anonymous-oneshot"], ["baseline"] (alias
+    ["dfgr13"]).  [None] on unknown names. *)
+val for_algorithm : string -> cell option
 
 (** m = k = 1: both bounds collapse to n ("repeated consensus requires
     exactly n registers"). *)

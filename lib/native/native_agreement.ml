@@ -42,15 +42,16 @@ let propose ?(chaos = fun () -> ()) t ~pid ~seed v =
   let r = Native_snapshot.components t.snap in
   let h = Native_snapshot.handle t.snap ~pid in
   let rng = Shm.Rng.create (seed + (31 * pid)) in
-  let backoff_window = ref 1 in
-  let backoff () =
-    let slices = Shm.Rng.int rng !backoff_window + 1 in
+  (* the backoff window is plain loop state, threaded through the
+     recursion — the native layer holds no bare cells *)
+  let backoff window =
+    let slices = Shm.Rng.int rng window + 1 in
     for _ = 1 to slices * 50 do
       Domain.cpu_relax ()
     done;
-    if !backoff_window < 4096 then backoff_window := !backoff_window * 2
+    if window < 4096 then window * 2 else window
   in
-  let rec loop pref i iters =
+  let rec loop pref i iters window =
     chaos ();
     Native_snapshot.update h i (Agreement.Oneshot.pair ~pref ~pid);
     let view = Native_snapshot.scan ~on_retry:(fun _ -> Domain.cpu_relax ()) h in
@@ -62,10 +63,10 @@ let propose ?(chaos = fun () -> ()) t ~pid ~seed v =
         | Some w -> (w, i)
         | None -> (pref, (i + 1) mod r)
       in
-      if iters mod r = r - 1 then backoff ();
-      loop pref i (iters + 1)
+      let window = if iters mod r = r - 1 then backoff window else window in
+      loop pref i (iters + 1) window
   in
-  loop v 0 0
+  loop v 0 0 1
 
 (* Run a full one-shot instance: spawn one domain per process, each
    proposing [inputs.(pid)]; returns the decisions in pid order. *)

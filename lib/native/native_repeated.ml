@@ -25,15 +25,18 @@ let create ~(params : Agreement.Params.t) =
 
 let registers t = Native_snapshot.components t.snap
 
-(* Per-domain session carrying Figure 4's persistent locals. *)
+(* Per-domain session carrying Figure 4's persistent locals.  Owned by
+   one domain, but Atomic anyway: the native layer keeps every mutable
+   cell data-race-free by construction, so TSan findings are always
+   real. *)
 type session = {
   obj : t;
   h : Native_snapshot.handle;
   pid : int;
   rng : Shm.Rng.t;
-  mutable i : int;
-  mutable t_inst : int;
-  mutable history : Shm.Value.t list;
+  i : int Atomic.t;
+  t_inst : int Atomic.t;
+  history : Shm.Value.t list Atomic.t;
 }
 
 let session obj ~pid ~seed =
@@ -42,9 +45,9 @@ let session obj ~pid ~seed =
     h = Native_snapshot.handle obj.snap ~pid;
     pid;
     rng = Shm.Rng.create (seed + (97 * pid));
-    i = 0;
-    t_inst = 0;
-    history = [];
+    i = Atomic.make 0;
+    t_inst = Atomic.make 0;
+    history = Atomic.make [];
   }
 
 let nth_output history t =
@@ -55,44 +58,53 @@ let nth_output history t =
 (* One Propose, following Figure 4 with backoff between full cycles. *)
 let propose s v =
   let r = registers s.obj in
-  s.t_inst <- s.t_inst + 1;
-  let t = s.t_inst in
-  if List.length s.history >= t then nth_output s.history t
+  Atomic.incr s.t_inst;
+  let t = Atomic.get s.t_inst in
+  if List.length (Atomic.get s.history) >= t then
+    nth_output (Atomic.get s.history) t
   else begin
-    let backoff_window = ref 1 in
-    let backoff () =
-      for _ = 1 to (Shm.Rng.int s.rng !backoff_window + 1) * 50 do
+    let backoff window =
+      for _ = 1 to (Shm.Rng.int s.rng window + 1) * 50 do
         Domain.cpu_relax ()
       done;
-      if !backoff_window < 4096 then backoff_window := !backoff_window * 2
+      if window < 4096 then window * 2 else window
     in
-    let rec loop pref iters =
+    let rec loop pref iters window =
       let own =
-        { Agreement.Repeated.pref; id = s.pid; t; history = s.history }
+        {
+          Agreement.Repeated.pref;
+          id = s.pid;
+          t;
+          history = Atomic.get s.history;
+        }
       in
-      Native_snapshot.update s.h s.i (Agreement.Repeated.encode own);
+      Native_snapshot.update s.h (Atomic.get s.i) (Agreement.Repeated.encode own);
       let view = Native_snapshot.scan ~on_retry:(fun _ -> Domain.cpu_relax ()) s.h in
       match Agreement.Repeated.find_higher ~t view with
       | Some tu ->
-        s.history <- tu.Agreement.Repeated.history;
+        Atomic.set s.history tu.Agreement.Repeated.history;
         nth_output tu.Agreement.Repeated.history t
       | None -> (
         match Agreement.Repeated.decide_check ~m:s.obj.m ~t view with
         | Some w ->
-          s.history <- s.history @ [ w ];
+          Atomic.set s.history (Atomic.get s.history @ [ w ]);
           w
         | None ->
           let pref =
-            match Agreement.Repeated.adopt_check ~own ~i:s.i ~t view with
+            match
+              Agreement.Repeated.adopt_check ~own ~i:(Atomic.get s.i) ~t view
+            with
             | Some w -> w
             | None ->
-              s.i <- (s.i + 1) mod r;
+              Atomic.set s.i ((Atomic.get s.i + 1) mod r);
               pref
           in
-          if iters mod r = r - 1 then backoff ();
-          loop pref (iters + 1))
+          let window =
+            if iters mod r = r - 1 then backoff window else window
+          in
+          loop pref (iters + 1) window)
     in
-    loop v 0
+    loop v 0 1
   end
 
 (* Run [rounds] instances across n domains; returns decisions as

@@ -27,14 +27,17 @@ let create ~components =
 
 let components t = Array.length t.cells
 
-(* Per-process handle carrying the local freshness counter. *)
-type handle = { snap : t; pid : int; mutable seq : int }
+(* Per-process handle carrying the local freshness counter.  The
+   counter is only ever bumped by the owning domain, but it is Atomic
+   anyway: the native layer keeps every cell it does hold data-race-free by
+   construction, so TSan findings are always real. *)
+type handle = { snap : t; pid : int; seq : int Atomic.t }
 
-let handle t ~pid = { snap = t; pid; seq = 0 }
+let handle t ~pid = { snap = t; pid; seq = Atomic.make 0 }
 
 let update h i v =
-  h.seq <- h.seq + 1;
-  Atomic.set h.snap.cells.(i) (Some { tag_pid = h.pid; tag_seq = h.seq; v })
+  let seq = 1 + Atomic.fetch_and_add h.seq 1 in
+  Atomic.set h.snap.cells.(i) (Some { tag_pid = h.pid; tag_seq = seq; v })
 
 let collect t = Array.map Atomic.get t.cells
 

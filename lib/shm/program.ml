@@ -90,6 +90,36 @@ let poised_write = function
   | Op (Write (r, _), _) -> Some r
   | Stop | Op ((Read _ | Scan _), _) | Yield _ | Await _ -> None
 
+(* Abstract stepping hooks.  A static analyzer (lib/analyze) drives a
+   program without any memory: it decides what each read observes and
+   applies the continuation to that fabricated result.  [feed] checks
+   the result shape against the poised operation first, so the smart
+   constructors' shape assertions can never fire through this path; the
+   continuation itself may still raise (algorithms decode register
+   values and fail loudly on encodings that no single execution could
+   produce — an abstract memory can) and callers are expected to catch. *)
+
+let feed p res =
+  match (p, res) with
+  | Op (Read _, k), RVal _ -> Some (k res)
+  | Op (Write _, k), RUnit -> Some (k res)
+  | Op (Scan (_, len), k), RVec a when Array.length a = len -> Some (k res)
+  | Op _, _ | Stop, _ | Yield _, _ | Await _, _ -> None
+
+let feed_read p v = feed p (RVal v)
+
+let feed_write_ack p = feed p RUnit
+
+let feed_scan p view = feed p (RVec view)
+
+let take_yield = function
+  | Yield (v, rest) -> Some (v, rest)
+  | Stop | Op _ | Await _ -> None
+
+let start p v = match p with
+  | Await k -> Some (k v)
+  | Stop | Op _ | Yield _ -> None
+
 let is_idle = function Await _ -> true | Stop | Op _ | Yield _ -> false
 
 let is_halted = function Stop -> true | Op _ | Yield _ | Await _ -> false

@@ -72,6 +72,31 @@ val independent : footprint -> footprint -> bool
 (** [poised_write p] is [Some r] iff the head step is a write to [r]. *)
 val poised_write : t -> int option
 
+(** {1 Abstract stepping}
+
+    Hooks for driving a program without a memory — the static analyzer
+    ({!Analyze.Absint}) fabricates the result of each operation and
+    observes the continuation.  [feed] validates the result shape
+    against the poised operation ([Read] expects [RVal], [Write]
+    expects [RUnit], [Scan] expects an [RVec] of the scanned length)
+    and returns [None] on a mismatch or a non-[Op] head.  The applied
+    continuation may itself raise on value encodings no real execution
+    produces; callers catch. *)
+
+val feed : t -> res -> t option
+
+(** [feed] specialized per operation kind. *)
+val feed_read : t -> Value.t -> t option
+
+val feed_write_ack : t -> t option
+val feed_scan : t -> Value.t array -> t option
+
+(** Split a [Yield] head into the output value and the rest. *)
+val take_yield : t -> (Value.t * t) option
+
+(** Apply an [Await] head to an invocation input. *)
+val start : t -> Value.t -> t option
+
 val is_idle : t -> bool
 val is_halted : t -> bool
 val is_active : t -> bool

@@ -30,5 +30,6 @@ let () =
       ("conform", Test_conform.suite);
       ("stress", Test_stress.suite);
       ("explore", Test_explore.suite);
+      ("analyze", Test_analyze.suite);
       ("properties", Test_props.suite);
     ]

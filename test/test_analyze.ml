@@ -1,0 +1,388 @@
+(* The static analyzer (lib/analyze): abstract-interpretation
+   footprints, lints, registry sweep, mutation tests, and the
+   soundness property "dynamically written registers are contained in
+   the static footprint" on random protocols under random schedules. *)
+
+open Helpers
+module P = Shm.Program
+module V = Shm.Value
+
+module IS = Set.Make (Int)
+
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xA11A7 |]) t
+
+let params ~n ~m ~k = Agreement.Params.make ~n ~m ~k
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---- abstract stepping hooks ---- *)
+
+let hooks_feed () =
+  let p = P.read 0 (fun v -> P.yield v P.stop) in
+  (match P.feed_read p (vi 7) with
+  | Some (P.Yield (v, P.Stop)) -> Alcotest.(check bool) "read fed" true (V.equal v (vi 7))
+  | _ -> Alcotest.fail "feed_read");
+  Alcotest.(check bool) "wrong shape rejected" true (P.feed p P.RUnit = None);
+  let w = P.write 1 (vi 2) (fun () -> P.stop) in
+  (match P.feed_write_ack w with
+  | Some P.Stop -> ()
+  | _ -> Alcotest.fail "feed_write_ack");
+  let s = P.scan ~off:0 ~len:2 (fun view -> P.yield view.(1) P.stop) in
+  (match P.feed_scan s [| V.Bot; vi 9 |] with
+  | Some (P.Yield (v, _)) -> Alcotest.(check bool) "scan fed" true (V.equal v (vi 9))
+  | _ -> Alcotest.fail "feed_scan");
+  Alcotest.(check bool) "scan length checked" true
+    (P.feed_scan s [| V.Bot |] = None);
+  let a = P.await (fun v -> P.yield v P.stop) in
+  (match P.start a (vi 3) with
+  | Some (P.Yield _) -> ()
+  | _ -> Alcotest.fail "start");
+  match P.take_yield (P.yield (vi 1) P.stop) with
+  | Some (v, P.Stop) -> Alcotest.(check bool) "take_yield" true (V.equal v (vi 1))
+  | _ -> Alcotest.fail "take_yield"
+
+(* ---- interpreter on hand-rolled programs ---- *)
+
+let config_of ~registers progs =
+  Shm.Config.create ~registers ~procs:(Array.of_list progs)
+
+let absint_footprint_and_dead () =
+  (* p0 writes R0 then R1; R2 is never written by anyone *)
+  let p0 =
+    P.await (fun v ->
+        P.write 0 v @@ fun () ->
+        P.write 1 (vi 5) @@ fun () -> P.yield v P.stop)
+  in
+  let p1 = P.await (fun _ -> P.read 1 (fun v -> P.yield v P.stop)) in
+  let s =
+    Analyze.Absint.analyze
+      ~budgets:(Analyze.Absint.exhaustive ~registers:3 ~n:2)
+      (config_of ~registers:3 [ p0; p1 ])
+  in
+  Alcotest.(check (list int)) "writes" [ 0; 1 ]
+    (Analyze.Absint.IntSet.elements s.Analyze.Absint.writes);
+  Alcotest.(check (list int)) "reads" [ 1 ]
+    (Analyze.Absint.IntSet.elements s.Analyze.Absint.reads);
+  Alcotest.(check (list int)) "dead" [ 2 ]
+    (Analyze.Absint.IntSet.elements s.Analyze.Absint.dead);
+  Alcotest.(check bool) "converged" true s.Analyze.Absint.converged;
+  (match Analyze.Absint.write_witness s 1 with
+  | Some w -> Alcotest.(check bool) "witness non-empty" true (w <> [])
+  | None -> Alcotest.fail "no witness for R1");
+  Alcotest.(check bool) "no witness for dead register" true
+    (Analyze.Absint.write_witness s 2 = None)
+
+let absint_cross_process_flow () =
+  (* p1's write target depends on the value p0 wrote: the joint
+     fixpoint must propagate p0's value into p1's read. *)
+  let p0 = P.await (fun _ -> P.write 0 (vi 1) @@ fun () -> P.stop) in
+  let p1 =
+    P.await (fun _ ->
+        P.read 0 (fun v ->
+            let target = match v with V.Int 1 -> 2 | _ -> 1 in
+            P.write target (vi 9) @@ fun () -> P.stop))
+  in
+  let s =
+    Analyze.Absint.analyze
+      ~budgets:(Analyze.Absint.exhaustive ~registers:3 ~n:2)
+      (config_of ~registers:3 [ p0; p1 ])
+  in
+  (* both branches of p1 must be in the footprint: R1 (read ⊥) and R2
+     (read p0's 1) *)
+  Alcotest.(check (list int)) "writes cover both branches" [ 0; 1; 2 ]
+    (Analyze.Absint.IntSet.elements s.Analyze.Absint.writes)
+
+(* ---- lints ---- *)
+
+let lint_write_after_decide () =
+  let p =
+    P.await (fun v ->
+        P.write 0 v @@ fun () ->
+        P.yield v (P.write 1 (vi 8) @@ fun () -> P.stop))
+  in
+  let s, diags =
+    Analyze.Lint.check ~anonymous:false (config_of ~registers:2 [ p ])
+  in
+  ignore s;
+  Alcotest.(check bool) "write-after-decide fires" true
+    (List.exists
+       (fun (d : Analyze.Lint.diag) -> d.rule = "decide/write-after-decide")
+       (Analyze.Lint.errors diags))
+
+let lint_oob_scan () =
+  (* scan range sticks out of memory *)
+  let p = P.await (fun _ -> P.scan ~off:1 ~len:3 (fun _ -> P.stop)) in
+  let _, diags =
+    Analyze.Lint.check ~anonymous:false (config_of ~registers:3 [ p ])
+  in
+  Alcotest.(check bool) "oob scan fires" true
+    (List.exists
+       (fun (d : Analyze.Lint.diag) ->
+         d.rule = "space/out-of-bounds" && d.witness <> [])
+       (Analyze.Lint.errors diags))
+
+let lint_oob_write () =
+  let p = P.await (fun v -> P.write 5 v @@ fun () -> P.yield v P.stop) in
+  let _, diags =
+    Analyze.Lint.check ~anonymous:false (config_of ~registers:2 [ p ])
+  in
+  Alcotest.(check bool) "oob write fires" true
+    (List.exists
+       (fun (d : Analyze.Lint.diag) -> d.rule = "space/out-of-bounds")
+       (Analyze.Lint.errors diags))
+
+let lint_unbounded_solo () =
+  let rec spin i = P.write 0 (vi i) @@ fun () -> spin (1 - i) in
+  let p = P.await (fun _ -> spin 0) in
+  let _, diags =
+    Analyze.Lint.check ~anonymous:false (config_of ~registers:1 [ p ])
+  in
+  Alcotest.(check bool) "unbounded solo loop fires" true
+    (List.exists
+       (fun (d : Analyze.Lint.diag) -> d.rule = "loop/unbounded-solo")
+       (Analyze.Lint.errors diags))
+
+let lint_clean_on_honest_program () =
+  let p =
+    P.await (fun v -> P.write 0 v @@ fun () -> P.yield v P.stop)
+  in
+  let _, diags =
+    Analyze.Lint.check ~anonymous:false (config_of ~registers:1 [ p ])
+  in
+  Alcotest.(check int) "no errors" 0
+    (List.length (Analyze.Lint.errors diags))
+
+(* ---- anonymity ---- *)
+
+let anonymity_fig5_passes () =
+  let config = Agreement.Instances.anonymous (params ~n:4 ~m:1 ~k:2) in
+  Alcotest.(check int) "Fig 5 is anonymous" 0
+    (List.length (Analyze.Lint.anonymity ~rounds:2 config))
+
+let anonymity_fig3_would_fail () =
+  (* Figure 3 stores (pref, id) pairs — id-dependent by design, which
+     is why the registry exempts non-anonymous algorithms from the
+     rule.  The checker must *detect* the dependence nonetheless. *)
+  let config = Agreement.Instances.oneshot (params ~n:4 ~m:1 ~k:2) in
+  Alcotest.(check bool) "Fig 3 writes pid-dependent values" true
+    (Analyze.Lint.anonymity config <> [])
+
+(* ---- registry sweep ---- *)
+
+let registry_has_four_entries () =
+  Alcotest.(check (list string))
+    "registry names"
+    [ "oneshot"; "repeated"; "anonymous"; "baseline" ]
+    Analyze.Registry.names;
+  List.iter
+    (fun name ->
+      match Bounds.Formulas.for_algorithm name with
+      | Some _ -> ()
+      | None -> Alcotest.fail ("no bounds cell for " ^ name))
+    Analyze.Registry.names
+
+let sweep_small_grid_green () =
+  let rows = Analyze.Report.sweep ~max_n:4 () in
+  Alcotest.(check bool) "grid non-trivial" true (List.length rows >= 20);
+  List.iter
+    (fun (r : Analyze.Report.row) ->
+      if not r.Analyze.Report.ok then
+        Alcotest.failf "violation: %s at %s (static %d, bound %d)"
+          r.Analyze.Report.algo
+          (Agreement.Params.to_string r.Analyze.Report.params)
+          r.Analyze.Report.static_writes r.Analyze.Report.bound)
+    rows
+
+let sweep_checks_three_containments () =
+  let r =
+    Analyze.Report.row_for
+      (Option.get (Analyze.Registry.find "oneshot"))
+      (params ~n:5 ~m:2 ~k:3)
+  in
+  Alcotest.(check bool) "static <= bound" true r.Analyze.Report.static_within_bound;
+  Alcotest.(check bool) "dynamic within static" true
+    r.Analyze.Report.dynamic_within_static;
+  Alcotest.(check bool) "dynamic <= static <= bound" true
+    (r.Analyze.Report.dynamic_writes <= r.Analyze.Report.static_writes
+    && r.Analyze.Report.static_writes <= r.Analyze.Report.bound)
+
+(* ---- mutation tests ---- *)
+
+let mutant_oob_rejected_with_witness () =
+  let p = params ~n:4 ~m:1 ~k:2 in
+  let mu = Analyze.Mutants.oob_oneshot in
+  Alcotest.(check bool) "rejected" true (Analyze.Mutants.rejected mu p);
+  let summary, _ = Analyze.Mutants.check mu p in
+  let bound = mu.Analyze.Mutants.bound p in
+  Alcotest.(check bool) "static footprint exceeds the bound" true
+    (Analyze.Absint.IntSet.cardinal summary.Analyze.Absint.writes > bound);
+  match Analyze.Absint.write_witness summary bound with
+  | Some w ->
+    Alcotest.(check bool) "witness path leads to the oob write" true
+      (List.exists
+         (fun line -> contains_substring line (Fmt.str "write R%d" bound))
+         w)
+  | None -> Alcotest.fail "no witness for the beyond-bound register"
+
+let mutant_oob_dynamically_silent () =
+  (* under a sequential schedule the rare branch never fires: the bug
+     is invisible to this concrete run but caught statically *)
+  let p = params ~n:4 ~m:1 ~k:2 in
+  let mu = Analyze.Mutants.oob_oneshot in
+  let config = mu.Analyze.Mutants.config p in
+  let bound = mu.Analyze.Mutants.bound p in
+  let result =
+    Shm.Exec.run
+      ~sched:(Shm.Schedule.quantum_round_robin ~quantum:10_000 4)
+      ~inputs:(fun ~pid ~instance ->
+        if instance = 1 then Some (vi (pid + 1)) else None)
+      config
+  in
+  Alcotest.(check bool) "run quiesced" true
+    (result.Shm.Exec.stopped = Shm.Exec.All_quiescent);
+  Alcotest.(check bool) "dynamic registers stay within the bound" true
+    (Shm.Memory.num_written (Shm.Config.mem result.Shm.Exec.config) <= bound)
+
+let mutant_pid_leak_rejected_with_witness () =
+  let p = params ~n:4 ~m:1 ~k:2 in
+  let mu = Analyze.Mutants.pid_leak_anonymous in
+  Alcotest.(check bool) "rejected" true (Analyze.Mutants.rejected mu p);
+  let _, diags = Analyze.Mutants.check mu p in
+  match
+    List.find_opt
+      (fun (d : Analyze.Lint.diag) -> d.rule = "anon/pid-dependent-value")
+      (Analyze.Lint.errors diags)
+  with
+  | Some d -> Alcotest.(check bool) "witness non-empty" true (d.witness <> [])
+  | None -> Alcotest.fail "anonymity rule did not fire"
+
+(* ---- soundness property ----
+
+   For random small loop-free protocols and random seeded schedules,
+   every dynamically written register is in the static footprint.
+   Value space is kept tiny so the abstract scan enumeration stays
+   exhaustive — the regime where the analysis is exact. *)
+
+type pstep =
+  | SRead of int
+  | SWrite of int * V.t
+  | SWriteLast of int  (** target depends on the last value observed *)
+  | SScan of int * int
+  | SYield
+
+let vhash = function V.Bot -> 0 | V.Int i -> i land 1 | _ -> 1
+
+let compile ~registers steps =
+  P.await (fun input ->
+      let rec go steps last =
+        match steps with
+        | [] -> P.stop
+        | SRead r :: tl -> P.read r (fun v -> go tl v)
+        | SWrite (r, v) :: tl -> P.write r v (fun () -> go tl last)
+        | SWriteLast b :: tl ->
+          let r = (b + vhash last) mod registers in
+          P.write r (vi 9) (fun () -> go tl last)
+        | SScan (off, len) :: tl ->
+          P.scan ~off ~len (fun view ->
+              go tl (if len = 0 then last else view.(0)))
+        | SYield :: tl -> P.yield last (go tl last)
+      in
+      go steps input)
+
+let protocol_gen =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun registers ->
+    int_range 2 3 >>= fun n ->
+    let step =
+      frequency
+        [
+          (3, map (fun r -> SRead r) (int_bound (registers - 1)));
+          ( 3,
+            map2
+              (fun r v -> SWrite (r, vi v))
+              (int_bound (registers - 1))
+              (int_bound 1) );
+          (2, map (fun b -> SWriteLast b) (int_bound (registers - 1)));
+          ( 2,
+            int_bound (registers - 1) >>= fun off ->
+            int_bound (registers - off) >>= fun len -> return (SScan (off, len))
+          );
+          (1, return SYield);
+        ]
+    in
+    list_size (int_range 1 4) step >>= fun proto ->
+    (* every process runs the same shape but distinct inputs, like the
+       paper's algorithms *)
+    return (registers, n, proto))
+
+let pp_pstep = function
+  | SRead r -> Fmt.str "read %d" r
+  | SWrite (r, v) -> Fmt.str "write %d %s" r (V.to_string v)
+  | SWriteLast b -> Fmt.str "write-last %d" b
+  | SScan (o, l) -> Fmt.str "scan %d %d" o l
+  | SYield -> "yield"
+
+let protocol_arb =
+  QCheck.make protocol_gen ~print:(fun (registers, n, proto) ->
+      Fmt.str "registers=%d n=%d [%s]" registers n
+        (String.concat "; " (List.map pp_pstep proto)))
+
+let prop_static_footprint_sound =
+  QCheck.Test.make ~name:"dynamic writes are contained in static footprint"
+    ~count:60 protocol_arb (fun (registers, n, proto) ->
+      let config =
+        Shm.Config.create ~registers
+          ~procs:(Array.init n (fun _ -> compile ~registers proto))
+      in
+      let summary =
+        Analyze.Absint.analyze
+          ~budgets:(Analyze.Absint.exhaustive ~registers ~n)
+          config
+      in
+      let static = summary.Analyze.Absint.writes in
+      let scheds =
+        Shm.Schedule.round_robin n
+        :: List.map (fun seed -> Shm.Schedule.random ~seed n) [ 1; 2; 3; 4 ]
+      in
+      List.for_all
+        (fun sched ->
+          let result =
+            Shm.Exec.run ~sched ~max_steps:5_000
+              ~inputs:(fun ~pid ~instance ->
+                if instance = 1 then
+                  Some (Agreement.Runner.default_input ~pid ~instance)
+                else None)
+              config
+          in
+          let dynamic =
+            Shm.Memory.written_set (Shm.Config.mem result.Shm.Exec.config)
+          in
+          IS.for_all (fun r -> Analyze.Absint.IntSet.mem r static) dynamic)
+        scheds)
+
+let suite =
+  [
+    test "abstract stepping hooks" hooks_feed;
+    test "footprint, dead registers, witnesses" absint_footprint_and_dead;
+    test "cross-process value flow" absint_cross_process_flow;
+    test "lint: write-after-decide" lint_write_after_decide;
+    test "lint: scan out of bounds" lint_oob_scan;
+    test "lint: write out of bounds" lint_oob_write;
+    test "lint: unbounded solo loop" lint_unbounded_solo;
+    test "lint: honest program is clean" lint_clean_on_honest_program;
+    test "anonymity: Figure 5 passes" anonymity_fig5_passes;
+    test "anonymity: Figure 3 is id-dependent (hence exempt)"
+      anonymity_fig3_would_fail;
+    test "registry: four entries, bounds bound" registry_has_four_entries;
+    test "sweep: small grid green" sweep_small_grid_green;
+    test "sweep: three containments" sweep_checks_three_containments;
+    test "mutant: oob write rejected with witness" mutant_oob_rejected_with_witness;
+    test "mutant: oob write dynamically silent" mutant_oob_dynamically_silent;
+    test "mutant: pid leak rejected with witness"
+      mutant_pid_leak_rejected_with_witness;
+    to_alcotest prop_static_footprint_sound;
+  ]

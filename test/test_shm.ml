@@ -184,6 +184,36 @@ let config_block_write_requires_poised () =
     (Invalid_argument "Config.block_write: p0 is not poised to write") (fun () ->
       ignore (Config.block_write c [ 0 ]))
 
+let footprint_scan_heads () =
+  let scan ~off ~len = Program.scan ~off ~len (fun _ -> Program.stop) in
+  let fp = Program.footprint (scan ~off:0 ~len:3) in
+  Alcotest.(check (list int)) "full-range scan reads" [ 0; 1; 2 ] fp.Program.reads;
+  Alcotest.(check (list int)) "scan writes nothing" [] fp.Program.writes;
+  let fp = Program.footprint (scan ~off:2 ~len:2) in
+  Alcotest.(check (list int)) "offset scan reads" [ 2; 3 ] fp.Program.reads;
+  let fp = Program.footprint (scan ~off:1 ~len:1) in
+  Alcotest.(check (list int)) "singleton scan" [ 1 ] fp.Program.reads;
+  let fp = Program.footprint (scan ~off:5 ~len:0) in
+  Alcotest.(check (list int)) "zero-length scan reads nothing" [] fp.Program.reads;
+  Alcotest.(check bool) "zero-length scan is local" true
+    (Program.footprint_is_local fp)
+
+let footprint_scan_independence () =
+  (* a zero-length scan commutes with everything; an overlapping write
+     does not commute with a scan covering it *)
+  let scan ~off ~len = Program.scan ~off ~len (fun _ -> Program.stop) in
+  let wr r = Program.write r (vi 1) (fun () -> Program.stop) in
+  let fp_scan = Program.footprint (scan ~off:0 ~len:3) in
+  let fp_empty = Program.footprint (scan ~off:0 ~len:0) in
+  let fp_w1 = Program.footprint (wr 1) in
+  let fp_w9 = Program.footprint (wr 9) in
+  Alcotest.(check bool) "covered write conflicts" false
+    (Program.independent fp_scan fp_w1);
+  Alcotest.(check bool) "disjoint write commutes" true
+    (Program.independent fp_scan fp_w9);
+  Alcotest.(check bool) "empty scan commutes with writes" true
+    (Program.independent fp_empty fp_w1)
+
 let suite =
   [
     test "value equality" value_equality;
@@ -199,6 +229,8 @@ let suite =
     test "memory atomic scan" memory_scan_atomic;
     test "memory bounds checked" memory_bounds_checked;
     test "program poised inspection" program_poised_inspection;
+    test "footprint of scan heads" footprint_scan_heads;
+    test "scan footprint independence" footprint_scan_independence;
     test "config step semantics" config_step_semantics;
     test "config branches are independent" config_persistence_branches;
     test "config block write" config_block_write;

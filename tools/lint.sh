@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Source-level lint gate (CI: runs before the build).
+#
+# Rules:
+#   1. Obj.magic is banned everywhere.
+#   2. Every module under lib/ has an explicit interface (.mli) —
+#      the library surface is always documented and sealed.
+#   3. The native multicore layer (lib/native) holds no non-Atomic
+#      mutable state: no `mutable` record fields, no `ref` cells.
+#      Everything shared is Atomic.t by construction, so any TSan
+#      finding is a real bug, not a benign race on bookkeeping.
+#
+# Exits non-zero listing every offender.
+
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+# 1. Obj.magic ------------------------------------------------------
+if grep -rn "Obj\.magic" lib bin bench test --include='*.ml' --include='*.mli' 2>/dev/null; then
+  echo "lint: Obj.magic is banned" >&2
+  fail=1
+fi
+
+# 2. missing interfaces --------------------------------------------
+for ml in lib/*/*.ml; do
+  if [ ! -f "${ml}i" ]; then
+    echo "lint: $ml has no interface (${ml}i)" >&2
+    fail=1
+  fi
+done
+
+# 3. non-Atomic mutable state in lib/native ------------------------
+if grep -En "(^|[^[:alnum:]_])mutable[[:space:]]" lib/native/*.ml lib/native/*.mli 2>/dev/null; then
+  echo "lint: mutable record field in lib/native (use Atomic.t)" >&2
+  fail=1
+fi
+if grep -En "(^|[^_[:alnum:]])ref([^_[:alnum:]]|$)" lib/native/*.ml 2>/dev/null \
+  | grep -v "data-race"; then
+  echo "lint: ref cell in lib/native (use Atomic.t)" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: ok"
+fi
+exit "$fail"
