@@ -246,7 +246,7 @@ let anon_frontier () =
               for seed = 0 to 99 do
                 let config = Instances.anonymous_oneshot ~r ~slots:n p in
                 let inputs =
-                  Shm.Exec.oneshot_inputs (Array.init n (fun pid -> Shm.Value.Int pid))
+                  Shm.Exec.oneshot_inputs (Array.init n (fun pid -> Shm.Value.int pid))
                 in
                 let sched = Shm.Schedule.bursty_random ~seed (List.init n Fun.id) in
                 let res = Shm.Exec.run ~sched ~inputs ~max_steps:50_000 config in
@@ -290,7 +290,7 @@ let conjecture_probe () =
     for seed = 0 to 199 do
       let config = Instances.repeated ~r p in
       let inputs =
-        Shm.Exec.repeated_inputs ~rounds:2 (fun pid i -> Shm.Value.Int ((100 * i) + pid))
+        Shm.Exec.repeated_inputs ~rounds:2 (fun pid i -> Shm.Value.int ((100 * i) + pid))
       in
       let sched = Shm.Schedule.bursty_random ~seed (List.init n Fun.id) in
       let res = Shm.Exec.run ~sched ~inputs ~max_steps:60_000 config in
@@ -349,7 +349,7 @@ let explore_table () =
       let p = Params.make ~n ~m:1 ~k in
       let r = Option.value r ~default:(Params.r_oneshot p) in
       let inputs =
-        Shm.Exec.oneshot_inputs (Array.init n (fun pid -> Shm.Value.Int (pid + 1)))
+        Shm.Exec.oneshot_inputs (Array.init n (fun pid -> Shm.Value.int (pid + 1)))
       in
       let check = Spec.Properties.check_safety ~k in
       let naive_explored = ref 0 in
@@ -472,6 +472,187 @@ let conform_table () =
          if not ok then
            Fmt.pr "  !! unexpected violation on the real implementation@.");
   write_bench ~experiment:"conform" ~file:"BENCH_conform.json" (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E16: simulator hot-path performance — the journaled memory backend  *)
+(* and incremental state keys vs the persistent-map + full-MD5-digest  *)
+(* reference, measured in the same run on the Figure 3 one-shot        *)
+(* (n=4, m=1, k=1).  Schema in EXPERIMENTS.md §E16.                    *)
+
+(* --smoke (CI): same arms and schema, small iteration counts. *)
+let perf_smoke = ref false
+
+let perf_table () =
+  section
+    (Fmt.str "E16 Simulator hot path: journaled + incremental keys vs persistent + \
+              full digests (Figure 3, n=4 m=1 k=1%s)"
+       (if !perf_smoke then ", smoke" else ""));
+  let p = Params.make ~n:4 ~m:1 ~k:1 in
+  let n = p.Params.n in
+  let inputs = Shm.Exec.oneshot_inputs (Array.init n (fun pid -> Shm.Value.int (pid + 1))) in
+  let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
+  let rows = ref [] in
+  (* -- simulator stepping, exploration-style: every step also updates
+     the state hash and derives the node's cache key, exactly the
+     per-node work of the engines' DFS.  Reference arm = persistent
+     backend + audited MD5 digests + full-digest key (the old hot
+     path); new arm = journaled backend + incremental key. *)
+  let sim_arm ~backend ~full ~iters =
+    let steps = ref 0 and sink = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      let config = ref (Instances.oneshot ~backend p) in
+      let hash = ref (Spec.Statehash.create ~audit:full !config) in
+      let quiescent = ref false in
+      while not !quiescent do
+        let stepped = ref false in
+        for pid = 0 to n - 1 do
+          if Shm.Config.runnable !config ~has_input pid then (
+            let before = !config in
+            let config', ev =
+              match Shm.Config.proc before pid with
+              | Shm.Program.Await _ ->
+                let inst = Shm.Config.instance before pid + 1 in
+                Shm.Config.invoke before pid (Option.get (inputs ~pid ~instance:inst))
+              | Shm.Program.Stop -> assert false
+              | Shm.Program.Op _ | Shm.Program.Yield _ -> Shm.Config.step before pid
+            in
+            let hash' = Spec.Statehash.record !hash ~before config' ev in
+            (sink :=
+               !sink
+               +
+               if full then String.length (Spec.Statehash.full_key hash' config')
+               else Spec.Statehash.key_hash (Spec.Statehash.key hash'));
+            config := config';
+            hash := hash';
+            stepped := true;
+            incr steps)
+        done;
+        if not !stepped then quiescent := true
+      done
+    done;
+    ignore (Sys.opaque_identity !sink);
+    (!steps, Unix.gettimeofday () -. t0)
+  in
+  let sim_iters = if !perf_smoke then 200 else 2_000 in
+  let sim_row ~arm ~backend ~full =
+    let steps, wall = sim_arm ~backend ~full ~iters:sim_iters in
+    let per_s = float_of_int steps /. wall in
+    (per_s,
+     fun ratio ->
+       Obs.Json.Obj
+         [
+           ("bench", Obs.Json.String "sim-steps");
+           ("arm", Obs.Json.String arm);
+           ("backend", Obs.Json.String (Shm.Memory.backend_name backend));
+           ("keying", Obs.Json.String (if full then "full-digest" else "incremental"));
+           ("iters", Obs.Json.Int sim_iters);
+           ("steps", Obs.Json.Int steps);
+           ("wall_ms", Obs.Json.Float (1000. *. wall));
+           ("steps_per_s", Obs.Json.Float per_s);
+           ("ratio_vs_reference", Obs.Json.Float ratio);
+         ])
+  in
+  let ref_per_s, ref_row = sim_row ~arm:"reference" ~backend:Shm.Memory.Persistent ~full:true in
+  let new_per_s, new_row = sim_row ~arm:"new" ~backend:Shm.Memory.Journaled ~full:false in
+  let sim_ratio = new_per_s /. ref_per_s in
+  rows := [ new_row sim_ratio; ref_row 1.0 ];
+  Fmt.pr "%-12s %-12s %-12s %-14s %-10s@." "bench" "arm" "backend" "per-second" "ratio";
+  Fmt.pr "%-12s %-12s %-12s %-14.0f %-10s@." "sim-steps" "reference" "persistent"
+    ref_per_s "1.00";
+  Fmt.pr "%-12s %-12s %-12s %-14.0f %-10.2f@." "sim-steps" "new" "journaled" new_per_s
+    sim_ratio;
+  (* -- DPOR: same engine, old vs new cache key and backend.  States
+     per second over a fixed-depth exploration of the same instance.
+     This measures the exploration core — per-node state hashing, cache
+     lookups, footprints, successor construction on each backend — so
+     frontier completion is excluded ([completion_steps:0]): that cost
+     is plain simulator stepping, identical in both arms, and the
+     sim-steps rows above already measure it end to end. *)
+  let dpor_depth = if !perf_smoke then 9 else 12 in
+  let dpor_arm ~arm ~backend ~key =
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Spec.Modelcheck.run
+        ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 })
+        ~depth:dpor_depth ~key ~completion_steps:0 ~inputs
+        ~check:(Spec.Properties.check_safety ~k:1)
+        (Instances.oneshot ~backend p)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let s = Spec.Modelcheck.stats_of outcome in
+    let explored = s.Spec.Modelcheck.explored in
+    let per_s = float_of_int explored /. wall in
+    (per_s,
+     fun ratio ->
+       Obs.Json.Obj
+         [
+           ("bench", Obs.Json.String "dpor-states");
+           ("arm", Obs.Json.String arm);
+           ("backend", Obs.Json.String (Shm.Memory.backend_name backend));
+           ( "keying",
+             Obs.Json.String
+               (match key with `Full -> "full-digest" | `Incremental -> "incremental") );
+           ("depth", Obs.Json.Int dpor_depth);
+           ("explored", Obs.Json.Int explored);
+           ("wall_ms", Obs.Json.Float (1000. *. wall));
+           ("states_per_s", Obs.Json.Float per_s);
+           ("ratio_vs_reference", Obs.Json.Float ratio);
+         ])
+  in
+  let dref_per_s, dref_row =
+    dpor_arm ~arm:"reference" ~backend:Shm.Memory.Persistent ~key:`Full
+  in
+  let dnew_per_s, dnew_row =
+    dpor_arm ~arm:"new" ~backend:Shm.Memory.Journaled ~key:`Incremental
+  in
+  let dpor_ratio = dnew_per_s /. dref_per_s in
+  rows := dnew_row dpor_ratio :: dref_row 1.0 :: !rows;
+  Fmt.pr "%-12s %-12s %-12s %-14.0f %-10s@." "dpor-states" "reference" "persistent"
+    dref_per_s "1.00";
+  Fmt.pr "%-12s %-12s %-12s %-14.0f %-10.2f@." "dpor-states" "new" "journaled" dnew_per_s
+    dpor_ratio;
+  (* -- linearizability checker throughput (tracked so a regression in
+     the checker shows up here; memory backend is irrelevant to it). *)
+  let metrics = Obs.Metrics.create () in
+  let cfg =
+    {
+      Conform.Harness.domains = 4;
+      components = 4;
+      ops = 16;
+      profile = Conform.Chaos.Calm;
+      seed = 42;
+      iters = (if !perf_smoke then 20 else 150);
+    }
+  in
+  let lin_ok =
+    match Conform.Harness.run_snapshot ~metrics ~sut:Conform.Sut.real cfg with
+    | Conform.Harness.Pass _ -> true
+    | _ -> false
+  in
+  let ops = Obs.Metrics.Counter.value (Obs.Metrics.counter metrics "conform.ops") in
+  let check_ns =
+    Obs.Metrics.Counter.value (Obs.Metrics.counter metrics "conform.check_ns")
+  in
+  let check_ops_per_s =
+    if check_ns = 0 then 0. else float_of_int ops /. (float_of_int check_ns /. 1e9)
+  in
+  rows :=
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "linearize");
+        ("arm", Obs.Json.String "checker");
+        ("iters", Obs.Json.Int cfg.Conform.Harness.iters);
+        ("ops", Obs.Json.Int ops);
+        ("linearizable", Obs.Json.Bool lin_ok);
+        ("check_ns_total", Obs.Json.Int check_ns);
+        ("checks_per_s", Obs.Json.Float check_ops_per_s);
+      ]
+    :: !rows;
+  Fmt.pr "%-12s %-12s %-12s %-14.0f %-10s@." "linearize" "checker" "-" check_ops_per_s
+    "-";
+  Fmt.pr "speedups: sim %.2fx, dpor %.2fx (targets: >=5x, >=3x)@." sim_ratio dpor_ratio;
+  write_bench ~experiment:"perf" ~file:"BENCH_perf.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* E5: DFGR'13 baseline comparison (Section 4.1).                      *)
@@ -728,7 +909,7 @@ let bechamel_benches () =
     Test.make ~name
       (Staged.stage (fun () ->
            let inputs =
-             Array.init p.Params.n (fun pid -> Shm.Value.Int (pid + 1))
+             Array.init p.Params.n (fun pid -> Shm.Value.int (pid + 1))
            in
            ignore (Native.Native_agreement.run_instance ~params:p inputs)))
   in
@@ -789,6 +970,7 @@ let tables =
     ("explore", explore_table);
     ("conform", conform_table);
     ("analyze", analyze_table);
+    ("perf", perf_table);
   ]
 
 let series =
@@ -804,7 +986,17 @@ let run_all () =
   bechamel_benches ()
 
 let () =
-  match Array.to_list Sys.argv with
+  (* --smoke anywhere on the line switches E16 to CI-sized iteration
+     counts (same arms, same schema). *)
+  let argv =
+    Array.to_list Sys.argv
+    |> List.filter (fun a ->
+           if a = "--smoke" then (
+             perf_smoke := true;
+             false)
+           else true)
+  in
+  match argv with
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; "bechamel" ] -> bechamel_benches ()
   | [ _; "table"; id ] -> (

@@ -32,6 +32,32 @@ let impl_conv =
       ("sw", `Sw);             (* n single-writer registers *)
     ]
 
+let backend_conv =
+  let parse s =
+    match Shm.Memory.backend_of_string s with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (`Msg
+          (Fmt.str "unknown memory backend %S (expected persistent|map|journal|journaled)"
+             s))
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.string ppf (Shm.Memory.backend_name b))
+
+let memory_backend_arg =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "memory-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Simulator register backend: $(b,journaled) (flat array + undo journal, the \
+           default) or $(b,persistent) (the reference persistent map).  The test \
+           suite pins the two observationally equivalent; switch to persistent when \
+           bisecting a suspected backend bug (see docs/PERFORMANCE.md).")
+
+(* Applies process-wide, before any configuration is built. *)
+let set_memory_backend = Option.iter Shm.Memory.set_default
+
 (* scheduler spec: name[:arg[:arg]] *)
 let sched_specs =
   [ "round-robin"; "quantum[:Q]"; "random[:SEED]"; "solo:P"; "m-bounded:SEED[:M]" ]
@@ -131,8 +157,9 @@ let explore_main ~engine ~depth ~shrink ~stats ~k ~inputs config =
   if stats then Fmt.pr "--- metrics ---@.%a@." Obs.Metrics.pp metrics;
   match outcome with Spec.Modelcheck.Ok_bounded _ -> () | _ -> exit 1
 
-let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_steps
-    registers explore jobs shrink =
+let run backend algo n m k impl sched_spec rounds trace diagram stats trace_out
+    max_steps registers explore jobs shrink =
+  set_memory_backend backend;
   let params = Agreement.Params.make ~n ~m ~k in
   let sched =
     match parse_sched sched_spec ~n with
@@ -147,7 +174,7 @@ let run algo n m k impl sched_spec rounds trace diagram stats trace_out max_step
     | `Collect -> Agreement.Instances.Double_collect
     | `Sw -> Agreement.Instances.Sw_based
   in
-  let input_fn pid instance = Shm.Value.Int ((100 * instance) + pid) in
+  let input_fn pid instance = Shm.Value.int ((100 * instance) + pid) in
   let config =
     match algo with
     | One_shot -> Agreement.Instances.oneshot ?r:registers ~impl params
@@ -272,7 +299,8 @@ let analyze_mutants ~witness ~params =
       ok && rejected)
     true Analyze.Mutants.all
 
-let analyze algos all n m k max_n mutants json_path witness no_dynamic =
+let analyze backend algos all n m k max_n mutants json_path witness no_dynamic =
+  set_memory_backend backend;
   let algos = match algos with [] -> None | l -> Some l in
   (match algos with
   | Some l ->
@@ -428,8 +456,8 @@ let analyze_cmd =
           measured registers, plus well-formedness and anonymity lints.  Exits \
           1 on any violation.")
     Term.(
-      const analyze $ algos $ all $ n $ m $ k $ max_n $ mutants $ json_path
-      $ witness $ no_dynamic)
+      const analyze $ memory_backend_arg $ algos $ all $ n $ m $ k $ max_n $ mutants
+      $ json_path $ witness $ no_dynamic)
 
 (* ------------------------------------------------------------------ *)
 (* The `conform` subcommand: native conformance harness (lib/conform). *)
@@ -622,8 +650,9 @@ let cmd =
   Cmd.group
     ~default:
       Term.(
-        const run $ algo $ n $ m $ k $ impl $ sched $ rounds $ trace $ diagram $ stats
-        $ trace_out $ max_steps $ registers $ explore $ jobs $ shrink)
+        const run $ memory_backend_arg $ algo $ n $ m $ k $ impl $ sched $ rounds
+        $ trace $ diagram $ stats $ trace_out $ max_steps $ registers $ explore $ jobs
+        $ shrink)
     (Cmd.info "sa_run"
        ~doc:
          "Run m-obstruction-free k-set agreement in the simulator, or audit the native \

@@ -20,7 +20,7 @@ let n = 8
 let m = 2
 let k = 3
 
-let candidate pid = Shm.Value.Str (Printf.sprintf "node-%d" pid)
+let candidate pid = Shm.Value.str (Printf.sprintf "node-%d" pid)
 
 let elect ~sched_name sched =
   let params = Params.make ~n ~m ~k in

@@ -44,7 +44,7 @@ let splitter_program =
 let outcomes config =
   Config.outputs config
   |> List.map (fun (pid, _, v) ->
-         (pid, match v with Value.Str s -> s | _ -> Value.to_string v))
+         (pid, match Value.view v with Value.Str s -> s | _ -> Value.to_string v))
 
 (* The splitter specification, as a checker over final configurations. *)
 let check_splitter ~entered config =
@@ -60,9 +60,9 @@ let () =
   [ 2; 3 ]
   |> List.iter (fun n ->
          let procs = Array.make n splitter_program in
-         let config = Config.create ~registers:2 ~procs in
+         let config = Config.create ~registers:2 ~procs () in
          let inputs ~pid ~instance =
-           if instance = 1 then Some (Value.Int (pid + 1)) else None
+           if instance = 1 then Some (Value.int (pid + 1)) else None
          in
          match
            Spec.Modelcheck.exhaustive ~depth:(4 * n) ~inputs
@@ -75,8 +75,8 @@ let () =
            Fmt.pr "splitter n=%d: %a@." n Spec.Modelcheck.pp_outcome c);
 
   (* a process running alone stops *)
-  let config = Config.create ~registers:2 ~procs:[| splitter_program |] in
-  let inputs ~pid:_ ~instance = if instance = 1 then Some (Value.Int 1) else None in
+  let config = Config.create ~registers:2 ~procs:[| splitter_program |] () in
+  let inputs ~pid:_ ~instance = if instance = 1 then Some (Value.int 1) else None in
   let res = Exec.run ~sched:(Schedule.solo 0) ~inputs ~max_steps:100 config in
   (match outcomes res.Exec.config with
   | [ (0, "stop") ] -> Fmt.pr "solo run stops: OK@."
@@ -89,8 +89,8 @@ let () =
   let profile = Hashtbl.create 7 in
   for seed = 0 to 199 do
     let procs = Array.make 3 splitter_program in
-    let config = Config.create ~registers:2 ~procs in
-    let inputs ~pid ~instance = if instance = 1 then Some (Value.Int (pid + 1)) else None in
+    let config = Config.create ~registers:2 ~procs () in
+    let inputs ~pid ~instance = if instance = 1 then Some (Value.int (pid + 1)) else None in
     let res = Exec.run ~sched:(Schedule.random ~seed 3) ~inputs ~max_steps:1_000 config in
     let key =
       outcomes res.Exec.config |> List.map snd |> List.sort compare |> String.concat ","

@@ -11,7 +11,7 @@ let () =
   Fmt.pr "native 2-set agreement: 4 domains, %d atomic registers@."
     (Agreement.Params.r_oneshot params);
   for trial = 1 to 5 do
-    let inputs = Array.init 4 (fun pid -> Shm.Value.Int ((10 * trial) + pid)) in
+    let inputs = Array.init 4 (fun pid -> Shm.Value.int ((10 * trial) + pid)) in
     let t0 = Unix.gettimeofday () in
     let _, decisions = Native.Native_agreement.run_instance ~seed:trial ~params inputs in
     let dt = (Unix.gettimeofday () -. t0) *. 1e6 in

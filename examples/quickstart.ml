@@ -13,7 +13,7 @@ let () =
 
   (* Each process proposes 10*(pid+1); the scheduler interleaves all six
      processes at random, then lets two of them finish. *)
-  let inputs = Array.init 6 (fun pid -> Shm.Value.Int (10 * (pid + 1))) in
+  let inputs = Array.init 6 (fun pid -> Shm.Value.int (10 * (pid + 1))) in
   let sched = Shm.Schedule.m_bounded ~seed:2024 ~m:2 ~prefix:100 6 in
   let result = Agreement.Runner.run_oneshot ~sched ~inputs params in
 

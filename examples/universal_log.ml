@@ -19,12 +19,14 @@ let counter =
     Rsm.init = 0;
     apply =
       (fun s cmd ->
-        match cmd with
-        | Shm.Value.Pair (Shm.Value.Str "add", Shm.Value.Int x) -> s + x
+        match Shm.Value.view cmd with
+        | Shm.Value.Pair (tag, x)
+          when (match Shm.Value.view tag with Shm.Value.Str "add" -> true | _ -> false) ->
+          s + Shm.Value.to_int x
         | _ -> s);
   }
 
-let add pid slot = Shm.Value.Pair (Shm.Value.Str "add", Shm.Value.Int ((10 * slot) + pid))
+let add pid slot = Shm.Value.pair (Shm.Value.str "add") (Shm.Value.int ((10 * slot) + pid))
 
 let () =
   (* Part 1: replicated counter over consensus. *)

@@ -13,7 +13,7 @@ let () =
      deterministically, must satisfy Validity and 1-Agreement. *)
   let p = Params.make ~n:2 ~m:1 ~k:1 in
   let config = Instances.oneshot p in
-  let inputs = Shm.Exec.oneshot_inputs [| Shm.Value.Int 1; Shm.Value.Int 2 |] in
+  let inputs = Shm.Exec.oneshot_inputs [| Shm.Value.int 1; Shm.Value.int 2 |] in
   Fmt.pr "model checking 2-process consensus (depth 10)...@.";
   (match
      Spec.Modelcheck.exhaustive ~depth:10 ~inputs
@@ -43,7 +43,7 @@ let () =
   (* 2. Trace invariants: Lemma 3 on a recorded random run. *)
   let p5 = Params.make ~n:5 ~m:2 ~k:3 in
   let config = Instances.oneshot p5 in
-  let inputs5 = Shm.Exec.oneshot_inputs (Array.init 5 (fun i -> Shm.Value.Int i)) in
+  let inputs5 = Shm.Exec.oneshot_inputs (Array.init 5 (fun i -> Shm.Value.int i)) in
   let res =
     Shm.Exec.run ~record:true ~sched:(Shm.Schedule.random ~seed:3 5) ~inputs:inputs5
       ~max_steps:30_000 config
@@ -68,15 +68,15 @@ let () =
   let open Spec.Linearize in
   let h =
     [
-      { pid = 0; op = Update { i = 0; v = Shm.Value.Int 7 }; start = 0; finish = 2 };
-      { pid = 1; op = Scan { view = [| Shm.Value.Int 7; Shm.Value.Bot |] }; start = 3; finish = 5 };
+      { pid = 0; op = Update { i = 0; v = Shm.Value.int 7 }; start = 0; finish = 2 };
+      { pid = 1; op = Scan { view = [| Shm.Value.int 7; Shm.Value.bot |] }; start = 3; finish = 5 };
     ]
   in
   Fmt.pr "linearizability of a 2-op snapshot history: %b@." (check ~components:2 h);
   let torn =
     [
-      { pid = 0; op = Update { i = 0; v = Shm.Value.Int 7 }; start = 0; finish = 2 };
-      { pid = 1; op = Scan { view = [| Shm.Value.Bot; Shm.Value.Bot |] }; start = 3; finish = 5 };
+      { pid = 0; op = Update { i = 0; v = Shm.Value.int 7 }; start = 0; finish = 2 };
+      { pid = 1; op = Scan { view = [| Shm.Value.bot; Shm.Value.bot |] }; start = 3; finish = 5 };
     ]
   in
   Fmt.pr "and of the history with a stale scan: %b (correctly rejected)@."

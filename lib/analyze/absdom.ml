@@ -31,7 +31,7 @@ let create ~registers ~set_cap =
   {
     regs =
       Array.init registers (fun _ ->
-          { vals = [ Shm.Value.Bot ]; count = 1; capped = false });
+          { vals = [ Shm.Value.bot ]; count = 1; capped = false });
     set_cap;
     version = 0;
     widened = false;
@@ -61,10 +61,10 @@ let add t r v =
   end
 
 let values t r =
-  if r >= 0 && r < Array.length t.regs then t.regs.(r).vals else [ Shm.Value.Bot ]
+  if r >= 0 && r < Array.length t.regs then t.regs.(r).vals else [ Shm.Value.bot ]
 
 let latest t r =
-  match List.rev (values t r) with v :: _ -> v | [] -> Shm.Value.Bot
+  match List.rev (values t r) with v :: _ -> v | [] -> Shm.Value.bot
 
 let cardinal t r =
   if r >= 0 && r < Array.length t.regs then t.regs.(r).count else 1
@@ -84,7 +84,7 @@ let read_alternatives t ~width r =
     let first_written =
       match vals with _bot :: v :: _ -> [ v ] | _ -> []
     in
-    let picks = (latest t r :: Shm.Value.Bot :: first_written) @ List.rev vals in
+    let picks = (latest t r :: Shm.Value.bot :: first_written) @ List.rev vals in
     let deduped = dedup_values picks in
     List.filteri (fun i _ -> i < width) deduped
 
@@ -132,7 +132,7 @@ let scan_views t ~width ~exhaustive_cap ?just_wrote ~off ~len () =
          still ⊥" (cf. the out-of-bound mutant). *)
       let prefix_view =
         Array.init len (fun i ->
-            if i < (len + 1) / 2 then latest t (off + i) else Shm.Value.Bot)
+            if i < (len + 1) / 2 then latest t (off + i) else Shm.Value.bot)
       in
       let uniform_own =
         match just_wrote with
@@ -145,7 +145,7 @@ let scan_views t ~width ~exhaustive_cap ?just_wrote ~off ~len () =
             let vals = values t (off + i) in
             List.nth vals (i mod List.length vals))
       in
-      let bot_view = Array.make len Shm.Value.Bot in
+      let bot_view = Array.make len Shm.Value.bot in
       let all =
         dedup_views
           ((latest_view :: uniform_own) @ [ prefix_view; diverse; bot_view ])

@@ -234,7 +234,7 @@ let solo_termination ?fuel ?(inputs = default_solo_inputs) ?(rounds = 1)
 (* ------------------------------------------------------------------ *)
 (* Anonymity: lockstep differential execution.                         *)
 
-let anonymity ?fuel ?(rounds = 1) ?(input = Shm.Value.Int 1) config =
+let anonymity ?fuel ?(rounds = 1) ?(input = Shm.Value.int 1) config =
   let n = Shm.Config.n config in
   if n < 2 then []
   else begin

@@ -18,12 +18,14 @@ type mutant = {
 (* ------------------------------------------------------------------ *)
 (* Mutant 1: out-of-bound scratch write on a rare interleaving.        *)
 
-let is_foreign_pair ~pid = function
-  | V.Pair (_, V.Int id) -> id <> pid
+let is_foreign_pair ~pid v =
+  match V.view v with
+  | V.Pair (_, id) -> (
+    match V.view id with V.Int id -> id <> pid | _ -> false)
   | _ -> false
 
 let oob_program ~m ~pid ~components =
-  let pair pref = V.Pair (pref, V.Int pid) in
+  let pair pref = V.pair pref (V.int pid) in
   let rec loop pref i =
     P.write (i mod components) (pair pref) @@ fun () ->
     P.scan ~off:0 ~len:components @@ fun view ->
@@ -61,7 +63,7 @@ let oob_oneshot =
               oob_program ~m:p.Agreement.Params.m ~pid ~components)
         in
         (* one scratch register past the bound, for the buggy branch *)
-        Shm.Config.create ~registers:(components + 1) ~procs);
+        Shm.Config.create ~registers:(components + 1) ~procs ());
   }
 
 (* ------------------------------------------------------------------ *)
@@ -79,7 +81,7 @@ let leak_program ~m ~pid ~components =
             (* The bug: from the second write on, the stored value
                carries the process id — indistinguishable by register
                counts, caught by the lockstep anonymity lint. *)
-            V.Pair (pref, V.Int pid)
+            V.pair pref (V.int pid)
         in
         P.write (i mod components) value @@ fun () ->
         loop pref (i + 1) (iter + 1)
@@ -102,7 +104,7 @@ let pid_leak_anonymous =
           Array.init p.Agreement.Params.n (fun pid ->
               leak_program ~m:p.Agreement.Params.m ~pid ~components)
         in
-        Shm.Config.create ~registers:components ~procs);
+        Shm.Config.create ~registers:components ~procs ());
   }
 
 let all = [ oob_oneshot; pid_leak_anonymous ]

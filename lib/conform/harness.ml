@@ -91,7 +91,7 @@ let snapshot_workload ~cfg ~iseed ~inst ~recorder ~plan pid =
       else begin
         incr counter;
         let i = Shm.Rng.int rng cfg.components in
-        let v = Shm.Value.Int ((1_000_000 * (pid + 1)) + !counter) in
+        let v = Shm.Value.int ((1_000_000 * (pid + 1)) + !counter) in
         let op = Spec.Linearize.Update { i; v } in
         let t0 = Recorder.now hr in
         match
@@ -192,13 +192,13 @@ let run_snapshot ?(metrics = Obs.Metrics.create ()) ~sut (cfg : config) =
       Array.iter Domain.join workers;
       let completed, pending = Recorder.history recorder in
       Obs.Metrics.Counter.incr iters_c;
-      Obs.Metrics.Counter.incr ops_c ~by:(List.length completed);
-      Obs.Metrics.Counter.incr crashes_c ~by:(List.length pending);
+      Obs.Metrics.Counter.add ops_c (List.length completed);
+      Obs.Metrics.Counter.add crashes_c (List.length pending);
       observe_latencies ~metrics completed;
       let t0 = Clock.now_ns () in
       let w = Spec.Linearize.witness ~components:cfg.components ~pending completed in
       Obs.Metrics.Counter.incr checks_c;
-      Obs.Metrics.Counter.incr check_ns_c ~by:(Clock.now_ns () - t0);
+      Obs.Metrics.Counter.add check_ns_c (Clock.now_ns () - t0);
       match w with
       | Some _ -> iterate (iter + 1)
       | None ->
@@ -213,7 +213,7 @@ let run_snapshot ?(metrics = Obs.Metrics.create ()) ~sut (cfg : config) =
         let shrunk, shrink_replays =
           shrink_history ~components:cfg.components ~pending completed
         in
-        Obs.Metrics.Counter.incr shrink_replays_c ~by:shrink_replays;
+        Obs.Metrics.Counter.add shrink_replays_c shrink_replays;
         Fail
           { iter; iter_seed = iseed; error; completed; pending; shrunk; shrink_replays }
     end
@@ -284,7 +284,7 @@ let run_agreement ?(metrics = Obs.Metrics.create ()) ~(params : Agreement.Params
       let iseed = iter_seed ~seed ~iter in
       let t = Native.Native_agreement.create ~params in
       let plan = Chaos.plan profile ~seed:iseed in
-      let inputs = Array.init n (fun pid -> Shm.Value.Int ((1000 * (iter + 1)) + pid)) in
+      let inputs = Array.init n (fun pid -> Shm.Value.int ((1000 * (iter + 1)) + pid)) in
       let workers =
         Array.init n (fun pid ->
             Domain.spawn (fun () ->

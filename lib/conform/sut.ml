@@ -68,7 +68,7 @@ let spin n =
     Domain.cpu_relax ()
   done
 
-let value_of = function Some e -> e.v | None -> Shm.Value.Bot
+let value_of = function Some e -> e.v | None -> Shm.Value.bot
 
 let single_collect =
   {

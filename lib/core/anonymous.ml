@@ -22,17 +22,23 @@ open Shm
 
 type tuple = { pref : Value.t; t : int; history : Value.t list }
 
-let encode { pref; t; history } = Value.List [ pref; Value.Int t; Value.List history ]
+let encode { pref; t; history } =
+  Value.list [ pref; Value.int t; Value.list history ]
 
-let decode = function
-  | Value.List [ pref; Value.Int t; Value.List history ] -> Some { pref; t; history }
+let decode v =
+  match Value.view v with
+  | Value.List [ pref; t; history ]
+    when (match Value.view t with Value.Int _ -> true | _ -> false)
+         && (match Value.view history with Value.List _ -> true | _ -> false) ->
+    Some { pref; t = Value.to_int t; history = Value.to_list history }
   | Value.Bot -> None
-  | v -> invalid_arg (Fmt.str "Anonymous.decode: %a" Value.pp v)
+  | _ -> invalid_arg (Fmt.str "Anonymous.decode: %a" Value.pp v)
 
-let decode_h = function
+let decode_h v =
+  match Value.view v with
   | Value.Bot -> []
   | Value.List vs -> vs
-  | v -> invalid_arg (Fmt.str "Anonymous.decode_h: %a" Value.pp v)
+  | _ -> invalid_arg (Fmt.str "Anonymous.decode_h: %a" Value.pp v)
 
 (* Fair interleaving of two threads; first Yield wins the operation. *)
 let rec par a b =
@@ -60,7 +66,7 @@ let decide_check ~m ~t view =
   in
   if all_t && View.distinct_count view <= m then
     View.most_frequent view ~project:(fun v ->
-        match decode v with Some tu -> tu.pref | None -> Value.Bot)
+        match decode v with Some tu -> tu.pref | None -> Value.bot)
   else None
 
 (* |{j : s[j] = (v, t, ∗)}|: components holding a t-tuple with value v. *)
@@ -100,7 +106,7 @@ let program ~params ~api ~h_reg =
   let rec next_propose (api : Snapshot.Snap_api.t) i t history =
     Program.await @@ fun v ->
     (* Line 9: publish our history in H before starting instance t+1. *)
-    Program.write h_reg (Value.List history) @@ fun () ->
+    Program.write h_reg (Value.list history) @@ fun () ->
     let t = t + 1 in
     if List.length history >= t then
       Program.yield (nth_output history t) (next_propose api i t history)

@@ -33,7 +33,7 @@ let space_optimal_impl (p : Params.t) =
   if Params.r_oneshot p <= p.Params.n then Atomic else Sw_based
 
 (* One-shot instances (Figure 3). *)
-let oneshot ?r ?(impl = Atomic) (p : Params.t) =
+let oneshot ?r ?(impl = Atomic) ?backend (p : Params.t) =
   let r = Option.value r ~default:(Params.r_oneshot p) in
   let n = p.Params.n in
   let procs =
@@ -41,10 +41,10 @@ let oneshot ?r ?(impl = Atomic) (p : Params.t) =
         let api, _ = api_for impl ~r ~n ~pid in
         Oneshot.program ~m:p.Params.m ~pid ~api)
   in
-  Shm.Config.create ~registers:(registers_for impl ~r ~n) ~procs
+  Shm.Config.create ?backend ~registers:(registers_for impl ~r ~n) ~procs ()
 
 (* Repeated instances (Figure 4). *)
-let repeated ?r ?(impl = Atomic) (p : Params.t) =
+let repeated ?r ?(impl = Atomic) ?backend (p : Params.t) =
   let r = Option.value r ~default:(Params.r_oneshot p) in
   let n = p.Params.n in
   let procs =
@@ -52,10 +52,10 @@ let repeated ?r ?(impl = Atomic) (p : Params.t) =
         let api, _ = api_for impl ~r ~n ~pid in
         Repeated.program ~m:p.Params.m ~pid ~api)
   in
-  Shm.Config.create ~registers:(registers_for impl ~r ~n) ~procs
+  Shm.Config.create ?backend ~registers:(registers_for impl ~r ~n) ~procs ()
 
 (* DFGR'13 baseline (one-shot, m = 1, 2(n−k) registers). *)
-let baseline ?(impl = Atomic) (p : Params.t) =
+let baseline ?(impl = Atomic) ?backend (p : Params.t) =
   let n = p.Params.n and k = p.Params.k in
   let r = Baseline_dfgr13.components ~n ~k in
   let procs =
@@ -63,7 +63,7 @@ let baseline ?(impl = Atomic) (p : Params.t) =
         let api, _ = api_for impl ~r ~n ~pid in
         Baseline_dfgr13.program ~n ~k ~pid ~api)
   in
-  Shm.Config.create ~registers:(registers_for impl ~r ~n) ~procs
+  Shm.Config.create ?backend ~registers:(registers_for impl ~r ~n) ~procs ()
 
 (* Anonymous one-shot instances (Section 6, closing remark: no H, no
    watcher thread).  [slots] allows allocating more process slots than
@@ -71,7 +71,7 @@ let baseline ?(impl = Atomic) (p : Params.t) =
    clones, which is legitimate precisely because the program text is the
    same for every slot. *)
 let anonymous_oneshot ?r ?slots ?(anonymous_collect = false) ?(seed = 0xA71)
-    (p : Params.t) =
+    ?backend (p : Params.t) =
   let r = Option.value r ~default:(Params.r_anonymous p) in
   let slots = Option.value slots ~default:p.Params.n in
   let procs =
@@ -83,14 +83,14 @@ let anonymous_oneshot ?r ?slots ?(anonymous_collect = false) ?(seed = 0xA71)
         in
         Anonymous_oneshot.program ~params:p ~api)
   in
-  Shm.Config.create ~registers:r ~procs
+  Shm.Config.create ?backend ~registers:r ~procs ()
 
 (* Anonymous repeated instances (Figure 5): r components + register H.
    With [anonymous_collect] the snapshot is the anonymous double-collect
    implementation (non-blocking — the case Figure 5's thread 2 exists
    for); otherwise scans are atomic.  The per-process seed feeds only
    the freshness nonces, never the algorithm. *)
-let anonymous ?r ?(anonymous_collect = false) ?(seed = 0xA70) (p : Params.t) =
+let anonymous ?r ?(anonymous_collect = false) ?(seed = 0xA70) ?backend (p : Params.t) =
   let r = Option.value r ~default:(Params.r_anonymous p) in
   let n = p.Params.n in
   let h_reg = r in
@@ -103,4 +103,4 @@ let anonymous ?r ?(anonymous_collect = false) ?(seed = 0xA70) (p : Params.t) =
         in
         Anonymous.program ~params:p ~api ~h_reg)
   in
-  Shm.Config.create ~registers:(r + 1) ~procs
+  Shm.Config.create ?backend ~registers:(r + 1) ~procs ()

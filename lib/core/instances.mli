@@ -23,13 +23,16 @@ val registers_for : impl -> r:int -> n:int -> int
 val space_optimal_impl : Params.t -> impl
 
 (** One-shot system (Figure 3). *)
-val oneshot : ?r:int -> ?impl:impl -> Params.t -> Shm.Config.t
+val oneshot :
+  ?r:int -> ?impl:impl -> ?backend:Shm.Memory.backend -> Params.t -> Shm.Config.t
 
 (** Repeated system (Figure 4). *)
-val repeated : ?r:int -> ?impl:impl -> Params.t -> Shm.Config.t
+val repeated :
+  ?r:int -> ?impl:impl -> ?backend:Shm.Memory.backend -> Params.t -> Shm.Config.t
 
 (** DFGR'13 baseline system (one-shot, m = 1, 2(n−k) registers). *)
-val baseline : ?impl:impl -> Params.t -> Shm.Config.t
+val baseline :
+  ?impl:impl -> ?backend:Shm.Memory.backend -> Params.t -> Shm.Config.t
 
 (** Anonymous one-shot system (no H, no watcher).  [slots] allocates
     extra identical process slots for the clone machinery of the
@@ -39,6 +42,7 @@ val anonymous_oneshot :
   ?slots:int ->
   ?anonymous_collect:bool ->
   ?seed:int ->
+  ?backend:Shm.Memory.backend ->
   Params.t ->
   Shm.Config.t
 
@@ -46,4 +50,9 @@ val anonymous_oneshot :
     With [anonymous_collect] the snapshot is the non-blocking anonymous
     double collect; otherwise scans are atomic. *)
 val anonymous :
-  ?r:int -> ?anonymous_collect:bool -> ?seed:int -> Params.t -> Shm.Config.t
+  ?r:int ->
+  ?anonymous_collect:bool ->
+  ?seed:int ->
+  ?backend:Shm.Memory.backend ->
+  Params.t ->
+  Shm.Config.t

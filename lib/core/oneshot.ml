@@ -18,7 +18,7 @@
 
 open Shm
 
-let pair ~pref ~pid = Value.Pair (pref, Value.Int pid)
+let pair ~pref ~pid = Value.pair pref (Value.int pid)
 
 let value_of_pair = Value.fst
 

@@ -21,13 +21,23 @@ open Shm
 type tuple = { pref : Value.t; id : int; t : int; history : Value.t list }
 
 let encode { pref; id; t; history } =
-  Value.List [ pref; Value.Int id; Value.Int t; Value.List history ]
+  Value.list [ pref; Value.int id; Value.int t; Value.list history ]
 
-let decode = function
-  | Value.List [ pref; Value.Int id; Value.Int t; Value.List history ] ->
-    Some { pref; id; t; history }
+let decode v =
+  match Value.view v with
+  | Value.List [ pref; id; t; history ]
+    when (match Value.view id with Value.Int _ -> true | _ -> false)
+         && (match Value.view t with Value.Int _ -> true | _ -> false)
+         && (match Value.view history with Value.List _ -> true | _ -> false) ->
+    Some
+      {
+        pref;
+        id = Value.to_int id;
+        t = Value.to_int t;
+        history = Value.to_list history;
+      }
   | Value.Bot -> None
-  | v -> invalid_arg (Fmt.str "Repeated.decode: %a" Value.pp v)
+  | _ -> invalid_arg (Fmt.str "Repeated.decode: %a" Value.pp v)
 
 let is_instance t v =
   match decode v with Some tu -> tu.t = t | None -> false

@@ -7,13 +7,13 @@ open Shm
    and 100·instance + pid in later instances, so that instances have
    disjoint input domains (handy when eyeballing traces). *)
 let default_input ~pid ~instance =
-  if instance = 1 then Value.Int (pid + 1) else Value.Int ((100 * instance) + pid)
+  if instance = 1 then Value.int (pid + 1) else Value.int ((100 * instance) + pid)
 
 let run_oneshot ?record ?impl ?r ?sched ?sink ?(max_steps = 200_000) ?inputs (p : Params.t) =
   let n = p.Params.n in
   let sched = Option.value sched ~default:(Schedule.round_robin n) in
   let inputs =
-    Option.value inputs ~default:(Array.init n (fun pid -> Value.Int (pid + 1)))
+    Option.value inputs ~default:(Array.init n (fun pid -> Value.int (pid + 1)))
   in
   let config = Instances.oneshot ?impl ?r p in
   Exec.run ?record ?sink ~sched ~inputs:(Exec.oneshot_inputs inputs) ~max_steps config
@@ -32,7 +32,7 @@ let run_baseline ?record ?impl ?sched ?sink ?(max_steps = 200_000) ?inputs (p : 
   let n = p.Params.n in
   let sched = Option.value sched ~default:(Schedule.round_robin n) in
   let inputs =
-    Option.value inputs ~default:(Array.init n (fun pid -> Value.Int (pid + 1)))
+    Option.value inputs ~default:(Array.init n (fun pid -> Value.int (pid + 1)))
   in
   let config = Instances.baseline ?impl p in
   Exec.run ?record ?sink ~sched ~inputs:(Exec.oneshot_inputs inputs) ~max_steps config

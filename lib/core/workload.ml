@@ -27,14 +27,14 @@ let all = [ Distinct; Identical; Two_camps; Skewed; Binary_random 7 ]
 (* Inputs for a one-shot task over n processes. *)
 let inputs t ~n =
   match t with
-  | Distinct -> Array.init n (fun pid -> Value.Int (100 + pid))
-  | Identical -> Array.make n (Value.Int 100)
-  | Two_camps -> Array.init n (fun pid -> Value.Int (if pid < n / 2 then 100 else 200))
+  | Distinct -> Array.init n (fun pid -> Value.int (100 + pid))
+  | Identical -> Array.make n (Value.int 100)
+  | Two_camps -> Array.init n (fun pid -> Value.int (if pid < n / 2 then 100 else 200))
   | Skewed ->
-    Array.init n (fun pid -> if pid mod 5 = 4 then Value.Int (100 + pid) else Value.Int 100)
+    Array.init n (fun pid -> if pid mod 5 = 4 then Value.int (100 + pid) else Value.int 100)
   | Binary_random seed ->
     let rng = Rng.create seed in
-    Array.init n (fun _ -> Value.Int (if Rng.bool rng then 100 else 200))
+    Array.init n (fun _ -> Value.int (if Rng.bool rng then 100 else 200))
 
 (* Distinct values actually present in a workload. *)
 let distinct_inputs t ~n =

@@ -93,7 +93,7 @@ let attack ~params ~registers ~slots ~make_config ?(max_steps = 200_000) () =
   let c = k + 1 in
   (* group ℓ = process slot ℓ, proposing value 1000 + ℓ *)
   let inputs ~pid ~instance =
-    if instance = 1 && pid < c then Some (Value.Int (1000 + pid)) else None
+    if instance = 1 && pid < c then Some (Value.int (1000 + pid)) else None
   in
   let config = (make_config ~registers ~slots : Config.t) in
   let next_slot = ref c in

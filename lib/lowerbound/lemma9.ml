@@ -68,7 +68,7 @@ let attack ~params ~registers ~slots ~make_config ?(alpha_tries = 3000)
   let c = (k + m) / m in
   (* group ℓ occupies slots ℓm .. ℓm+m−1; member i proposes 1000ℓ + i *)
   let member l i = (l * m) + i in
-  let value l i = Value.Int ((1000 * (l + 1)) + i) in
+  let value l i = Value.int ((1000 * (l + 1)) + i) in
   let inputs ~pid ~instance =
     if instance = 1 && pid < c * m then
       Some (value (pid / m) (pid mod m))

@@ -67,8 +67,8 @@ let pp_outcome ppf = function
    proposes a value derived from its own id, so that distinct deciders
    certify distinct group outputs. *)
 let attack_inputs ~icap ~pid ~instance =
-  if instance <= icap then Some (Value.Int ((instance * 1000) + pid))
-  else if instance = icap + 1 then Some (Value.Int (1_000_000 + pid))
+  if instance <= icap then Some (Value.int ((instance * 1000) + pid))
+  else if instance = icap + 1 then Some (Value.int (1_000_000 + pid))
   else None
 
 let attack ~params ~registers ~make_config ?(icap = 20) ?(delta_steps = 30_000)

@@ -66,7 +66,7 @@ let scan ?(on_retry = fun _attempt -> ()) ?(on_collect = fun _attempt -> ()) h =
     on_collect n;
     match prev with
     | Some p when same_collect p cur ->
-      Array.map (function Some e -> e.v | None -> Shm.Value.Bot) cur
+      Array.map (function Some e -> e.v | None -> Shm.Value.bot) cur
     | Some _ | None ->
       on_retry n;
       attempt (n + 1) (Some cur)

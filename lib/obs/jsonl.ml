@@ -12,7 +12,8 @@
 
 open Shm
 
-let rec json_of_value = function
+let rec json_of_value v =
+  match Value.view v with
   | Value.Bot -> Json.Null
   | Value.Int i -> Json.Int i
   | Value.Str s -> Json.String s
@@ -20,16 +21,16 @@ let rec json_of_value = function
   | Value.List vs -> Json.Arr (List.map json_of_value vs)
 
 let rec value_of_json = function
-  | Json.Null -> Ok Value.Bot
-  | Json.Int i -> Ok (Value.Int i)
-  | Json.String s -> Ok (Value.Str s)
+  | Json.Null -> Ok Value.bot
+  | Json.Int i -> Ok (Value.int i)
+  | Json.String s -> Ok (Value.str s)
   | Json.Obj [ ("pair", Json.Arr [ a; b ]) ] -> (
     match (value_of_json a, value_of_json b) with
-    | Ok a, Ok b -> Ok (Value.Pair (a, b))
+    | Ok a, Ok b -> Ok (Value.pair a b)
     | (Error _ as e), _ | _, (Error _ as e) -> e)
   | Json.Arr vs ->
     let rec go acc = function
-      | [] -> Ok (Value.List (List.rev acc))
+      | [] -> Ok (Value.list (List.rev acc))
       | v :: rest -> (
         match value_of_json v with Ok v -> go (v :: acc) rest | Error _ as e -> e)
     in

@@ -10,7 +10,13 @@ module Counter = struct
   type t = { mutable n : int }
 
   let create () = { n = 0 }
-  let incr ?(by = 1) t = t.n <- t.n + by
+
+  (* [add] is the hot path: event sinks bump counters once per
+     simulator step, so it must not allocate.  [incr ~by] boxes its
+     optional argument at every call site that supplies it — keep it
+     for convenience, route per-event code through [add]. *)
+  let add t by = t.n <- t.n + by
+  let incr ?(by = 1) t = add t by
   let value t = t.n
 end
 
@@ -37,12 +43,13 @@ module Histogram = struct
   let create () =
     { counts = Array.make buckets 0; count = 0; sum = 0; min = max_int; max = min_int }
 
-  let bucket_of v =
-    if v <= 0 then 0
-    else
-      let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
-      min (bits 0 v) (buckets - 1)
+  (* module-level so [bucket_of] — called on every observation — is a
+     plain tail-recursive call with no per-call closure *)
+  let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1)
 
+  let bucket_of v = if v <= 0 then 0 else min (bits 0 v) (buckets - 1)
+
+  (* allocation-free: integer field mutations only *)
   let observe t v =
     let b = bucket_of v in
     t.counts.(b) <- t.counts.(b) + 1;
@@ -115,35 +122,46 @@ type t = { tbl : (string, metric) Hashtbl.t; mutable order : string list (* reve
 
 let create () = { tbl = Hashtbl.create 16; order = [] }
 
-let find_or_add t name ~make ~cast =
-  match Hashtbl.find_opt t.tbl name with
-  | Some m -> cast m
-  | None ->
-    let m = make () in
-    Hashtbl.add t.tbl name m;
-    t.order <- name :: t.order;
-    cast m
+(* Lookups are written out per kind rather than through a generic
+   [find_or_add ~make ~cast]: sinks resolve metrics by name inside
+   per-event handlers, and the closure pair the generic version
+   allocates on every call shows up in allocation profiles.  The hit
+   path below allocates nothing ([Hashtbl.find] + exception, avoiding
+   [find_opt]'s [Some]). *)
+
+let register t name m =
+  Hashtbl.add t.tbl name m;
+  t.order <- name :: t.order
 
 let counter t name =
-  find_or_add t name
-    ~make:(fun () -> M_counter (Counter.create ()))
-    ~cast:(function
-      | M_counter c -> c
-      | _ -> invalid_arg (Fmt.str "Metrics.counter: %S is not a counter" name))
+  match Hashtbl.find t.tbl name with
+  | M_counter c -> c
+  | M_gauge _ | M_histogram _ ->
+    invalid_arg (Fmt.str "Metrics.counter: %S is not a counter" name)
+  | exception Not_found ->
+    let c = Counter.create () in
+    register t name (M_counter c);
+    c
 
 let gauge t name =
-  find_or_add t name
-    ~make:(fun () -> M_gauge (Gauge.create ()))
-    ~cast:(function
-      | M_gauge g -> g
-      | _ -> invalid_arg (Fmt.str "Metrics.gauge: %S is not a gauge" name))
+  match Hashtbl.find t.tbl name with
+  | M_gauge g -> g
+  | M_counter _ | M_histogram _ ->
+    invalid_arg (Fmt.str "Metrics.gauge: %S is not a gauge" name)
+  | exception Not_found ->
+    let g = Gauge.create () in
+    register t name (M_gauge g);
+    g
 
 let histogram t name =
-  find_or_add t name
-    ~make:(fun () -> M_histogram (Histogram.create ()))
-    ~cast:(function
-      | M_histogram h -> h
-      | _ -> invalid_arg (Fmt.str "Metrics.histogram: %S is not a histogram" name))
+  match Hashtbl.find t.tbl name with
+  | M_histogram h -> h
+  | M_counter _ | M_gauge _ ->
+    invalid_arg (Fmt.str "Metrics.histogram: %S is not a histogram" name)
+  | exception Not_found ->
+    let h = Histogram.create () in
+    register t name (M_histogram h);
+    h
 
 let names t = List.rev t.order
 

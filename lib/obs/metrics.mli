@@ -9,6 +9,11 @@ module Counter : sig
 
   val create : unit -> t
   val incr : ?by:int -> t -> unit
+
+  (** [add t n] is [incr ~by:n t] without the optional-argument boxing:
+      the allocation-free path for per-event code. *)
+  val add : t -> int -> unit
+
   val value : t -> int
 end
 

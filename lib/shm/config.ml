@@ -17,9 +17,9 @@ type t = {
   outputs : (int * int * Value.t) list;     (* (pid, instance, output), reversed *)
 }
 
-let create ~registers ~procs =
+let create ?backend ~registers ~procs () =
   {
-    mem = Memory.create registers;
+    mem = Memory.create ?backend registers;
     procs = Array.copy procs;
     instance = Array.make (Array.length procs) 0;
     inputs = [];
@@ -29,6 +29,10 @@ let create ~registers ~procs =
 let n t = Array.length t.procs
 
 let mem t = t.mem
+
+(* Detach the memory's journal family (no-op on persistent memories) so
+   this configuration can be owned by another domain. *)
+let unshare t = { t with mem = Memory.unshare t.mem }
 
 let proc t pid = t.procs.(pid)
 
@@ -71,29 +75,36 @@ let invoke t pid v =
   | Program.Stop | Program.Op _ | Program.Yield _ ->
     invalid_arg (Fmt.str "Config.invoke: p%d is not idle" pid)
 
-(* Perform one step of an active process. *)
+(* Perform one step of an active process.  This is the simulator's
+   innermost loop (every explored node and every frontier completion
+   goes through it), so each branch builds its successor configuration
+   in one allocation instead of stacking [set_proc] + functional
+   update. *)
 let step t pid =
+  let with_proc t p mem =
+    let procs = Array.copy t.procs in
+    procs.(pid) <- p;
+    { t with procs; mem }
+  in
   match t.procs.(pid) with
   | Program.Stop -> invalid_arg (Fmt.str "Config.step: p%d halted" pid)
   | Program.Await _ -> invalid_arg (Fmt.str "Config.step: p%d idle" pid)
   | Program.Yield (v, rest) ->
     let inst = t.instance.(pid) in
-    let t = set_proc t pid rest in
-    let t = { t with outputs = (pid, inst, v) :: t.outputs } in
+    let procs = Array.copy t.procs in
+    procs.(pid) <- rest;
+    let t = { t with procs; outputs = (pid, inst, v) :: t.outputs } in
     (t, Event.Output { pid; instance = inst; value = v })
   | Program.Op (Program.Read r, k) ->
     let v = Memory.read t.mem r in
-    let t = { (set_proc t pid (k (Program.RVal v))) with mem = Memory.count_read t.mem 1 } in
+    let t = with_proc t (k (Program.RVal v)) (Memory.count_read t.mem 1) in
     (t, Event.Did_read { pid; reg = r; value = v })
   | Program.Op (Program.Write (r, v), k) ->
-    let mem = Memory.write t.mem r v in
-    let t = { (set_proc t pid (k Program.RUnit)) with mem } in
+    let t = with_proc t (k Program.RUnit) (Memory.write t.mem r v) in
     (t, Event.Did_write { pid; reg = r; value = v })
   | Program.Op (Program.Scan (off, len), k) ->
     let vec = Memory.scan t.mem ~off ~len in
-    let t =
-      { (set_proc t pid (k (Program.RVec vec))) with mem = Memory.count_read t.mem len }
-    in
+    let t = with_proc t (k (Program.RVec vec)) (Memory.count_read t.mem len) in
     (t, Event.Did_scan { pid; off; len })
 
 (* Clone support for the anonymous lower bound (Section 5): slot [to_]

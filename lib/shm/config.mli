@@ -7,12 +7,18 @@
 
 type t
 
-(** [create ~registers ~procs] is the initial configuration: all
-    registers ⊥, process [pid] running [procs.(pid)]. *)
-val create : registers:int -> procs:Program.t array -> t
+(** [create ?backend ~registers ~procs ()] is the initial
+    configuration: all registers ⊥, process [pid] running
+    [procs.(pid)].  [backend] selects the memory representation
+    (default {!Memory.get_default}). *)
+val create : ?backend:Memory.backend -> registers:int -> procs:Program.t array -> unit -> t
 
 val n : t -> int
 val mem : t -> Memory.t
+
+(** Detach the memory from its journal family so this configuration can
+    be handed to another domain (see {!Memory.unshare}). *)
+val unshare : t -> t
 val proc : t -> int -> Program.t
 
 (** Number of invocations process [pid] has begun (0 initially). *)

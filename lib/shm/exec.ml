@@ -23,11 +23,16 @@ type result = {
 let run ?(record = false) ?sink ?(max_steps = 1_000_000) ~sched ~inputs config =
   let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
   let observe = match sink with Some f -> f | None -> fun _ -> () in
+  (* one [runnable] closure for the whole run, reading the current
+     configuration through a cell — the scheduler probes it up to n
+     times per step, so a per-step closure shows up in profiles *)
+  let cur = ref config in
+  let runnable pid = Config.runnable !cur ~has_input pid in
   let rec go config step trace =
     if step >= max_steps then
       { config; steps = step; stopped = Fuel_exhausted; trace = List.rev trace }
-    else
-      let runnable pid = Config.runnable config ~has_input pid in
+    else (
+      cur := config;
       match sched.Schedule.next ~step ~runnable with
       | None -> { config; steps = step; stopped = All_quiescent; trace = List.rev trace }
       | Some pid ->
@@ -46,7 +51,7 @@ let run ?(record = false) ?sink ?(max_steps = 1_000_000) ~sched ~inputs config =
           | Program.Op _ | Program.Yield _ -> Config.step config pid
         in
         observe ev;
-        go config (step + 1) (if record then ev :: trace else trace)
+        go config (step + 1) (if record then ev :: trace else trace))
   in
   go config 0 []
 

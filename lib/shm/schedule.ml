@@ -41,24 +41,23 @@ let round_robin n =
 let quantum_round_robin ~quantum n =
   if quantum <= 0 then invalid_arg "Schedule.quantum_round_robin: quantum must be positive";
   let cursor = ref 0 and left = ref quantum in
+  (* closure-free probe loop: this runs on every simulator step
+     (frontier completions included), up to n probes per step *)
   let next ~step:_ ~runnable =
-    let advance () =
+    if !left = 0 then (
       cursor := (!cursor + 1) mod n;
-      left := quantum
-    in
-    if !left = 0 then advance ();
-    let rec go tried =
-      if tried >= n then None
-      else if runnable !cursor then begin
+      left := quantum);
+    let tried = ref 0 and found = ref (-1) in
+    while !found < 0 && !tried < n do
+      if runnable !cursor then (
         decr left;
-        Some !cursor
-      end
-      else begin
-        advance ();
-        go (tried + 1)
-      end
-    in
-    go 0
+        found := !cursor)
+      else (
+        cursor := (!cursor + 1) mod n;
+        left := quantum;
+        incr tried)
+    done;
+    if !found < 0 then None else Some !found
   in
   { name = Fmt.str "round-robin/q=%d" quantum; next }
 

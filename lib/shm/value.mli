@@ -1,17 +1,32 @@
-(** Universal register value type.
+(** Universal register value type, hash-consed.
 
     Every simulated register holds a value of this single type, so
     configurations are first-class, comparable, printable data.  The
     paper's algorithms store tuples such as [(pref, id)] (Figure 3) or
-    [(pref, id, t, history)] (Figure 4); encode them with {!Pair} and
-    {!List}. *)
+    [(pref, id, t, history)] (Figure 4); encode them with {!pair} and
+    {!list}.
 
-type t =
+    Values are immutable and carry a precomputed structural hash:
+    {!hash} is O(1), and {!equal} is a pointer test whenever both sides
+    were built in the same domain (constructors intern nodes in a
+    per-domain weak set), falling back to a hash-guarded structural
+    walk otherwise.  Construct values only through the functions below
+    and inspect them through {!view}. *)
+
+type t
+
+(** One level of structure.  Children are full hash-consed values;
+    recurse with {!view}. *)
+type view =
   | Bot  (** the initial value ⊥ of every register *)
   | Int of int
   | Str of string
   | Pair of t * t
   | List of t list
+
+(** Head constructor and children of a value — the pattern-matching
+    window.  O(1): no copying below the first level. *)
+val view : t -> view
 
 (** {1 Constructors} *)
 
@@ -27,11 +42,24 @@ val tuple : t list -> t
 
 (** {1 Comparison and printing} *)
 
-(** Structural equality; matches the paper's tuple equality. *)
+(** Structural equality; matches the paper's tuple equality.  O(1) on
+    same-domain values (pointer test after interning); a stored-hash
+    mismatch rejects unequal values without any traversal. *)
 val equal : t -> t -> bool
 
-(** A total order consistent with {!equal} (used for sorting and
-    deduplication; the order itself is arbitrary but fixed). *)
+(** The precomputed structural hash.  O(1); agrees with {!equal}
+    ([equal a b] implies [hash a = hash b]) and is deterministic across
+    runs and domains (it never depends on physical identity). *)
+val hash : t -> int
+
+(** The hash mixer behind {!hash}, exposed for derived incremental
+    hashes (e.g. state keys): [mix h k] folds [k] into accumulator [h]
+    with SplitMix-style avalanching.  Deterministic across runs. *)
+val mix : int -> int -> int
+
+(** A total order consistent with {!equal} ([compare a b = 0] iff
+    [equal a b]; used for sorting and deduplication — the order itself
+    is arbitrary but fixed). *)
 val compare : t -> t -> int
 
 val pp : Format.formatter -> t -> unit

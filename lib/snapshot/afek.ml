@@ -18,14 +18,23 @@
 
 type cell = { seq : int; data : Shm.Value.t; view : Shm.Value.t array }
 
-let decode ~n = function
-  | Shm.Value.Bot -> { seq = 0; data = Shm.Value.Bot; view = Array.make n Shm.Value.Bot }
-  | Shm.Value.List [ Shm.Value.Int seq; data; Shm.Value.List view ] ->
-    { seq; data; view = Array.of_list view }
-  | v -> invalid_arg (Fmt.str "Afek.decode: %a" Shm.Value.pp v)
+let decode ~n v =
+  match Shm.Value.view v with
+  | Shm.Value.Bot ->
+    { seq = 0; data = Shm.Value.bot; view = Array.make n Shm.Value.bot }
+  | Shm.Value.List [ seq; data; view ]
+    when (match Shm.Value.view seq with Shm.Value.Int _ -> true | _ -> false)
+         && (match Shm.Value.view view with Shm.Value.List _ -> true | _ -> false) ->
+    {
+      seq = Shm.Value.to_int seq;
+      data;
+      view = Array.of_list (Shm.Value.to_list view);
+    }
+  | _ -> invalid_arg (Fmt.str "Afek.decode: %a" Shm.Value.pp v)
 
 let encode { seq; data; view } =
-  Shm.Value.List [ Shm.Value.Int seq; data; Shm.Value.List (Array.to_list view) ]
+  Shm.Value.list
+    [ Shm.Value.int seq; data; Shm.Value.list (Array.to_list view) ]
 
 let collect ~off ~n k =
   let rec go p acc =

@@ -26,12 +26,13 @@ let same_view a b =
   let rec go i = i >= Array.length a || (Shm.Value.equal a.(i) b.(i) && go (i + 1)) in
   go 0
 
-let encode ~tag v = Shm.Value.Pair (tag, v)
+let encode ~tag v = Shm.Value.pair tag v
 
-let decode = function
-  | Shm.Value.Bot -> Shm.Value.Bot
+let decode v =
+  match Shm.Value.view v with
+  | Shm.Value.Bot -> Shm.Value.bot
   | Shm.Value.Pair (_, v) -> v
-  | v -> invalid_arg (Fmt.str "Double_collect.decode: %a" Shm.Value.pp v)
+  | _ -> invalid_arg (Fmt.str "Double_collect.decode: %a" Shm.Value.pp v)
 
 (* One collect: read the [len] component registers one at a time (each
    read is a separate simulator step, so writers can interleave). *)
@@ -71,13 +72,13 @@ let make_with_tag ~off ~len ?max_retries fresh_tag seed0 : Snap_api.t =
   api seed0
 
 let make ~off ~len ~pid ?max_retries () =
-  let fresh_tag seq = (Shm.Value.Pair (Shm.Value.Int pid, Shm.Value.Int seq), seq + 1) in
+  let fresh_tag seq = (Shm.Value.pair (Shm.Value.int pid) (Shm.Value.int seq), seq + 1) in
   make_with_tag ~off ~len ?max_retries fresh_tag 0
 
 let make_anonymous ~off ~len ~seed ?max_retries () =
   let fresh_tag (state, seq) =
     let nonce, state' = Shm.Rng.pure_step state in
-    (Shm.Value.Pair (Shm.Value.Int (Int64.to_int nonce), Shm.Value.Int seq), (state', seq + 1))
+    (Shm.Value.pair (Shm.Value.int (Int64.to_int nonce)) (Shm.Value.int seq), (state', seq + 1))
   in
   make_with_tag ~off ~len ?max_retries fresh_tag (Int64.of_int seed, 0)
 

@@ -23,21 +23,26 @@
 type slot = { ts : int; owner : int; v : Shm.Value.t }
 
 let encode_slot { ts; owner; v } =
-  Shm.Value.Pair (Shm.Value.Pair (Shm.Value.Int ts, Shm.Value.Int owner), v)
+  Shm.Value.pair (Shm.Value.pair (Shm.Value.int ts) (Shm.Value.int owner)) v
 
-let decode_slot = function
-  | Shm.Value.Pair (Shm.Value.Pair (Shm.Value.Int ts, Shm.Value.Int owner), v) ->
-    { ts; owner; v }
-  | v -> invalid_arg (Fmt.str "Mw_from_sw.decode_slot: %a" Shm.Value.pp v)
+let decode_slot s =
+  match Shm.Value.view s with
+  | Shm.Value.Pair (stamp, v) -> (
+    match Shm.Value.view stamp with
+    | Shm.Value.Pair (ts, owner) ->
+      { ts = Shm.Value.to_int ts; owner = Shm.Value.to_int owner; v }
+    | _ -> invalid_arg (Fmt.str "Mw_from_sw.decode_slot: %a" Shm.Value.pp s))
+  | _ -> invalid_arg (Fmt.str "Mw_from_sw.decode_slot: %a" Shm.Value.pp s)
 
-let empty_slot = { ts = 0; owner = -1; v = Shm.Value.Bot }
+let empty_slot = { ts = 0; owner = -1; v = Shm.Value.bot }
 
-let encode_row row = Shm.Value.List (Array.to_list (Array.map encode_slot row))
+let encode_row row = Shm.Value.list (Array.to_list (Array.map encode_slot row))
 
-let decode_row ~components = function
+let decode_row ~components v =
+  match Shm.Value.view v with
   | Shm.Value.Bot -> Array.make components empty_slot
   | Shm.Value.List slots -> Array.of_list (List.map decode_slot slots)
-  | v -> invalid_arg (Fmt.str "Mw_from_sw.decode_row: %a" Shm.Value.pp v)
+  | _ -> invalid_arg (Fmt.str "Mw_from_sw.decode_row: %a" Shm.Value.pp v)
 
 let slot_newer a b = a.ts > b.ts || (a.ts = b.ts && a.owner > b.owner)
 

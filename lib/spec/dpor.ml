@@ -39,6 +39,20 @@
      domain-local (no contention); counters merge at the end, and the
      first violation found wins via a compare-and-set flag.
 
+     With the journaled memory backend (Shm.Memory.Journaled) a
+     configuration's register array is shared by its whole version
+     family, and reading it reroots mutable journal cells — so a
+     config may only ever be touched by the domain that built it.
+     Stealing therefore replays instead of sharing: each domain gets
+     its own unshared copy of the root (built before spawning), every
+     node records its owning domain and its schedule, and a domain
+     that picks up a foreign node rebuilds the configuration by
+     replaying the schedule on its own root.  Replay is deterministic
+     (same programs, same inputs, same pids), costs O(depth) once per
+     stolen node, and never dereferences the foreign config at all.
+     The observation hashes, sleep sets, and schedules carried by a
+     node are immutable and shared freely.
+
    Caveat, stated once and repeated in the docs: under a *finite*
    depth bound, reduction changes which length-≤-depth prefixes exist,
    so naive and reduced engines complete slightly different frontier
@@ -71,10 +85,11 @@ let pp_outcome ppf = function
 
 type node = {
   config : Config.t;
-  hash : Statehash.t;      (* per-pid observation digests, for the cache *)
+  hash : Statehash.t;      (* per-pid observation hashes, for the cache *)
   depth : int;
   sched : int list;        (* pids stepped so far, reversed *)
   sleep : Iset.t;          (* pids whose branches are covered elsewhere *)
+  owner : int;             (* domain that built [config] (journal ownership) *)
 }
 
 type deque = { lock : Mutex.t; mutable items : node list (* head = freshest *) }
@@ -124,12 +139,22 @@ let steal_deque dq =
 
 (* ---- the engine ---- *)
 
+(* Cache keys: the incremental Statehash key (the fast default), or
+   the original full MD5 digest (the audited reference path, also the
+   perf benchmark's old-cost arm). *)
+type key_mode = [ `Incremental | `Full ]
+
+type ckey = Kinc of Statehash.key | Kfull of Digest.t
+
 type ctx = {
   bound : int;
   completion_steps : int;
   inputs : pid:int -> instance:int -> Value.t option;
   check : Config.t -> (unit, string) result;
   use_cache : bool;
+  key_mode : key_mode;
+  replay : bool;          (* journaled backend + several domains *)
+  roots : Config.t array; (* per-domain root copies (replay mode) *)
   deques : deque array;
   pending : int Atomic.t;             (* nodes queued or in flight *)
   found : Counterex.t option Atomic.t;
@@ -149,11 +174,15 @@ let report ctx ce = ignore (Atomic.compare_and_set ctx.found None (Some ce))
    entry that (a) had at least as much remaining budget and (b) was
    explored with a sleep set no larger than ours — a smaller sleep set
    means *more* branches were explored there, covering ours. *)
-let cache_covers cache node ~remaining acc =
+let cache_covers ctx cache node ~remaining acc =
   match cache with
   | None -> false
   | Some tbl ->
-    let key = Statehash.key node.hash node.config in
+    let key =
+      match ctx.key_mode with
+      | `Incremental -> Kinc (Statehash.key node.hash)
+      | `Full -> Kfull (Statehash.full_key node.hash node.config)
+    in
     let entries = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
     if List.exists (fun (r, sl) -> r >= remaining && Iset.subset sl node.sleep) entries
     then begin
@@ -170,9 +199,28 @@ let cache_covers cache node ~remaining acc =
       false
     end
 
-let process ctx cache acc ~push node =
+(* Rebuild a foreign node's configuration by replaying its schedule on
+   this domain's own root copy (see the journal-ownership note above).
+   Invocation inputs are re-derived from [ctx.inputs] — the same values
+   the original execution consumed. *)
+let replay_config ctx ~id sched =
+  List.fold_left
+    (fun config pid ->
+      match Config.proc config pid with
+      | Program.Await _ ->
+        let inst = Config.instance config pid + 1 in
+        Stdlib.fst (Config.invoke config pid (Option.get (ctx.inputs ~pid ~instance:inst)))
+      | Program.Stop -> assert false (* replay of a valid schedule *)
+      | Program.Op _ | Program.Yield _ -> Stdlib.fst (Config.step config pid))
+    ctx.roots.(id) (List.rev sched)
+
+let process ctx cache acc ~id ~push node =
   acc.explored <- acc.explored + 1;
   if node.depth > acc.max_depth then acc.max_depth <- node.depth;
+  let node =
+    if (not ctx.replay) || node.owner = id then node
+    else { node with config = replay_config ctx ~id node.sched; owner = id }
+  in
   let config = node.config in
   let has_input pid inst = Option.is_some (ctx.inputs ~pid ~instance:inst) in
   let runnable =
@@ -180,7 +228,7 @@ let process ctx cache acc ~push node =
       (fun pid -> Config.runnable config ~has_input pid)
       (List.init (Config.n config) Fun.id)
   in
-  if cache_covers cache node ~remaining:(ctx.bound - node.depth) acc then ()
+  if cache_covers ctx cache node ~remaining:(ctx.bound - node.depth) acc then ()
   else
     let leaf () =
       acc.leaves <- acc.leaves + 1;
@@ -226,10 +274,11 @@ let process ctx cache acc ~push node =
             let child =
               {
                 config = config';
-                hash = Statehash.record node.hash config' ev;
+                hash = Statehash.record node.hash ~before:config config' ev;
                 depth = node.depth + 1;
                 sched = pid :: node.sched;
                 sleep;
+                owner = id;
               }
             in
             (Iset.add pid explored_siblings, child :: children))
@@ -268,7 +317,7 @@ let worker ctx id =
     else
       match pop_deque my with
       | Some node ->
-        process ctx cache acc ~push node;
+        process ctx cache acc ~id ~push node;
         Atomic.decr ctx.pending;
         loop ()
       | None ->
@@ -276,7 +325,7 @@ let worker ctx id =
         else begin
           (match try_steal () with
           | Some node ->
-            process ctx cache acc ~push node;
+            process ctx cache acc ~id ~push node;
             Atomic.decr ctx.pending
           | None -> Domain.cpu_relax ());
           loop ()
@@ -309,18 +358,32 @@ let export_metrics m (stats : stats) =
   bump "explore.sleep_pruned" stats.sleep_pruned;
   Obs.Metrics.Gauge.set (Obs.Metrics.gauge m "explore.domains") (float_of_int stats.domains)
 
-let explore ~depth ?(cache = true) ?(jobs = 1) ?(completion_steps = 50_000) ?metrics
-    ~inputs ~check config =
+let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
+    ?(completion_steps = 50_000) ?metrics ~inputs ~check config =
   if depth < 0 then invalid_arg "Dpor.explore: negative depth";
   let jobs = max 1 jobs in
   let deques = Array.init jobs (fun _ -> { lock = Mutex.create (); items = [] }) in
+  (* A journaled config can only be touched by the domain that owns its
+     version family; with several domains every worker gets its own
+     unshared root copy (built here, sequentially, before any domain
+     runs) and rebuilds foreign nodes by schedule replay. *)
+  let replay =
+    jobs > 1 && Memory.backend (Config.mem config) = Memory.Journaled
+  in
+  let roots =
+    if replay then Array.init jobs (fun _ -> Config.unshare config)
+    else Array.make jobs config
+  in
   let root =
     {
       config;
-      hash = Statehash.create config;
+      hash = Statehash.create ~audit:(key = `Full) config;
       depth = 0;
       sched = [];
       sleep = Iset.empty;
+      (* in replay mode no domain owns the original root config: whoever
+         pops it rebuilds from its own copy (replay of []) *)
+      owner = (if replay then -1 else 0);
     }
   in
   deques.(0).items <- [ root ];
@@ -331,6 +394,9 @@ let explore ~depth ?(cache = true) ?(jobs = 1) ?(completion_steps = 50_000) ?met
       inputs;
       check;
       use_cache = cache;
+      key_mode = key;
+      replay;
+      roots;
       deques;
       pending = Atomic.make 1;
       found = Atomic.make None;

@@ -23,6 +23,14 @@
     shrink ({!Shrink}).  Caveats of bounded-depth reduction are
     documented in [docs/EXPLORATION.md]. *)
 
+(** State-cache key flavour: the incremental {!Statehash.key} (the
+    fast default), or the original full MD5 digest of the canonical
+    form ([`Full] — the audited reference path, also the perf
+    benchmark's old-cost arm).  Both induce the same partition of
+    states up to hash collision; the equivalence is pinned by the
+    collision audit in the test suite. *)
+type key_mode = [ `Incremental | `Full ]
+
 type stats = {
   explored : int;      (** nodes visited (interior + frontier) *)
   leaves : int;        (** frontier configurations completed and checked *)
@@ -41,15 +49,22 @@ val pp_outcome : Format.formatter -> outcome -> unit
     each frontier configuration deterministically (budget
     [completion_steps], default 50k) before applying [check].
 
-    [cache] (default [true]) enables state caching; [jobs] (default 1)
+    [cache] (default [true]) enables state caching; [key] (default
+    [`Incremental]) selects the cache-key flavour; [jobs] (default 1)
     is the number of domains; [metrics], when given, receives the
     merged [explore.*] counters.  The first violation found wins (with
     [jobs > 1] which one is found first may vary between runs; whether
-    one exists does not). *)
+    one exists does not).
+
+    With the journaled memory backend ({!Shm.Memory.Journaled}) and
+    [jobs > 1], stolen subtrees are rebuilt by deterministic schedule
+    replay on a per-domain root copy — configurations never cross
+    domains (see the journal-ownership note in the implementation). *)
 val explore :
   depth:int ->
   ?cache:bool ->
   ?jobs:int ->
+  ?key:key_mode ->
   ?completion_steps:int ->
   ?metrics:Obs.Metrics.t ->
   inputs:(pid:int -> instance:int -> Shm.Value.t option) ->

@@ -28,7 +28,7 @@ let pp_violation ppf v =
    [check state] where state is the current register array; collect all
    reported problems. *)
 let replay ~registers ~check trace =
-  let state = Array.make registers Value.Bot in
+  let state = Array.make registers Value.bot in
   let violations = ref [] in
   List.iteri
     (fun step ev ->
@@ -50,8 +50,9 @@ let lemma3_pairs state =
   let bad = ref None in
   Array.iter
     (fun v ->
-      match v with
-      | Value.Pair (value, Value.Int id) -> (
+      match Value.view v with
+      | Value.Pair (value, id) when (match Value.view id with Value.Int _ -> true | _ -> false) -> (
+        let id = Value.to_int id in
         match Hashtbl.find_opt seen id with
         | Some other when not (Value.equal other value) ->
           bad :=
@@ -60,7 +61,6 @@ let lemma3_pairs state =
                  value)
         | Some _ -> ()
         | None -> Hashtbl.add seen id value)
-      | Value.Bot -> ()
       | _ -> ())
     state;
   !bad
@@ -72,8 +72,11 @@ let lemma12_tuples state =
   let bad = ref None in
   Array.iter
     (fun v ->
-      match v with
-      | Value.List [ _; Value.Int id; Value.Int t; _ ] -> (
+      match Value.view v with
+      | Value.List [ _; id; t; _ ]
+        when (match Value.view id with Value.Int _ -> true | _ -> false)
+             && (match Value.view t with Value.Int _ -> true | _ -> false) -> (
+        let id = Value.to_int id and t = Value.to_int t in
         match Hashtbl.find_opt seen (id, t) with
         | Some other when not (Value.equal other v) ->
           bad :=
@@ -82,7 +85,6 @@ let lemma12_tuples state =
                  Value.pp other Value.pp v)
         | Some _ -> ()
         | None -> Hashtbl.add seen (id, t) v)
-      | Value.Bot -> ()
       | _ -> ())
     state;
   !bad

@@ -124,7 +124,7 @@ let witness ~components ?(pending = []) completed =
       !result
     end
   in
-  search (Array.make n false) (Array.make components Value.Bot) nc []
+  search (Array.make n false) (Array.make components Value.bot) nc []
 
 let check ~components events = Option.is_some (witness ~components events)
 
@@ -137,14 +137,20 @@ let check_partial ~components ~pending completed =
    [encode_update]/[encode_scan]); the operation's interval is the span
    of the process's shared-memory steps since its previous marker. *)
 
-let encode_update ~i ~v = Value.List [ Value.Str "U"; Value.Int i; v ]
+let encode_update ~i ~v = Value.list [ Value.str "U"; Value.int i; v ]
 
-let encode_scan view = Value.List [ Value.Str "S"; Value.List (Array.to_list view) ]
+let encode_scan view = Value.list [ Value.str "S"; Value.list (Array.to_list view) ]
 
-let decode_marker = function
-  | Value.List [ Value.Str "U"; Value.Int i; v ] -> Some (Update { i; v })
-  | Value.List [ Value.Str "S"; Value.List view ] ->
-    Some (Scan { view = Array.of_list view })
+let decode_marker marker =
+  match Value.view marker with
+  | Value.List [ tag; i; v ]
+    when (match Value.view tag with Value.Str "U" -> true | _ -> false)
+         && (match Value.view i with Value.Int _ -> true | _ -> false) ->
+    Some (Update { i = Value.to_int i; v })
+  | Value.List [ tag; view ]
+    when (match Value.view tag with Value.Str "S" -> true | _ -> false)
+         && (match Value.view view with Value.List _ -> true | _ -> false) ->
+    Some (Scan { view = Array.of_list (Value.to_list view) })
   | _ -> None
 
 let history_of_trace trace =

@@ -130,7 +130,7 @@ let export_metrics m (stats : stats) =
 
 let stats_of = function Ok_bounded s -> s | Counterexample { stats; _ } -> stats
 
-let run ~engine ~depth ~inputs ?completion_steps ?metrics ~check config =
+let run ~engine ~depth ?key ~inputs ?completion_steps ?metrics ~check config =
   match engine with
   | Naive ->
     let out = exhaustive ~depth ~inputs ?completion_steps ~check config in
@@ -146,7 +146,7 @@ let run ~engine ~depth ~inputs ?completion_steps ?metrics ~check config =
         pruned = s.Dpor.sleep_pruned;
       }
     in
-    match Dpor.explore ~depth ~cache ~jobs ?completion_steps ?metrics ~inputs ~check config with
+    match Dpor.explore ~depth ~cache ~jobs ?key ?completion_steps ?metrics ~inputs ~check config with
     | Dpor.Complete s -> Ok_bounded (to_stats s)
     | Dpor.Violation (ce, s) ->
       Counterexample

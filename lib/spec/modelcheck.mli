@@ -69,10 +69,12 @@ val stats_of : outcome -> stats
 (** [run ~engine …] checks with the chosen engine; same contract and
     outcome type as {!exhaustive}.  When [metrics] is given, the final
     counters are exported into it under [explore.*] names (both
-    engines). *)
+    engines).  [key] selects the {!Dpor} cache-key flavour (default
+    [`Incremental]; ignored by [Naive]). *)
 val run :
   engine:engine ->
   depth:int ->
+  ?key:Dpor.key_mode ->
   inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
   ?completion_steps:int ->
   ?metrics:Obs.Metrics.t ->

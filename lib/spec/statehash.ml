@@ -1,5 +1,5 @@
 (* Canonical hashing of configurations, for exploration-time state
-   caching.
+   caching — maintained *incrementally* across steps.
 
    Two schedules that interleave independent steps differently reach
    configurations that are *behaviourally* the same state, and the
@@ -8,29 +8,54 @@
    compared structurally.  We exploit determinism instead: a process's
    local state is a function of its initial program and the sequence of
    values it has consumed (invocation inputs, read results, scan
-   views).  So alongside the configuration we thread one digest per
-   process, folded over exactly those observations, and the canonical
-   key of a state is
+   views).  So alongside the configuration we thread one observation
+   hash per process, folded over exactly those observations, and the
+   canonical key of a state combines
 
-     MD5 ( memory contents
-         ∥ per-process observation digests
-         ∥ per-process instance counters
-         ∥ the input and output records, sorted )
+     memory contents
+     ∥ per-process observation hashes and instance counters
+     ∥ the input and output records as multisets
 
-   Soundness direction matters.  A cache must never *merge* two states
-   that behave differently; merging too little only costs cache hits.
-   The digest distinguishes at least as much as the real state:
-   observation histories determine local states (never the converse
-   trap), and everything else is compared by value.  Three deliberate
-   choices, documented in docs/EXPLORATION.md:
+   Incrementality.  Each component is a commutative sum of per-element
+   mixes, so one step updates the key in O(1) (O(len) for a scan):
+
+   - memory: Σ_r mix(r, hash v_r); a write knows the old and new value
+     of the one register it touches and adjusts the sum by the
+     difference — the journal's undo information, surfaced through the
+     before-configuration;
+   - locals: Σ_p mix(p, obs_p, instance_p); one summand changes per
+     step;
+   - i/o records: Σ mix(pid, instance, hash v); append-only, so each
+     event adds one summand.  A commutative sum is exactly a multiset
+     hash, which is the sortedness the old full digest achieved by
+     sorting the records before hashing.
+
+   This eliminates the per-node full-configuration Buffer + MD5 +
+   to_hex churn of the original implementation.  That reference path
+   is preserved behind [~audit:true]: the per-process digests are then
+   *also* maintained as MD5 strings, and [repr]/[full_key] rebuild the
+   old uncompressed canonical form, so tests can certify on full
+   enumerations that the incremental keys induce the same partition of
+   states as the full digests (the collision audit), and the perf
+   benchmark can measure old-vs-new on the same run.
+
+   Soundness direction matters, same as before.  A cache must never
+   *merge* two states that behave differently; merging too little only
+   costs cache hits.  The incremental key is a hash, so distinct states
+   can collide in principle — 63-bit mixes per component, 4 components,
+   audited against the full digest (see test_explore.ml); the DPOR
+   cache additionally only prunes subtrees that a previous visit with
+   the same key explored, so a collision can at worst skip work that
+   re-checking would duplicate, within the same depth bound.  The
+   deliberate exclusions are unchanged and documented in
+   docs/EXPLORATION.md:
 
    - step/space bookkeeping (read/write counters, the written-register
      set) is *excluded*: it does not affect behaviour, and including
      it would make commuted schedules never merge;
-   - the input/output records are sorted by (pid, instance, value), so
-     orders that differ only by commuted independent steps merge; the
-     property checkers must therefore not depend on record order (the
-     bundled ones do not);
+   - the i/o records are multiset-hashed, so orders that differ only by
+     commuted independent steps merge; the property checkers must
+     therefore not depend on record order (the bundled ones do not);
    - distinct histories can produce the same local state (a process
      re-reading an unchanged register grows its history without
      changing state), so some genuinely equal states fail to merge —
@@ -38,18 +63,91 @@
 
 open Shm
 
-type t = { locals : string array }  (* one observation digest per pid *)
+(* The flat incremental key: cheap to compare, hash, and store. *)
+type key = { k_mem : int; k_locals : int; k_in : int; k_out : int }
 
-let create config = { locals = Array.make (Config.n config) (Digest.string "init") }
+let key_equal (a : key) (b : key) =
+  a.k_mem = b.k_mem && a.k_locals = b.k_locals && a.k_in = b.k_in && a.k_out = b.k_out
 
-(* Fold one event into the stepping process's digest.  [config] is the
-   configuration *after* the step: scans need their result vector,
-   which the event does not carry; a scan does not change memory, so
-   reading it back from [config] reproduces what the process saw. *)
-let record t config ev =
+let key_hash (k : key) =
+  let h = Value.mix k.k_mem k.k_locals in
+  Value.mix (Value.mix h k.k_in) k.k_out land max_int
+
+let pp_key ppf k =
+  Fmt.pf ppf "%x.%x.%x.%x"
+    (k.k_mem land max_int) (k.k_locals land max_int)
+    (k.k_in land max_int) (k.k_out land max_int)
+
+type t = {
+  obs : int array;               (* per-pid observation hash *)
+  digests : string array option; (* per-pid MD5 digests, audit mode only *)
+  key : key;                     (* incrementally maintained state key *)
+}
+
+let mix = Value.mix
+
+(* Per-component summands.  Domain-separation constants keep e.g. a
+   read of v from register r distinct from a write of v to r. *)
+let mem_slot r v = mix (mix 0x6d r) (Value.hash v)
+
+let local_slot pid obs instance = mix (mix (mix 0x1c pid) obs) instance
+
+let io_slot pid instance v = mix (mix (mix 0x2e pid) instance) (Value.hash v)
+
+let obs0 = 0x5eed
+
+let create ?(audit = false) config =
+  let n = Config.n config in
+  let mem = Config.mem config in
+  let size = Memory.size mem in
+  let k_mem = ref 0 in
+  Memory.scan mem ~off:0 ~len:size
+  |> Array.iteri (fun r v -> k_mem := !k_mem + mem_slot r v);
+  let k_locals = ref 0 in
+  for pid = 0 to n - 1 do
+    k_locals := !k_locals + local_slot pid obs0 (Config.instance config pid)
+  done;
+  let io_sum records =
+    List.fold_left (fun acc (pid, inst, v) -> acc + io_slot pid inst v) 0 records
+  in
+  {
+    obs = Array.make n obs0;
+    digests = (if audit then Some (Array.make n (Digest.string "init")) else None);
+    key =
+      {
+        k_mem = !k_mem;
+        k_locals = !k_locals;
+        k_in = io_sum (Config.inputs config);
+        k_out = io_sum (Config.outputs config);
+      };
+  }
+
+(* Fold one event into the stepping process's observation hash.
+   [after] is the configuration *after* the step: scans need their
+   result vector, which the event does not carry; a scan does not
+   change memory, so reading it back from [after] reproduces what the
+   process saw. *)
+let fold_obs obs after ev =
+  match ev with
+  | Event.Invoke { instance; input; _ } ->
+    mix (mix (mix obs 0x11) instance) (Value.hash input)
+  | Event.Did_read { reg; value; _ } ->
+    mix (mix (mix obs 0x12) reg) (Value.hash value)
+  | Event.Did_write { reg; value; _ } ->
+    mix (mix (mix obs 0x13) reg) (Value.hash value)
+  | Event.Did_scan { off; len; _ } ->
+    let h = ref (mix (mix (mix obs 0x14) off) len) in
+    Memory.scan (Config.mem after) ~off ~len
+    |> Array.iter (fun v -> h := mix !h (Value.hash v));
+    !h
+  | Event.Output { instance; value; _ } ->
+    mix (mix (mix obs 0x15) instance) (Value.hash value)
+
+(* The audit-mode MD5 fold — byte-for-byte the original per-step digest
+   (the old hot path the perf benchmark measures as its reference). *)
+let fold_digest digest after ev =
   let buf = Buffer.create 64 in
-  let pid = Event.pid ev in
-  Buffer.add_string buf t.locals.(pid);
+  Buffer.add_string buf digest;
   (match ev with
   | Event.Invoke { instance; input; _ } ->
     Buffer.add_string buf (Fmt.str "I%d=%s" instance (Value.to_string input))
@@ -59,15 +157,53 @@ let record t config ev =
     Buffer.add_string buf (Fmt.str "w%d=%s" reg (Value.to_string value))
   | Event.Did_scan { off; len; _ } ->
     Buffer.add_string buf (Fmt.str "s%d+%d=" off len);
-    Memory.scan (Config.mem config) ~off ~len
+    Memory.scan (Config.mem after) ~off ~len
     |> Array.iter (fun v ->
            Buffer.add_string buf (Value.to_string v);
            Buffer.add_char buf ';')
   | Event.Output { instance; value; _ } ->
     Buffer.add_string buf (Fmt.str "O%d=%s" instance (Value.to_string value)));
-  let locals = Array.copy t.locals in
-  locals.(pid) <- Digest.string (Buffer.contents buf);
-  { locals }
+  Digest.string (Buffer.contents buf)
+
+let record t ~before after ev =
+  let pid = Event.pid ev in
+  let obs' = fold_obs t.obs.(pid) after ev in
+  let k = t.key in
+  (* locals: replace this pid's summand (instance can change on Invoke) *)
+  let k_locals =
+    k.k_locals
+    - local_slot pid t.obs.(pid) (Config.instance before pid)
+    + local_slot pid obs' (Config.instance after pid)
+  in
+  (* memory: only a write changes it, by exactly one register *)
+  let k_mem =
+    match ev with
+    | Event.Did_write { reg; value; _ } ->
+      let old = Memory.read (Config.mem before) reg in
+      k.k_mem - mem_slot reg old + mem_slot reg value
+    | Event.Invoke _ | Event.Did_read _ | Event.Did_scan _ | Event.Output _ -> k.k_mem
+  in
+  let k_in, k_out =
+    match ev with
+    | Event.Invoke { instance; input; _ } -> (k.k_in + io_slot pid instance input, k.k_out)
+    | Event.Output { instance; value; _ } -> (k.k_in, k.k_out + io_slot pid instance value)
+    | Event.Did_read _ | Event.Did_write _ | Event.Did_scan _ -> (k.k_in, k.k_out)
+  in
+  let obs = Array.copy t.obs in
+  obs.(pid) <- obs';
+  let digests =
+    Option.map
+      (fun ds ->
+        let ds = Array.copy ds in
+        ds.(pid) <- fold_digest ds.(pid) after ev;
+        ds)
+      t.digests
+  in
+  { obs; digests; key = { k_mem; k_locals; k_in; k_out } }
+
+let key t = t.key
+
+(* ---- the full-digest reference path (audit mode) ---- *)
 
 let compare_io (p1, i1, v1) (p2, i2, v2) =
   let c = Stdlib.compare (p1 : int) p2 in
@@ -76,10 +212,15 @@ let compare_io (p1, i1, v1) (p2, i2, v2) =
     let c = Stdlib.compare (i1 : int) i2 in
     if c <> 0 then c else Value.compare v1 v2
 
-(* The uncompressed canonical form; [key] is its MD5.  Exposed so the
-   test suite can certify that equal keys mean equal canonical forms
-   over an enumerated state space. *)
+(* The uncompressed canonical form; [full_key] is its MD5.  Exposed so
+   the test suite can certify that the incremental keys partition an
+   enumerated state space exactly as the full canonical forms do. *)
 let repr t config =
+  let digests =
+    match t.digests with
+    | Some ds -> ds
+    | None -> invalid_arg "Statehash.repr: create with ~audit:true for the full digest"
+  in
   let buf = Buffer.create 256 in
   let mem = Config.mem config in
   let size = Memory.size mem in
@@ -93,7 +234,7 @@ let repr t config =
     (fun pid d ->
       Buffer.add_string buf (Digest.to_hex d);
       Buffer.add_string buf (Fmt.str "#%d;" (Config.instance config pid)))
-    t.locals;
+    digests;
   let add_io tag io =
     Buffer.add_string buf tag;
     List.sort compare_io io
@@ -104,4 +245,4 @@ let repr t config =
   add_io "|out:" (Config.outputs config);
   Buffer.contents buf
 
-let key t config = Digest.string (repr t config)
+let full_key t config = Digest.string (repr t config)

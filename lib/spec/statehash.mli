@@ -1,37 +1,58 @@
 (** Canonical hashing of configurations, for exploration-time state
-    caching.
+    caching — maintained incrementally across steps.
 
     A process's local state is an OCaml closure, so it cannot be
     hashed structurally — but processes are deterministic, so the local
     state is a function of the initial program and the sequence of
     values the process has consumed.  A value of type {!t} threads one
-    digest per process over exactly those observations; {!key} combines
-    them with the memory contents, instance counters, and the (sorted)
-    input/output records into a canonical state key.
+    observation hash per process over exactly those observations and
+    maintains the combined state {!key} (memory contents, observation
+    hashes and instance counters, i/o record multisets) incrementally:
+    O(1) per step, O(len) for scans — no full-configuration digest per
+    explored node.
 
-    The key never merges states that behave differently; it may fail
-    to merge states that do behave the same (a missed cache hit, never
-    a missed behaviour).  Bookkeeping (step counters, the
-    written-register set) is excluded on purpose, and the i/o records
-    are sorted, so schedules that differ only in the order of
-    independent steps produce equal keys.  Caveats are documented in
+    The key never merges states that behave differently except by hash
+    collision; it may fail to merge states that do behave the same (a
+    missed cache hit, never a missed behaviour).  Bookkeeping (step
+    counters, the written-register set) is excluded on purpose, and the
+    i/o records are multiset-hashed, so schedules that differ only in
+    the order of independent steps produce equal keys.  Collisions are
+    audited against the original full MD5 digest, kept available behind
+    [~audit:true] ({!repr}/{!full_key}).  Caveats are documented in
     [docs/EXPLORATION.md]. *)
 
 type t
 
-(** Fresh digests for the initial configuration (no observations). *)
-val create : Shm.Config.t -> t
+(** The flat incremental state key. *)
+type key
 
-(** [record t config ev] folds the event into the stepping process's
-    digest.  [config] must be the configuration {e after} the step
-    ([record] re-reads scan results from it; scans do not change
-    memory). *)
-val record : t -> Shm.Config.t -> Shm.Event.t -> t
+val key_equal : key -> key -> bool
+val key_hash : key -> int
+val pp_key : Format.formatter -> key -> unit
 
-(** The uncompressed canonical form behind {!key} — exposed so tests
-    can certify key collisions are absent over an enumerated state
-    space. *)
+(** Fresh hashes for a starting configuration (no observations yet;
+    memory, instances, and i/o records are folded from the
+    configuration itself).  With [~audit:true] the per-process MD5
+    digests of the original implementation are maintained alongside,
+    enabling {!repr} and {!full_key}. *)
+val create : ?audit:bool -> Shm.Config.t -> t
+
+(** [record t ~before after ev] folds the event into the stepping
+    process's observation hash and updates the state key.  [before] and
+    [after] are the configurations around the step ([before] supplies
+    the overwritten register value, [after] the scan result vectors;
+    scans do not change memory). *)
+val record : t -> before:Shm.Config.t -> Shm.Config.t -> Shm.Event.t -> t
+
+(** The incrementally maintained canonical key — O(1). *)
+val key : t -> key
+
+(** The uncompressed canonical form behind {!full_key} — exposed so
+    tests can certify the incremental keys partition an enumerated
+    state space exactly as the full canonical forms do.  Requires
+    [create ~audit:true]. *)
 val repr : t -> Shm.Config.t -> string
 
-(** MD5 of {!repr}: the cache key for this state. *)
-val key : t -> Shm.Config.t -> Digest.t
+(** MD5 of {!repr}: the original full-digest cache key (the perf
+    benchmark's reference arm).  Requires [create ~audit:true]. *)
+val full_key : t -> Shm.Config.t -> Digest.t

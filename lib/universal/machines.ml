@@ -12,29 +12,36 @@
 
 open Shm
 
+(* Commands are ("tag", arg) pairs; [tagged] is the shared decoder. *)
+let tagged cmd =
+  match Value.view cmd with
+  | Value.Pair (tag, arg) -> (
+    match Value.view tag with Value.Str s -> Some (s, arg) | _ -> None)
+  | _ -> None
+
 (* counter: commands ("add", x) *)
 let counter =
   {
     Rsm.init = 0;
     apply =
       (fun s cmd ->
-        match cmd with
-        | Value.Pair (Value.Str "add", Value.Int x) -> s + x
+        match tagged cmd with
+        | Some ("add", x) -> s + Value.to_int x
         | _ -> s);
   }
 
-let add x = Value.Pair (Value.Str "add", Value.Int x)
+let add x = Value.pair (Value.str "add") (Value.int x)
 
 (* last-writer-wins register: commands ("write", v) *)
 let register =
   {
-    Rsm.init = Value.Bot;
+    Rsm.init = Value.bot;
     apply =
       (fun s cmd ->
-        match cmd with Value.Pair (Value.Str "write", v) -> v | _ -> s);
+        match tagged cmd with Some ("write", v) -> v | _ -> s);
   }
 
-let write v = Value.Pair (Value.Str "write", v)
+let write v = Value.pair (Value.str "write") v
 
 (* FIFO queue: commands ("enq", v) and ("deq", _).  The state is
    (queue contents, dequeued-so-far), both in order; dequeue on empty
@@ -46,17 +53,17 @@ let fifo_queue =
     Rsm.init = { items = []; dequeued = [] };
     apply =
       (fun s cmd ->
-        match cmd with
-        | Value.Pair (Value.Str "enq", v) -> { s with items = s.items @ [ v ] }
-        | Value.Pair (Value.Str "deq", _) -> (
+        match tagged cmd with
+        | Some ("enq", v) -> { s with items = s.items @ [ v ] }
+        | Some ("deq", _) -> (
           match s.items with
-          | [] -> { s with dequeued = s.dequeued @ [ Value.Bot ] }
+          | [] -> { s with dequeued = s.dequeued @ [ Value.bot ] }
           | x :: rest -> { items = rest; dequeued = s.dequeued @ [ x ] })
         | _ -> s);
   }
 
-let enq v = Value.Pair (Value.Str "enq", v)
-let deq = Value.Pair (Value.Str "deq", Value.Bot)
+let enq v = Value.pair (Value.str "enq") v
+let deq = Value.pair (Value.str "deq") Value.bot
 
 (* bank account: ("deposit", x) always applies; ("withdraw", x) applies
    only when covered.  Balance can therefore never go negative, on any
@@ -66,12 +73,12 @@ let bank =
     Rsm.init = 0;
     apply =
       (fun balance cmd ->
-        match cmd with
-        | Value.Pair (Value.Str "deposit", Value.Int x) -> balance + x
-        | Value.Pair (Value.Str "withdraw", Value.Int x) when x <= balance ->
-          balance - x
+        match tagged cmd with
+        | Some ("deposit", x) -> balance + Value.to_int x
+        | Some ("withdraw", x) when Value.to_int x <= balance ->
+          balance - Value.to_int x
         | _ -> balance);
   }
 
-let deposit x = Value.Pair (Value.Str "deposit", Value.Int x)
-let withdraw x = Value.Pair (Value.Str "withdraw", Value.Int x)
+let deposit x = Value.pair (Value.str "deposit") (Value.int x)
+let withdraw x = Value.pair (Value.str "withdraw") (Value.int x)

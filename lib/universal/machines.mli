@@ -2,6 +2,9 @@
     their command constructors.  Commands are Shm.Value encodings so
     they travel through the agreement layer unchanged. *)
 
+(** Decode a command into its [(tag, argument)] pair, if it is one. *)
+val tagged : Shm.Value.t -> (string * Shm.Value.t) option
+
 (** Counter; commands {!add}. *)
 val counter : int Rsm.machine
 

@@ -6,7 +6,7 @@ let value = Alcotest.testable Value.pp Value.equal
 
 let check_value = Alcotest.check value
 
-let vi i = Value.Int i
+let vi i = Value.int i
 
 (* Distinct outputs of one instance of a finished run. *)
 let distinct_outputs result ~instance =

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "set_agreement"
     [
       ("shm", Test_shm.suite);
+      ("backend", Test_backend.suite);
       ("pp", Test_pp.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);

@@ -32,11 +32,11 @@ let hooks_feed () =
   | Some P.Stop -> ()
   | _ -> Alcotest.fail "feed_write_ack");
   let s = P.scan ~off:0 ~len:2 (fun view -> P.yield view.(1) P.stop) in
-  (match P.feed_scan s [| V.Bot; vi 9 |] with
+  (match P.feed_scan s [| V.bot; vi 9 |] with
   | Some (P.Yield (v, _)) -> Alcotest.(check bool) "scan fed" true (V.equal v (vi 9))
   | _ -> Alcotest.fail "feed_scan");
   Alcotest.(check bool) "scan length checked" true
-    (P.feed_scan s [| V.Bot |] = None);
+    (P.feed_scan s [| V.bot |] = None);
   let a = P.await (fun v -> P.yield v P.stop) in
   (match P.start a (vi 3) with
   | Some (P.Yield _) -> ()
@@ -48,7 +48,7 @@ let hooks_feed () =
 (* ---- interpreter on hand-rolled programs ---- *)
 
 let config_of ~registers progs =
-  Shm.Config.create ~registers ~procs:(Array.of_list progs)
+  Shm.Config.create ~registers ~procs:(Array.of_list progs) ()
 
 let absint_footprint_and_dead () =
   (* p0 writes R0 then R1; R2 is never written by anyone *)
@@ -83,7 +83,7 @@ let absint_cross_process_flow () =
   let p1 =
     P.await (fun _ ->
         P.read 0 (fun v ->
-            let target = match v with V.Int 1 -> 2 | _ -> 1 in
+            let target = match V.view v with V.Int 1 -> 2 | _ -> 1 in
             P.write target (vi 9) @@ fun () -> P.stop))
   in
   let s =
@@ -274,7 +274,7 @@ type pstep =
   | SScan of int * int
   | SYield
 
-let vhash = function V.Bot -> 0 | V.Int i -> i land 1 | _ -> 1
+let vhash v = match V.view v with V.Bot -> 0 | V.Int i -> i land 1 | _ -> 1
 
 let compile ~registers steps =
   P.await (fun input ->
@@ -337,6 +337,7 @@ let prop_static_footprint_sound =
       let config =
         Shm.Config.create ~registers
           ~procs:(Array.init n (fun _ -> compile ~registers proto))
+          ()
       in
       let summary =
         Analyze.Absint.analyze

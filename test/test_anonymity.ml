@@ -73,9 +73,11 @@ let no_ids_in_anonymous_registers () =
     (fun ev ->
       match ev with
       | Shm.Event.Did_write { reg; value; _ } when reg < h_reg -> (
-        match value with
-        | Shm.Value.List [ Shm.Value.Int pref; _; _ ] ->
-          Alcotest.(check bool) "pref from input domain" true (pref >= 1000)
+        match Shm.Value.view value with
+        | Shm.Value.List (pref :: _)
+          when (match Shm.Value.view pref with Shm.Value.Int _ -> true | _ -> false) ->
+          Alcotest.(check bool) "pref from input domain" true
+            (Shm.Value.to_int pref >= 1000)
         | _ -> Alcotest.fail "unexpected component tuple shape")
       | _ -> ())
     res.Shm.Exec.trace

@@ -68,7 +68,7 @@ let dfgr_comparison_row () =
 (* ---- View helpers ---- *)
 
 let view_distinct_count () =
-  let v = [| vi 1; vi 2; vi 1; Shm.Value.Bot; vi 2 |] in
+  let v = [| vi 1; vi 2; vi 1; Shm.Value.bot; vi 2 |] in
   Alcotest.(check int) "distinct" 3 (Agreement.View.distinct_count v);
   Alcotest.(check int) "empty" 0 (Agreement.View.distinct_count [||])
 
@@ -92,7 +92,7 @@ let view_most_frequent () =
   | None -> Alcotest.fail "expected a value"
 
 let view_counts () =
-  let v = [| vi 1; Shm.Value.Bot; vi 1 |] in
+  let v = [| vi 1; Shm.Value.bot; vi 1 |] in
   Alcotest.(check int) "count" 2 (Agreement.View.count (Shm.Value.equal (vi 1)) v);
   Alcotest.(check bool) "contains bot" true (Agreement.View.contains_bot v);
   Alcotest.(check int) "filter keeps multiplicity" 2

@@ -20,7 +20,7 @@ let witness_mode_legal () =
   let events =
     [
       ev ~pid:0 ~start:0 ~finish:1 (upd 0 (vi 1));
-      ev ~pid:1 ~start:2 ~finish:5 (scn [ vi 1; Shm.Value.Bot ]);
+      ev ~pid:1 ~start:2 ~finish:5 (scn [ vi 1; Shm.Value.bot ]);
       ev ~pid:0 ~start:3 ~finish:4 (upd 1 (vi 2));
       ev ~pid:1 ~start:6 ~finish:7 (scn [ vi 1; vi 2 ]);
     ]
@@ -79,7 +79,7 @@ let pending_update_droppable () =
   let pending = [ ev ~pid:0 ~start:0 ~finish:max_int (upd 0 (vi 7)) ] in
   let completed =
     [
-      ev ~pid:1 ~start:1 ~finish:2 (scn [ Shm.Value.Bot ]);
+      ev ~pid:1 ~start:1 ~finish:2 (scn [ Shm.Value.bot ]);
       ev ~pid:1 ~start:3 ~finish:4 (scn [ vi 7 ]);
     ]
   in
@@ -87,7 +87,7 @@ let pending_update_droppable () =
   Alcotest.(check bool) "effect point enumerated" true
     (Spec.Linearize.check_partial ~components:1 ~pending completed);
   (* or never: both scans see ⊥ *)
-  let only_bot = [ ev ~pid:1 ~start:1 ~finish:2 (scn [ Shm.Value.Bot ]) ] in
+  let only_bot = [ ev ~pid:1 ~start:1 ~finish:2 (scn [ Shm.Value.bot ]) ] in
   Alcotest.(check bool) "never-took-effect also legal" true
     (Spec.Linearize.check_partial ~components:1 ~pending only_bot)
 
@@ -101,7 +101,7 @@ let pending_respects_invocation () =
 (* Pending scans constrain nothing — they are dropped wholesale. *)
 let pending_scan_ignored () =
   let pending = [ ev ~pid:0 ~start:0 ~finish:max_int (scn [ vi 99 ]) ] in
-  let completed = [ ev ~pid:1 ~start:1 ~finish:2 (scn [ Shm.Value.Bot ]) ] in
+  let completed = [ ev ~pid:1 ~start:1 ~finish:2 (scn [ Shm.Value.bot ]) ] in
   Alcotest.(check bool) "pending scan's impossible view is irrelevant" true
     (Spec.Linearize.check_partial ~components:1 ~pending completed)
 

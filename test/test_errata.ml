@@ -23,7 +23,7 @@ let poisoned_config ~program_of =
     Array.init 3 (fun pid ->
         program_of ~m:1 ~pid ~api:(Snapshot.Atomic.make ~off:0 ~len:r))
   in
-  let config = Shm.Config.create ~registers:r ~procs in
+  let config = Shm.Config.create ~registers:r ~procs () in
   (* p1 runs briefly and "dies", leaving copies of its pair around: we
      simulate the stale state by running p1 for a few iterations. *)
   let config, _ = Shm.Config.invoke config 1 (vi 7) in
@@ -73,7 +73,7 @@ let literal_rule_fails_m_bounded () =
           Oneshot.program_paper_literal ~m:2 ~pid
             ~api:(Snapshot.Atomic.make ~off:0 ~len:r))
     in
-    let config = Shm.Config.create ~registers:r ~procs in
+    let config = Shm.Config.create ~registers:r ~procs () in
     let inputs = Shm.Exec.oneshot_inputs (Array.init 5 (fun pid -> vi (pid + 1))) in
     let sched = Shm.Schedule.m_bounded ~seed ~m:2 ~prefix:40 5 in
     let res = Shm.Exec.run ~sched ~inputs ~max_steps:100_000 config in
@@ -108,7 +108,7 @@ let both_rules_equally_safe () =
              Array.init 4 (fun pid ->
                  program_of ~m:1 ~pid ~api:(Snapshot.Atomic.make ~off:0 ~len:r))
            in
-           let config = Shm.Config.create ~registers:r ~procs in
+           let config = Shm.Config.create ~registers:r ~procs () in
            let inputs = Shm.Exec.oneshot_inputs (Array.init 4 (fun pid -> vi pid)) in
            let res =
              Shm.Exec.run ~sched:(Shm.Schedule.random ~seed 4) ~inputs

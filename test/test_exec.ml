@@ -11,14 +11,14 @@ let counter ~reg ~ops =
         if left = 0 then Program.yield last Program.stop
         else
           Program.read reg (fun v ->
-              let x = match v with Value.Int i -> i | _ -> 0 in
+              let x = match Value.view v with Value.Int i -> i | _ -> 0 in
               Program.write reg (vi (x + 1)) (fun () -> go (left - 1) (vi (x + 1))))
       in
-      go ops Value.Bot)
+      go ops Value.bot)
 
 let run_counters ~sched ~n ~ops =
   let procs = Array.init n (fun pid -> counter ~reg:pid ~ops) in
-  let config = Config.create ~registers:n ~procs in
+  let config = Config.create ~registers:n ~procs () in
   Exec.run ~sched ~inputs:(Exec.oneshot_inputs (Array.make n (vi 0))) ~max_steps:100_000
     config
 
@@ -39,7 +39,7 @@ let solo_runs_only_one () =
   (match outs with
   | [ (1, 1, v) ] -> check_value "p1 counted" (vi 4) v
   | _ -> Alcotest.fail "unexpected outputs");
-  check_value "p0 register untouched" Value.Bot (Memory.read (Config.mem res.Exec.config) 0)
+  check_value "p0 register untouched" Value.bot (Memory.read (Config.mem res.Exec.config) 0)
 
 let only_restricts_to_set () =
   let res = run_counters ~sched:(Schedule.only [ 0; 2 ]) ~n:3 ~ops:3 in
@@ -96,7 +96,7 @@ let fuel_exhaustion_reported () =
         let rec go () = Program.read 0 (fun _ -> go ()) in
         go ())
   in
-  let config = Config.create ~registers:1 ~procs:[| spin |] in
+  let config = Config.create ~registers:1 ~procs:[| spin |] () in
   let res =
     Exec.run ~sched:(Schedule.solo 0)
       ~inputs:(Exec.oneshot_inputs [| vi 0 |])
@@ -109,7 +109,7 @@ let fuel_exhaustion_reported () =
 let trace_recording () =
   let res =
     let procs = [| counter ~reg:0 ~ops:2 |] in
-    let config = Config.create ~registers:1 ~procs in
+    let config = Config.create ~registers:1 ~procs () in
     Exec.run ~record:true ~sched:(Schedule.solo 0)
       ~inputs:(Exec.oneshot_inputs [| vi 0 |])
       ~max_steps:100 config

@@ -98,24 +98,33 @@ let cache_reduces_states () =
 
 (* ---- state hashing ---- *)
 
-(* Enumerate every state reachable within a depth bound (every
-   schedule, no reduction) and certify the canonical key is
-   collision-free: equal keys always mean equal canonical forms. *)
-let statehash_no_collisions () =
-  let n = 2 and k = 1 and depth = 10 in
-  let p = Params.make ~n ~m:1 ~k in
+(* The collision audit.  Enumerate every state reachable within a depth
+   bound (every schedule, no reduction) and certify the incremental key
+   partitions the space exactly as the full canonical form does: equal
+   keys always mean equal canonical forms (no collision ever merges
+   distinct states), and equal canonical forms always mean equal keys
+   (incrementality loses no cache hits vs the full digest). *)
+let statehash_audit ~n ~depth ~min_states () =
+  let p = Params.make ~n ~m:1 ~k:1 in
   let inputs = inputs_for n in
   let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
-  let seen : (Digest.t, string) Hashtbl.t = Hashtbl.create 1024 in
+  let by_key : (Spec.Statehash.key, string) Hashtbl.t = Hashtbl.create 1024 in
+  let by_repr : (string, Spec.Statehash.key) Hashtbl.t = Hashtbl.create 1024 in
   let states = ref 0 in
   let rec go config hash d =
     incr states;
-    let key = Spec.Statehash.key hash config in
+    let key = Spec.Statehash.key hash in
     let repr = Spec.Statehash.repr hash config in
-    (match Hashtbl.find_opt seen key with
+    (match Hashtbl.find_opt by_key key with
     | Some repr' ->
       Alcotest.(check string) "equal key implies equal canonical form" repr' repr
-    | None -> Hashtbl.add seen key repr);
+    | None -> Hashtbl.add by_key key repr);
+    (match Hashtbl.find_opt by_repr repr with
+    | Some key' ->
+      if not (Spec.Statehash.key_equal key key') then
+        Alcotest.failf "equal canonical form, different keys: %a vs %a"
+          Spec.Statehash.pp_key key Spec.Statehash.pp_key key'
+    | None -> Hashtbl.add by_repr repr key);
     if d < depth then
       List.init n Fun.id
       |> List.filter (fun pid -> Shm.Config.runnable config ~has_input pid)
@@ -128,10 +137,14 @@ let statehash_no_collisions () =
                | Shm.Program.Stop -> assert false
                | Shm.Program.Op _ | Shm.Program.Yield _ -> Shm.Config.step config pid
              in
-             go config' (Spec.Statehash.record hash config' ev) (d + 1))
+             go config' (Spec.Statehash.record hash ~before:config config' ev) (d + 1))
   in
-  go (Instances.oneshot p) (Spec.Statehash.create (Instances.oneshot p)) 0;
-  Alcotest.(check bool) "enumerated a real space" true (!states > 1000)
+  go (Instances.oneshot p) (Spec.Statehash.create ~audit:true (Instances.oneshot p)) 0;
+  Alcotest.(check bool) "enumerated a real space" true (!states > min_states)
+
+let statehash_no_collisions = statehash_audit ~n:2 ~depth:10 ~min_states:1000
+
+let statehash_audit_n3 = statehash_audit ~n:3 ~depth:8 ~min_states:5000
 
 (* Commuted independent steps produce the same key: two processes
    writing distinct registers in either order. *)
@@ -141,7 +154,7 @@ let statehash_merges_commuted_writes () =
         Shm.Program.write reg v (fun () -> Shm.Program.yield v Shm.Program.stop))
   in
   let config =
-    Shm.Config.create ~registers:2 ~procs:[| program 0; program 1 |]
+    Shm.Config.create ~registers:2 ~procs:[| program 0; program 1 |] ()
   in
   let inputs = inputs_for 2 in
   let run schedule =
@@ -154,14 +167,16 @@ let statehash_merges_commuted_writes () =
             Shm.Config.invoke config pid (Option.get (inputs ~pid ~instance:inst))
           | _ -> Shm.Config.step config pid
         in
-        (config', Spec.Statehash.record hash config' ev))
-      (config, Spec.Statehash.create config)
+        (config', Spec.Statehash.record hash ~before:config config' ev))
+      (config, Spec.Statehash.create ~audit:true config)
       schedule
   in
   let c1, h1 = run [ 0; 1; 0; 1 ] (* invoke 0, invoke 1, write R0, write R1 *)
   and c2, h2 = run [ 1; 0; 1; 0 ] (* same steps, writes commuted *) in
   Alcotest.(check string) "same canonical form" (Spec.Statehash.repr h1 c1)
-    (Spec.Statehash.repr h2 c2)
+    (Spec.Statehash.repr h2 c2);
+  Alcotest.(check bool) "same incremental key" true
+    (Spec.Statehash.key_equal (Spec.Statehash.key h1) (Spec.Statehash.key h2))
 
 (* ---- shrinking ---- *)
 
@@ -283,6 +298,35 @@ let jobs_agree () =
          Alcotest.(check bool) (Fmt.str "jobs=1 verdict (n=%d r=%d)" n r) expect_ok (is_ok j1);
          Alcotest.(check bool) (Fmt.str "jobs=4 verdict (n=%d r=%d)" n r) expect_ok (is_ok j4))
 
+(* Every combination of memory backend × cache-key flavour × domain
+   count reaches the same verdict, on a correct and a starved instance.
+   This pins the journaled backend's replay-based stealing and the
+   incremental key against the persistent/full-digest reference. *)
+let backends_and_key_modes_agree () =
+  [ (3, true); (1, false) ]
+  |> List.iter (fun (r, expect_ok) ->
+         let n = 2 and k = 1 and depth = 10 in
+         let p = Params.make ~n ~m:1 ~k in
+         [ Shm.Memory.Persistent; Shm.Memory.Journaled ]
+         |> List.iter (fun backend ->
+                [ `Incremental; `Full ]
+                |> List.iter (fun key ->
+                       [ 1; 4 ]
+                       |> List.iter (fun jobs ->
+                              let out =
+                                Spec.Modelcheck.run
+                                  ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs })
+                                  ~depth ~key ~inputs:(inputs_for n)
+                                  ~check:(check_safety ~k)
+                                  (Instances.oneshot ~r ~backend p)
+                              in
+                              Alcotest.(check bool)
+                                (Fmt.str "verdict (r=%d %s %s jobs=%d)" r
+                                   (Shm.Memory.backend_name backend)
+                                   (match key with `Incremental -> "inc" | `Full -> "full")
+                                   jobs)
+                                expect_ok (is_ok out)))))
+
 (* ---- stress: replayable witness schedules ---- *)
 
 (* A Broken verdict now carries the pid schedule; replaying it from a
@@ -324,6 +368,7 @@ let suite =
     slow_test "dpor counterexample independently re-checks" dpor_counterexample_recheck;
     slow_test "state cache strictly reduces explored states" cache_reduces_states;
     slow_test "state hash: no collisions over an enumerated space" statehash_no_collisions;
+    slow_test "state hash: collision audit vs full digest (n=3)" statehash_audit_n3;
     test "state hash merges commuted independent writes" statehash_merges_commuted_writes;
     slow_test "shrinker output violates and is 1-minimal" shrinker_one_minimal;
     test "generic ddmin finds the exact synthetic minimum" minimize_generic_synthetic;
@@ -332,5 +377,6 @@ let suite =
     slow_test "shrinker reaches the empty schedule when completion violates"
       shrinker_reaches_empty;
     slow_test "jobs=1 and jobs=4 agree on outcomes" jobs_agree;
+    slow_test "backends and key modes agree on verdicts" backends_and_key_modes_agree;
     slow_test "stress witness schedule replays and shrinks" stress_schedule_replays_and_shrinks;
   ]

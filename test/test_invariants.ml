@@ -45,7 +45,7 @@ let lemma12_holds_on_runs () =
    a hand-crafted trace where one id writes two different values. *)
 let lemma3_detects_violation () =
   let mk_write reg value = Shm.Event.Did_write { pid = 0; reg; value } in
-  let pair v id = Shm.Value.Pair (vi v, vi id) in
+  let pair v id = Shm.Value.pair (vi v) (vi id) in
   let trace = [ mk_write 0 (pair 1 7); mk_write 1 (pair 2 7) ] in
   match Spec.Invariants.check_lemma3 ~registers:2 trace with
   | [] -> Alcotest.fail "violation not detected"
@@ -53,7 +53,7 @@ let lemma3_detects_violation () =
 
 let lemma12_detects_violation () =
   let mk_write reg value = Shm.Event.Did_write { pid = 0; reg; value } in
-  let tup v id t = Shm.Value.List [ vi v; vi id; vi t; Shm.Value.List [] ] in
+  let tup v id t = Shm.Value.list [ vi v; vi id; vi t; Shm.Value.list [] ] in
   let trace = [ mk_write 0 (tup 1 7 3); mk_write 1 (tup 2 7 3) ] in
   Alcotest.(check bool) "violation detected" true
     (Spec.Invariants.check_lemma12 ~registers:2 trace <> []);

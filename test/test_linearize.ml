@@ -3,7 +3,7 @@
 open Helpers
 open Spec.Linearize
 
-let bot = Shm.Value.Bot
+let bot = Shm.Value.bot
 
 let up ?(pid = 0) ~at ?(len = 0) i v =
   { pid; op = Update { i; v = vi v }; start = at; finish = at + len }

@@ -59,7 +59,7 @@ let native_snapshot_sequential () =
   Native.Native_snapshot.update h 1 (vi 5);
   Native.Native_snapshot.update h 2 (vi 6);
   let view = Native.Native_snapshot.scan h in
-  check_value "c0" Shm.Value.Bot view.(0);
+  check_value "c0" Shm.Value.bot view.(0);
   check_value "c1" (vi 5) view.(1);
   check_value "c2" (vi 6) view.(2)
 
@@ -92,7 +92,7 @@ let native_snapshot_concurrent () =
     (fun view ->
       Array.iter
         (fun v ->
-          match v with
+          match Shm.Value.view v with
           | Shm.Value.Bot -> ()
           | Shm.Value.Int x ->
             Alcotest.(check bool) "value from a writer" true (x >= 1000 && x < 3000)

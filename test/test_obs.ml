@@ -39,7 +39,7 @@ let analysis_zero_registers () =
   Alcotest.(check (float 0.)) "skew 0, not NaN" 0. (Analysis.write_skew a)
 
 let analysis_write_skew_no_writes () =
-  let trace = [ Event.Did_read { pid = 0; reg = 0; value = Value.Bot } ] in
+  let trace = [ Event.Did_read { pid = 0; reg = 0; value = Value.bot } ] in
   let a = Analysis.of_trace ~n:1 ~registers:2 trace in
   let skew = Analysis.write_skew a in
   Alcotest.(check bool) "not NaN" false (Float.is_nan skew);
@@ -60,14 +60,14 @@ let counter ~reg ~ops =
         if left = 0 then Program.yield last Program.stop
         else
           Program.read reg (fun v ->
-              let x = match v with Value.Int i -> i | _ -> 0 in
+              let x = match Value.view v with Value.Int i -> i | _ -> 0 in
               Program.write reg (vi (x + 1)) (fun () -> go (left - 1) (vi (x + 1))))
       in
-      go ops Value.Bot)
+      go ops Value.bot)
 
 let run_counters ?record ?sink ~n ~ops () =
   let procs = Array.init n (fun pid -> counter ~reg:pid ~ops) in
-  let config = Config.create ~registers:n ~procs in
+  let config = Config.create ~registers:n ~procs () in
   Exec.run ?record ?sink ~sched:(Schedule.round_robin n)
     ~inputs:(Exec.oneshot_inputs (Array.make n (vi 0)))
     ~max_steps:100_000 config
@@ -127,6 +127,53 @@ let histogram_quantiles () =
   Alcotest.(check bool) "monotone" true (p50 <= p90 && p90 <= p99);
   Alcotest.(check (float 1e-9)) "mean exact" 500.5 (Obs.Metrics.Histogram.mean h)
 
+(* Pin the quantile semantics across the allocation-free rewrite of
+   the record paths: a fixed multi-octave dataset must report exactly
+   the same percentiles as the original implementation. *)
+let histogram_percentiles_pinned () =
+  let h = Obs.Metrics.Histogram.create () in
+  List.iter
+    (Obs.Metrics.Histogram.observe h)
+    [ 0; 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 1000; 100_000 ];
+  Alcotest.(check int) "count" 14 (Obs.Metrics.Histogram.count h);
+  Alcotest.(check int) "sum" 101_375 (Obs.Metrics.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "p50" 24. (Obs.Metrics.Histogram.p50 h);
+  Alcotest.(check (float 1e-9)) "p90" 768. (Obs.Metrics.Histogram.p90 h);
+  Alcotest.(check (float 1e-9)) "p99" 98304. (Obs.Metrics.Histogram.p99 h);
+  Alcotest.(check (float 1e-9)) "quantile 0" 0.5 (Obs.Metrics.Histogram.quantile h 0.);
+  Alcotest.(check (float 1e-9)) "quantile 1" 98304.
+    (Obs.Metrics.Histogram.quantile h 1.)
+
+(* The record paths must not allocate: observe/add/incr on existing
+   metrics, and registry lookup of an existing name.  Minor-heap words
+   are counted around a 100k-iteration loop; any per-record allocation
+   would show up as >= 200k words, so a small constant slack separates
+   cleanly. *)
+let record_paths_allocation_free () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r "hot.counter" in
+  let h = Obs.Metrics.histogram r "hot.histogram" in
+  let iters = 100_000 in
+  let measure name f =
+    f 0;
+    (* warm up *)
+    let before = Gc.minor_words () in
+    for i = 1 to iters do
+      f i
+    done;
+    let words = Gc.minor_words () -. before in
+    Alcotest.(check bool)
+      (Fmt.str "%s allocates (%.0f minor words / %d calls)" name words iters)
+      true (words < 1000.)
+  in
+  measure "Counter.incr" (fun _ -> Obs.Metrics.Counter.incr c);
+  measure "Counter.add" (fun i -> Obs.Metrics.Counter.add c i);
+  measure "Histogram.observe" (fun i -> Obs.Metrics.Histogram.observe h i);
+  measure "registry counter lookup" (fun _ ->
+      Obs.Metrics.Counter.incr (Obs.Metrics.counter r "hot.counter"));
+  measure "registry histogram lookup" (fun i ->
+      Obs.Metrics.Histogram.observe (Obs.Metrics.histogram r "hot.histogram") i)
+
 let registry_get_or_create () =
   let r = Obs.Metrics.create () in
   let c = Obs.Metrics.counter r "steps" in
@@ -173,16 +220,16 @@ let spans_leave_starved_open () =
 
 let sample_values =
   [
-    Value.Bot;
+    Value.bot;
     vi 0;
     vi (-42);
-    Value.Str "plain";
-    Value.Str "esc \"quotes\" \\ and\nnewline\ttab";
-    Value.Pair (vi 1, vi 2);
-    Value.Pair (Value.Bot, Value.Str "x");
-    Value.List [];
-    Value.List [ vi 1; vi 2 ];
-    Value.List [ Value.Pair (vi 1, Value.List [ Value.Bot ]); Value.Str "" ];
+    Value.str "plain";
+    Value.str "esc \"quotes\" \\ and\nnewline\ttab";
+    Value.pair (vi 1) (vi 2);
+    Value.pair Value.bot (Value.str "x");
+    Value.list [];
+    Value.list [ vi 1; vi 2 ];
+    Value.list [ Value.pair (vi 1) (Value.list [ Value.bot ]); Value.str "" ];
   ]
 
 let value_json_roundtrip () =
@@ -193,16 +240,16 @@ let value_json_roundtrip () =
       | Error e -> Alcotest.failf "decode %s: %s" (Value.to_string v) e)
     sample_values;
   (* a pair is not a 2-element list after the round trip *)
-  let p = Value.Pair (vi 1, vi 2) and l = Value.List [ vi 1; vi 2 ] in
+  let p = Value.pair (vi 1) (vi 2) and l = Value.list [ vi 1; vi 2 ] in
   let rt v = Result.get_ok (Obs.Jsonl.value_of_json (Obs.Jsonl.json_of_value v)) in
   Alcotest.(check bool) "pair/list distinct" false (Value.equal (rt p) (rt l))
 
 let event_line_roundtrip () =
   let events =
     [
-      Event.Invoke { pid = 0; instance = 1; input = Value.Pair (vi 1, Value.Bot) };
-      Event.Did_read { pid = 1; reg = 3; value = Value.Bot };
-      Event.Did_write { pid = 2; reg = 0; value = Value.List [ vi 7; Value.Str "s" ] };
+      Event.Invoke { pid = 0; instance = 1; input = Value.pair (vi 1) Value.bot };
+      Event.Did_read { pid = 1; reg = 3; value = Value.bot };
+      Event.Did_write { pid = 2; reg = 0; value = Value.list [ vi 7; Value.str "s" ] };
       Event.Did_scan { pid = 3; off = 2; len = 5 };
       Event.Output { pid = 4; instance = 2; value = vi 9 };
     ]
@@ -270,13 +317,13 @@ let jsonl_10k_roundtrip () =
   let mk i =
     let pid = i mod 7 in
     match i mod 5 with
-    | 0 -> Event.Invoke { pid; instance = i / 5; input = Value.Pair (vi i, Value.Bot) }
+    | 0 -> Event.Invoke { pid; instance = i / 5; input = Value.pair (vi i) Value.bot }
     | 1 -> Event.Did_read { pid; reg = i mod 11; value = vi (-i) }
     | 2 ->
       Event.Did_write
-        { pid; reg = i mod 11; value = Value.List [ vi i; Value.Str (string_of_int i) ] }
+        { pid; reg = i mod 11; value = Value.list [ vi i; Value.str (string_of_int i) ] }
     | 3 -> Event.Did_scan { pid; off = i mod 3; len = i mod 13 }
-    | _ -> Event.Output { pid; instance = i / 5; value = Value.Str "s \"q\" \\ \n\t" }
+    | _ -> Event.Output { pid; instance = i / 5; value = Value.str "s \"q\" \\ \n\t" }
   in
   let trace = List.init 10_000 mk in
   let path = Filename.temp_file "sa_10k" ".jsonl" in
@@ -321,6 +368,9 @@ let suite =
     test "sink tee and filter compose" sink_tee_and_filter;
     test "stats sink matches batch analysis" stats_sink_matches_analysis;
     test "histogram quantiles within an octave" histogram_quantiles;
+    test "histogram percentiles pinned across alloc-free rewrite"
+      histogram_percentiles_pinned;
+    test "metric record paths are allocation-free" record_paths_allocation_free;
     test "metrics registry get-or-create" registry_get_or_create;
     test "spans track every propose" spans_track_proposes;
     test "spans: starved proposes stay open, none phantom" spans_leave_starved_open;

@@ -7,14 +7,14 @@ open Shm
 let str pp x = Fmt.str "%a" pp x
 
 let value_pp () =
-  Alcotest.(check string) "bot" "⊥" (Value.to_string Value.Bot);
+  Alcotest.(check string) "bot" "⊥" (Value.to_string Value.bot);
   Alcotest.(check string) "int" "42" (Value.to_string (vi 42));
   Alcotest.(check string) "str" "\"hi\"" (Value.to_string (Value.str "hi"));
   Alcotest.(check string) "pair" "(1,2)" (Value.to_string (Value.pair (vi 1) (vi 2)));
   Alcotest.(check string) "list" "[1;⊥]"
-    (Value.to_string (Value.list [ vi 1; Value.Bot ]));
+    (Value.to_string (Value.list [ vi 1; Value.bot ]));
   Alcotest.(check string) "nested" "((1,⊥),[])"
-    (Value.to_string (Value.pair (Value.pair (vi 1) Value.Bot) (Value.list [])))
+    (Value.to_string (Value.pair (Value.pair (vi 1) Value.bot) (Value.list [])))
 
 let event_pp () =
   Alcotest.(check string) "invoke" "p2: invoke #1 Propose(7)"
@@ -22,7 +22,7 @@ let event_pp () =
   Alcotest.(check string) "write" "p0: write R3 := (1,0)"
     (str Event.pp (Event.Did_write { pid = 0; reg = 3; value = Value.pair (vi 1) (vi 0) }));
   Alcotest.(check string) "read" "p1: read R0 -> ⊥"
-    (str Event.pp (Event.Did_read { pid = 1; reg = 0; value = Value.Bot }));
+    (str Event.pp (Event.Did_read { pid = 1; reg = 0; value = Value.bot }));
   Alcotest.(check string) "scan" "p1: scan [0..4]"
     (str Event.pp (Event.Did_scan { pid = 1; off = 0; len = 5 }));
   Alcotest.(check string) "output" "p3: output #2 -> 9"
@@ -72,7 +72,7 @@ let error_paths () =
       ignore
         (Agreement.Baseline_dfgr13.program ~n:4 ~k:3 ~pid:0
            ~api:(Snapshot.Atomic.make ~off:0 ~len:2)));
-  let c = Config.create ~registers:1 ~procs:[| Program.stop |] in
+  let c = Config.create ~registers:1 ~procs:[| Program.stop |] () in
   Alcotest.check_raises "step halted" (Invalid_argument "Config.step: p0 halted")
     (fun () -> ignore (Config.step c 0));
   Alcotest.check_raises "invoke active" (Invalid_argument "Config.invoke: p0 is not idle")

@@ -12,15 +12,15 @@ let value_gen =
   QCheck.Gen.(
     sized @@ fix (fun self size ->
         if size <= 1 then
-          oneof [ return Value.Bot; map (fun i -> Value.Int i) small_int ]
+          oneof [ return Value.bot; map (fun i -> Value.int i) small_int ]
         else
           frequency
             [
-              (3, map (fun i -> Value.Int i) small_int);
-              (1, return Value.Bot);
-              (1, map (fun s -> Value.Str s) (string_size (int_bound 4)));
-              (2, map2 (fun a b -> Value.Pair (a, b)) (self (size / 2)) (self (size / 2)));
-              (1, map (fun l -> Value.List l) (list_size (int_bound 3) (self (size / 3))));
+              (3, map (fun i -> Value.int i) small_int);
+              (1, return Value.bot);
+              (1, map (fun s -> Value.str s) (string_size (int_bound 4)));
+              (2, map2 (fun a b -> Value.pair a b) (self (size / 2)) (self (size / 2)));
+              (1, map (fun l -> Value.list l) (list_size (int_bound 3) (self (size / 3))));
             ]))
 
 let value_arb = QCheck.make ~print:Value.to_string value_gen
@@ -58,6 +58,27 @@ let prop_compare_transitive =
       let le x y = Value.compare x y <= 0 in
       (not (le a b && le b c)) || le a c)
 
+(* Hash-consing invariant: equal values hash equal.  Random pairs are
+   almost never equal, so also rebuild a structurally identical copy
+   through fresh constructor calls — the pair (v, rebuild v) exercises
+   the law on the equal side every time. *)
+let rec rebuild v =
+  match Value.view v with
+  | Value.Bot -> Value.bot
+  | Value.Int i -> Value.int i
+  | Value.Str s -> Value.str s
+  | Value.Pair (a, b) -> Value.pair (rebuild a) (rebuild b)
+  | Value.List l -> Value.list (List.map rebuild l)
+
+let prop_hash_agrees_with_equal =
+  QCheck.Test.make ~name:"Value.hash agrees with Value.equal" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      let a' = rebuild a in
+      Value.equal a a'
+      && Value.hash a = Value.hash a'
+      && Value.compare a a' = 0
+      && ((not (Value.equal a b)) || Value.hash a = Value.hash b))
+
 (* ---- Memory model ---- *)
 
 let prop_memory_model =
@@ -66,13 +87,13 @@ let prop_memory_model =
     QCheck.(list (pair (int_bound 7) small_int))
     (fun writes ->
       let mem =
-        List.fold_left (fun m (r, v) -> Memory.write m r (Value.Int v)) (Memory.create 8)
+        List.fold_left (fun m (r, v) -> Memory.write m r (Value.int v)) (Memory.create 8)
           writes
       in
       let model r =
         match List.find_opt (fun (r', _) -> r' = r) (List.rev writes) with
-        | Some (_, v) -> Value.Int v
-        | None -> Value.Bot
+        | Some (_, v) -> Value.int v
+        | None -> Value.bot
       in
       List.init 8 Fun.id
       |> List.for_all (fun r -> Value.equal (Memory.read mem r) (model r)))
@@ -84,7 +105,7 @@ let view_arb =
     QCheck.Gen.(
       map Array.of_list
         (list_size (int_range 1 8)
-           (oneof [ return Value.Bot; map (fun i -> Value.Int (i mod 4)) small_int ])))
+           (oneof [ return Value.bot; map (fun i -> Value.int (i mod 4)) small_int ])))
 
 let prop_distinct_count_spec =
   QCheck.Test.make ~name:"View.distinct_count matches sort-uniq" ~count:500 view_arb
@@ -165,14 +186,14 @@ let prop_m_obstruction_freedom =
 (* ---- tuple codec roundtrips ---- *)
 
 let history_gen =
-  QCheck.Gen.(list_size (int_bound 4) (map (fun i -> Value.Int i) small_int))
+  QCheck.Gen.(list_size (int_bound 4) (map (fun i -> Value.int i) small_int))
 
 let repeated_tuple_arb =
   QCheck.make
     QCheck.Gen.(
       map2
         (fun (pref, id) (t, history) ->
-          { Agreement.Repeated.pref = Value.Int pref; id; t = t + 1; history })
+          { Agreement.Repeated.pref = Value.int pref; id; t = t + 1; history })
         (pair small_int (int_bound 15))
         (pair (int_bound 9) history_gen))
 
@@ -193,7 +214,7 @@ let anonymous_tuple_arb =
     QCheck.Gen.(
       map2
         (fun pref (t, history) ->
-          { Agreement.Anonymous.pref = Value.Int pref; t = t + 1; history })
+          { Agreement.Anonymous.pref = Value.int pref; t = t + 1; history })
         small_int
         (pair (int_bound 9) history_gen))
 
@@ -211,8 +232,8 @@ let prop_anonymous_codec =
 let prop_bot_decodes_to_none =
   QCheck.Test.make ~name:"⊥ decodes to None in both codecs" ~count:1 QCheck.unit
     (fun () ->
-      Agreement.Repeated.decode Value.Bot = None
-      && Agreement.Anonymous.decode Value.Bot = None)
+      Agreement.Repeated.decode Value.bot = None
+      && Agreement.Anonymous.decode Value.bot = None)
 
 (* ---- the Theorem 2 adversary as a property ---- *)
 
@@ -268,6 +289,7 @@ let suite =
       prop_compare_equal_consistent;
       prop_compare_antisymmetric;
       prop_compare_transitive;
+      prop_hash_agrees_with_equal;
       prop_memory_model;
       prop_distinct_count_spec;
       prop_min_duplicate_spec;

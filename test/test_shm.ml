@@ -7,7 +7,7 @@ open Shm
 (* ---- Value ---- *)
 
 let value_equality () =
-  Alcotest.(check bool) "bot = bot" true (Value.equal Value.Bot Value.Bot);
+  Alcotest.(check bool) "bot = bot" true (Value.equal Value.bot Value.bot);
   Alcotest.(check bool) "int" true (Value.equal (vi 3) (vi 3));
   Alcotest.(check bool) "int neq" false (Value.equal (vi 3) (vi 4));
   Alcotest.(check bool) "pair" true
@@ -15,14 +15,14 @@ let value_equality () =
   Alcotest.(check bool) "pair neq" false
     (Value.equal (Value.pair (vi 1) (vi 2)) (Value.pair (vi 2) (vi 1)));
   Alcotest.(check bool) "list" true
-    (Value.equal (Value.list [ vi 1; Value.Bot ]) (Value.list [ vi 1; Value.Bot ]));
+    (Value.equal (Value.list [ vi 1; Value.bot ]) (Value.list [ vi 1; Value.bot ]));
   Alcotest.(check bool) "list length matters" false
     (Value.equal (Value.list [ vi 1 ]) (Value.list [ vi 1; vi 1 ]));
-  Alcotest.(check bool) "cross-kind" false (Value.equal (vi 0) Value.Bot)
+  Alcotest.(check bool) "cross-kind" false (Value.equal (vi 0) Value.bot)
 
 let value_compare_total_order () =
   let vs =
-    [ Value.Bot; vi (-1); vi 5; Value.str "a"; Value.pair (vi 1) (vi 2);
+    [ Value.bot; vi (-1); vi 5; Value.str "a"; Value.pair (vi 1) (vi 2);
       Value.list [ vi 1 ]; Value.list [] ]
   in
   (* reflexive, antisymmetric-ish, transitive by sort stability *)
@@ -88,10 +88,10 @@ let rng_shuffle_permutes () =
 
 let memory_read_write () =
   let m = Memory.create 4 in
-  check_value "initial bot" Value.Bot (Memory.read m 2);
+  check_value "initial bot" Value.bot (Memory.read m 2);
   let m = Memory.write m 2 (vi 9) in
   check_value "written" (vi 9) (Memory.read m 2);
-  check_value "others untouched" Value.Bot (Memory.read m 3);
+  check_value "others untouched" Value.bot (Memory.read m 3);
   Alcotest.(check int) "one register written" 1 (Memory.num_written m);
   Alcotest.(check int) "one write op" 1 (Memory.write_count m)
 
@@ -101,7 +101,7 @@ let memory_persistence () =
   let m2 = Memory.write m1 0 (vi 2) in
   check_value "m1 unchanged" (vi 1) (Memory.read m1 0);
   check_value "m2 sees latest" (vi 2) (Memory.read m2 0);
-  check_value "m0 still bot" Value.Bot (Memory.read m0 0)
+  check_value "m0 still bot" Value.bot (Memory.read m0 0)
 
 let memory_scan_atomic () =
   let m = Memory.create 5 in
@@ -110,17 +110,43 @@ let memory_scan_atomic () =
   let view = Memory.scan m ~off:1 ~len:3 in
   Alcotest.(check int) "len" 3 (Array.length view);
   check_value "v1" (vi 1) view.(0);
-  check_value "v2" Value.Bot view.(1);
+  check_value "v2" Value.bot view.(1);
   check_value "v3" (vi 3) view.(2)
 
+(* Negative paths on both backends: the error messages are part of the
+   interface (scripts match on them), so read, write, and scan must
+   report the offending index/range in the same [0,size) style. *)
 let memory_bounds_checked () =
-  let m = Memory.create 2 in
-  Alcotest.check_raises "read oob"
-    (Invalid_argument "Memory.read: register 2 out of range [0,2)") (fun () ->
-      ignore (Memory.read m 2));
-  Alcotest.check_raises "write oob"
-    (Invalid_argument "Memory.write: register -1 out of range [0,2)") (fun () ->
-      ignore (Memory.write m (-1) (vi 0)))
+  List.iter
+    (fun backend ->
+      let m = Memory.create ~backend 2 in
+      Alcotest.check_raises "read oob"
+        (Invalid_argument "Memory.read: register 2 out of range [0,2)") (fun () ->
+          ignore (Memory.read m 2));
+      Alcotest.check_raises "read negative"
+        (Invalid_argument "Memory.read: register -3 out of range [0,2)") (fun () ->
+          ignore (Memory.read m (-3)));
+      Alcotest.check_raises "write oob"
+        (Invalid_argument "Memory.write: register -1 out of range [0,2)") (fun () ->
+          ignore (Memory.write m (-1) (vi 0)));
+      Alcotest.check_raises "write oob high"
+        (Invalid_argument "Memory.write: register 7 out of range [0,2)") (fun () ->
+          ignore (Memory.write m 7 (vi 0)));
+      Alcotest.check_raises "scan past end"
+        (Invalid_argument "Memory.scan: range off=1 len=2 out of range [0,2)")
+        (fun () -> ignore (Memory.scan m ~off:1 ~len:2));
+      Alcotest.check_raises "scan negative off"
+        (Invalid_argument "Memory.scan: range off=-1 len=1 out of range [0,2)")
+        (fun () -> ignore (Memory.scan m ~off:(-1) ~len:1));
+      Alcotest.check_raises "scan negative len"
+        (Invalid_argument "Memory.scan: range off=0 len=-2 out of range [0,2)")
+        (fun () -> ignore (Memory.scan m ~off:0 ~len:(-2)));
+      (* boundary cases that must NOT raise *)
+      Alcotest.(check int) "empty scan ok" 0
+        (Array.length (Memory.scan m ~off:2 ~len:0));
+      Alcotest.(check int) "full scan ok" 2
+        (Array.length (Memory.scan m ~off:0 ~len:2)))
+    [ Memory.Persistent; Memory.Journaled ]
 
 (* ---- Program / Config ---- *)
 
@@ -138,7 +164,7 @@ let config_step_semantics () =
         Program.write 0 v (fun () ->
             Program.read 0 (fun w -> Program.yield w Program.stop)))
   in
-  let c = Config.create ~registers:1 ~procs:[| prog |] in
+  let c = Config.create ~registers:1 ~procs:[| prog |] () in
   Alcotest.(check bool) "idle initially" true (Program.is_idle (Config.proc c 0));
   let c, _ = Config.invoke c 0 (vi 42) in
   let c, ev1 = Config.step c 0 in
@@ -157,7 +183,7 @@ let config_persistence_branches () =
   let prog =
     Program.await (fun v -> Program.write 0 v (fun () -> Program.yield v Program.stop))
   in
-  let c0 = Config.create ~registers:1 ~procs:[| prog; prog |] in
+  let c0 = Config.create ~registers:1 ~procs:[| prog; prog |] () in
   let c0, _ = Config.invoke c0 0 (vi 1) in
   let c0, _ = Config.invoke c0 1 (vi 2) in
   (* branch A: p0 writes; branch B: p1 writes.  Both from c0. *)
@@ -165,11 +191,11 @@ let config_persistence_branches () =
   let cb, _ = Config.step c0 1 in
   check_value "branch A sees p0" (vi 1) (Memory.read (Config.mem ca) 0);
   check_value "branch B sees p1" (vi 2) (Memory.read (Config.mem cb) 0);
-  check_value "root untouched" Value.Bot (Memory.read (Config.mem c0) 0)
+  check_value "root untouched" Value.bot (Memory.read (Config.mem c0) 0)
 
 let config_block_write () =
   let writer r v = Program.write r (vi v) (fun () -> Program.stop) in
-  let c = Config.create ~registers:3 ~procs:[| writer 0 10; writer 2 12 |] in
+  let c = Config.create ~registers:3 ~procs:[| writer 0 10; writer 2 12 |] () in
   let c, evs = Config.block_write c [ 0; 1 ] in
   Alcotest.(check int) "two events" 2 (List.length evs);
   check_value "r0" (vi 10) (Memory.read (Config.mem c) 0);
@@ -178,7 +204,7 @@ let config_block_write () =
 let config_block_write_requires_poised () =
   let c =
     Config.create ~registers:1
-      ~procs:[| Program.read 0 (fun _ -> Program.stop) |]
+      ~procs:[| Program.read 0 (fun _ -> Program.stop) |] ()
   in
   Alcotest.check_raises "not poised"
     (Invalid_argument "Config.block_write: p0 is not poised to write") (fun () ->

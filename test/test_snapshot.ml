@@ -60,7 +60,7 @@ let run_history impl ~r ~n ~seed ~ops =
     Array.init n (fun pid ->
         tester ~api:(api_for impl ~r ~n ~pid) (random_script ~rng ~r ~ops ~pid))
   in
-  let config = Config.create ~registers:(registers_for impl ~r ~n) ~procs in
+  let config = Config.create ~registers:(registers_for impl ~r ~n) ~procs () in
   let inputs = Exec.oneshot_inputs (Array.make n (vi 0)) in
   let res =
     Exec.run ~record:true ~sched:(Schedule.random ~seed n) ~inputs ~max_steps:100_000
@@ -86,7 +86,7 @@ let sequential_semantics impl () =
   let r = 4 in
   let script = [ `Update (0, 1); `Update (2, 3); `Scan; `Update (0, 5); `Scan ] in
   let procs = [| tester ~api:(api_for impl ~r ~n:1 ~pid:0) script |] in
-  let config = Config.create ~registers:(registers_for impl ~r ~n:1) ~procs in
+  let config = Config.create ~registers:(registers_for impl ~r ~n:1) ~procs () in
   let inputs = Exec.oneshot_inputs [| vi 0 |] in
   let res = Exec.run ~record:true ~sched:(Schedule.solo 0) ~inputs ~max_steps:50_000 config in
   let h = Spec.Linearize.history_of_trace res.Exec.trace in
@@ -96,9 +96,9 @@ let sequential_semantics impl () =
   match List.rev h with
   | { op = Spec.Linearize.Scan { view }; _ } :: _ ->
     check_value "c0" (vi 5) view.(0);
-    check_value "c1" Value.Bot view.(1);
+    check_value "c1" Value.bot view.(1);
     check_value "c2" (vi 3) view.(2);
-    check_value "c3" Value.Bot view.(3)
+    check_value "c3" Value.bot view.(3)
   | _ -> Alcotest.fail "last op should be a scan"
 
 (* The broken implementation must be caught on at least one seed. *)

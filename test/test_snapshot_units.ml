@@ -6,7 +6,7 @@ open Helpers
 open Shm
 
 let run_solo ?(max_steps = 10_000) prog ~registers =
-  let config = Config.create ~registers ~procs:[| prog |] in
+  let config = Config.create ~registers ~procs:[| prog |] () in
   let inputs = Exec.oneshot_inputs [| vi 0 |] in
   Exec.run ~record:true ~sched:(Schedule.solo 0) ~inputs ~max_steps config
 
@@ -22,10 +22,13 @@ let afek_update_then_scan () =
   in
   let res = run_solo prog ~registers:n in
   match Config.outputs res.Exec.config with
-  | [ (_, _, Value.List [ s0; s1; s2 ]) ] ->
+  | [ (_, _, out) ] when (match Value.view out with Value.List [ _; _; _ ] -> true | _ -> false) ->
+    let s0, s1, s2 =
+      match Value.to_list out with [ a; b; c ] -> (a, b, c) | _ -> assert false
+    in
     check_value "own segment" (vi 42) s0;
-    check_value "others bot" Value.Bot s1;
-    check_value "others bot" Value.Bot s2
+    check_value "others bot" Value.bot s1;
+    check_value "others bot" Value.bot s2
   | _ -> Alcotest.fail "unexpected output shape"
 
 (* Afek scans are genuinely atomic under interference: a writer and a
@@ -50,13 +53,14 @@ let afek_scan_never_tears () =
                 Program.yield (Value.pair v1.(0) v2.(0)) Program.stop)))
   in
   for seed = 0 to 39 do
-    let config = Config.create ~registers:n ~procs:[| writer; scanner |] in
+    let config = Config.create ~registers:n ~procs:[| writer; scanner |] () in
     let inputs = Exec.oneshot_inputs [| vi 0; vi 0 |] in
     let res = Exec.run ~sched:(Schedule.random ~seed 2) ~inputs ~max_steps:20_000 config in
     match Config.outputs res.Exec.config with
-    | [ (1, _, Value.Pair (a, b)) ] ->
+    | [ (1, _, p) ] when (match Value.view p with Value.Pair _ -> true | _ -> false) ->
+      let a = Value.fst p and b = Value.snd p in
       (* monotone: the second scan never sees an older value *)
-      let to_i v = match v with Value.Int i -> i | Value.Bot -> 0 | _ -> -1 in
+      let to_i v = match Value.view v with Value.Int i -> i | Value.Bot -> 0 | _ -> -1 in
       if to_i b < to_i a then
         Alcotest.failf "seed %d: scans went backwards (%a then %a)" seed Value.pp a
           Value.pp b
@@ -79,7 +83,7 @@ let double_collect_retry_bound () =
         in
         go 0)
   in
-  let config = Config.create ~registers:2 ~procs:[| scanner; interferer |] in
+  let config = Config.create ~registers:2 ~procs:[| scanner; interferer |] () in
   let inputs = Exec.oneshot_inputs [| vi 0; vi 0 |] in
   (* alternate strictly so every double collect sees a change *)
   let sched = Schedule.round_robin 2 in
@@ -113,7 +117,7 @@ let mw_sw_timestamp_order () =
     Program.await (fun _ ->
         api.Snapshot.Snap_api.scan (fun _ view -> Program.yield view.(0) Program.stop))
   in
-  let config = Config.create ~registers:n ~procs:[| mk 0 10; mk 1 20; reader |] in
+  let config = Config.create ~registers:n ~procs:[| mk 0 10; mk 1 20; reader |] () in
   let inputs = Exec.oneshot_inputs [| vi 0; vi 0; vi 0 |] in
   (* strictly sequential: writer 0 entirely, then writer 1, then reader *)
   let sched = Schedule.quantum_round_robin ~quantum:10_000 3 in
@@ -130,7 +134,7 @@ let anonymous_tags_fresh () =
     Program.await (fun _ ->
         api.Snapshot.Snap_api.update 0 (vi 1) (fun _ -> Program.stop))
   in
-  let config = Config.create ~registers:1 ~procs:[| mk 1; mk 2 |] in
+  let config = Config.create ~registers:1 ~procs:[| mk 1; mk 2 |] () in
   let inputs = Exec.oneshot_inputs [| vi 0; vi 0 |] in
   let res =
     Exec.run ~record:true ~sched:(Schedule.round_robin 2) ~inputs ~max_steps:100 config
@@ -139,7 +143,10 @@ let anonymous_tags_fresh () =
     res.Exec.trace
     |> List.filter_map (fun ev ->
            match ev with
-           | Event.Did_write { value = Value.Pair (tag, _); _ } -> Some tag
+           | Event.Did_write { value; _ } -> (
+             match Value.view value with
+             | Value.Pair (tag, _) -> Some tag
+             | _ -> None)
            | _ -> None)
   in
   Alcotest.(check int) "two writes" 2 (List.length tags);

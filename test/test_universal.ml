@@ -9,12 +9,12 @@ let counter_machine =
     Rsm.init = 0;
     apply =
       (fun s cmd ->
-        match cmd with
-        | Shm.Value.Pair (Shm.Value.Str "add", Shm.Value.Int x) -> s + x
+        match Machines.tagged cmd with
+        | Some ("add", x) -> s + Shm.Value.to_int x
         | _ -> s);
   }
 
-let add pid slot = Shm.Value.Pair (Shm.Value.Str "add", Shm.Value.Int ((10 * slot) + pid))
+let add pid slot = Shm.Value.pair (Shm.Value.str "add") (Shm.Value.int ((10 * slot) + pid))
 
 (* Consensus underneath: all replicas converge on one log and state. *)
 let consensus_replicas_agree () =
@@ -104,13 +104,13 @@ let kv_machine () =
       Rsm.init = [];
       apply =
         (fun s cmd ->
-          match cmd with
-          | Shm.Value.Pair (Shm.Value.Str key, v) -> (key, v) :: List.remove_assoc key s
-          | _ -> s);
+          match Machines.tagged cmd with
+          | Some (key, v) -> (key, v) :: List.remove_assoc key s
+          | None -> s);
     }
   in
   let commands pid slot =
-    Shm.Value.Pair (Shm.Value.Str (Printf.sprintf "key%d" (slot mod 2)), vi pid)
+    Shm.Value.pair (Shm.Value.str (Printf.sprintf "key%d" (slot mod 2))) (vi pid)
   in
   let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
   let run = Rsm.replicate p machine ~commands ~slots:6 in
@@ -139,23 +139,23 @@ let queue_machine () =
     let enqueued =
       List.length
         (List.filter
-           (fun c -> match c with Shm.Value.Pair (Shm.Value.Str "enq", _) -> true | _ -> false)
+           (fun c -> match Machines.tagged c with Some ("enq", _) -> true | _ -> false)
            log)
     in
     let real_deqs =
       List.length
-        (List.filter (fun v -> not (Shm.Value.equal v Shm.Value.Bot)) st.Machines.dequeued)
+        (List.filter (fun v -> not (Shm.Value.equal v Shm.Value.bot)) st.Machines.dequeued)
     in
     Alcotest.(check int) "conservation" enqueued
       (List.length st.Machines.items + real_deqs);
     (* FIFO: dequeued values appear in enqueue order *)
     let enq_order =
       List.filter_map
-        (fun c -> match c with Shm.Value.Pair (Shm.Value.Str "enq", v) -> Some v | _ -> None)
+        (fun c -> match Machines.tagged c with Some ("enq", v) -> Some v | _ -> None)
         log
     in
     let deq_values =
-      List.filter (fun v -> not (Shm.Value.equal v Shm.Value.Bot)) st.Machines.dequeued
+      List.filter (fun v -> not (Shm.Value.equal v Shm.Value.bot)) st.Machines.dequeued
     in
     let rec is_prefix xs ys =
       match (xs, ys) with
@@ -191,8 +191,9 @@ let lww_register_machine () =
     (* final state is the last committed write *)
     let last =
       match List.rev log with
-      | Shm.Value.Pair (_, v) :: _ -> v
-      | _ -> Shm.Value.Bot
+      | c :: _ -> (
+        match Shm.Value.view c with Shm.Value.Pair (_, v) -> v | _ -> Shm.Value.bot)
+      | _ -> Shm.Value.bot
     in
     check_value "last write wins" last r.Rsm.state
   | _ -> Alcotest.fail "register replication failed"

@@ -9,6 +9,15 @@
 #      mutable state: no `mutable` record fields, no `ref` cells.
 #      Everything shared is Atomic.t by construction, so any TSan
 #      finding is a real bug, not a benign race on bookkeeping.
+#   4. The simulator's pure core (lib/shm value/program/event/config)
+#      holds no mutable state at all: configurations must stay
+#      persistent values so explorers can branch and replay them.
+#      Allowlisted exceptions, each with a documented soundness story:
+#        - lib/shm/memory.ml — the journaled backend mutates a shared
+#          flat array behind a persistent interface (undo journal;
+#          see docs/PERFORMANCE.md)
+#        - lib/shm/value.ml — weak intern tables for hash-consing
+#          (physically mutable, observationally pure)
 #
 # Exits non-zero listing every offender.
 
@@ -38,6 +47,19 @@ fi
 if grep -En "(^|[^_[:alnum:]])ref([^_[:alnum:]]|$)" lib/native/*.ml 2>/dev/null \
   | grep -v "data-race"; then
   echo "lint: ref cell in lib/native (use Atomic.t)" >&2
+  fail=1
+fi
+
+# 4. mutable state in the shm pure core ----------------------------
+# Scope: the modules whose values explorers treat as persistent data.
+# (schedule.ml, rng.ml, analysis.ml, exec.ml are deliberately stateful
+# drivers and stay out of scope.)
+# Allowlist: memory.ml (journaled backend), value.ml (hash-cons table).
+shm_pure="lib/shm/program.ml lib/shm/event.ml lib/shm/config.ml"
+if grep -En "(^|[^[:alnum:]_])(mutable[[:space:]]|ref([^_[:alnum:]]|$))" $shm_pure 2>/dev/null; then
+  echo "lint: mutable state in the shm pure core (keep configurations persistent;" >&2
+  echo "      if a backend truly needs mutation, add it to the lint allowlist with" >&2
+  echo "      a soundness note like lib/shm/memory.ml)" >&2
   fail=1
 fi
 
