@@ -26,12 +26,45 @@ let section title = Fmt.pr "@.=== %s ===@." title
 
 let check_mark ok = if ok then "ok" else "MISMATCH"
 
+let perf_smoke = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Bench history: every table run appends one JSONL entry (schema
+   version, git rev, rows) to BENCH_history.jsonl, the repo's perf
+   trajectory.  `diff` compares the last two runs of an experiment;
+   `check` re-runs the perf table and gates it against the committed
+   floors entry (machine-independent speedup ratios). *)
+
+let history_path = "BENCH_history.jsonl"
+
+(* Obs.History is subprocess-free by design; resolving the revision is
+   the harness's job.  CI exposes GITHUB_SHA; locally ask git. *)
+let git_rev () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some s when String.length s >= 7 -> String.sub s 0 7
+  | Some s -> s
+  | None -> (
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "unknown" in
+      match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "unknown"
+    with _ -> "unknown")
+
+(* The rows of the most recent write_bench, so `check` can gate the run
+   it just performed without re-reading files. *)
+let last_bench : (string * Obs.Json.t list) option ref = ref None
+
 (* Machine-readable output: every table that prints paper-vs-measured
    numbers also writes BENCH_<id>.json next to it (schema in DESIGN.md
-   §Observability), so results diff across PRs and CI archives them. *)
+   §Observability), so results diff across PRs and CI archives them —
+   and appends the same rows to the history. *)
 let write_bench ~experiment ~file rows =
   Obs.Bench_out.write ~experiment ~path:file rows;
-  Fmt.pr "wrote %s (%d rows)@." file (List.length rows)
+  last_bench := Some (experiment, rows);
+  Obs.History.append ~path:history_path
+    (Obs.History.make ~ts:(Unix.time ()) ~rev:(git_rev ()) ~smoke:!perf_smoke
+       ~experiment rows);
+  Fmt.pr "wrote %s (%d rows; history: %s)@." file (List.length rows) history_path
 
 let point_fields ~n ~m ~k =
   [ ("n", Obs.Json.Int n); ("m", Obs.Json.Int m); ("k", Obs.Json.Int k) ]
@@ -480,8 +513,6 @@ let conform_table () =
 (* (n=4, m=1, k=1).  Schema in EXPERIMENTS.md §E16.                    *)
 
 (* --smoke (CI): same arms and schema, small iteration counts. *)
-let perf_smoke = ref false
-
 let perf_table () =
   section
     (Fmt.str "E16 Simulator hot path: journaled + incremental keys vs persistent + \
@@ -985,14 +1016,129 @@ let run_all () =
   List.iter (fun (_, f) -> f ()) series;
   bechamel_benches ()
 
+(* ------------------------------------------------------------------ *)
+(* History subcommands: diff, check, floors.                           *)
+
+let load_history () =
+  match Obs.History.load history_path with
+  | Ok entries -> entries
+  | Error e ->
+    Fmt.epr "%s: %s@." history_path e;
+    exit 2
+
+(* `diff [experiment]`: metric drift between the last two recorded runs
+   of an experiment (default: perf). *)
+let diff_cmd experiment =
+  let runs =
+    load_history ()
+    |> List.filter (fun (e : Obs.History.entry) ->
+           e.Obs.History.experiment = experiment && e.Obs.History.kind = "run")
+  in
+  match List.rev runs with
+  | cur :: base :: _ ->
+    Fmt.pr "%s: %a -> %a@." experiment Obs.History.pp_entry base
+      Obs.History.pp_entry cur;
+    (match Obs.History.diff base cur with
+    | [] -> Fmt.pr "no shared metric changed@."
+    | deltas -> List.iter (fun d -> Fmt.pr "%a@." Obs.History.pp_delta d) deltas)
+  | _ ->
+    Fmt.epr "need at least two %S run entries in %s (run `bench table %s` twice)@."
+      experiment history_path experiment;
+    exit 2
+
+(* The committed baseline: floors on the machine-independent speedup
+   ratios of E16 (same-binary reference vs new arms), the PR-5 targets.
+   `floors` (re)generates the entry; `check` enforces it. *)
+let perf_floors =
+  [
+    {
+      Obs.History.selector =
+        [ ("bench", "sim-steps"); ("arm", "new") ];
+      metric = "ratio_vs_reference";
+      min = 5.0;
+    };
+    {
+      Obs.History.selector =
+        [ ("bench", "dpor-states"); ("arm", "new") ];
+      metric = "ratio_vs_reference";
+      min = 3.0;
+    };
+  ]
+
+let floors_cmd () =
+  let entry =
+    Obs.History.make ~ts:(Unix.time ()) ~rev:(git_rev ()) ~kind:"floors"
+      ~experiment:"perf"
+      (List.map Obs.History.floor_row perf_floors)
+  in
+  Obs.History.append ~path:history_path entry;
+  Fmt.pr "appended floors entry to %s: %a@." history_path Obs.History.pp_entry entry
+
+(* `check [--smoke] [--fault]`: run the perf table and gate its rows
+   against the committed floors.  Exit 1 on any violation.  --fault
+   synthetically regresses every gated metric (divides it by 100)
+   before checking — CI uses it to prove the gate actually fails. *)
+let check_cmd ~fault () =
+  let floors =
+    match Obs.History.latest_floors (load_history ()) ~experiment:"perf" with
+    | Some e -> Obs.History.floors_of_entry e
+    | None ->
+      Fmt.epr "no committed floors entry for \"perf\" in %s (run `bench floors`)@."
+        history_path;
+      exit 2
+  in
+  perf_table ();
+  let rows =
+    match !last_bench with
+    | Some ("perf", rows) -> rows
+    | _ ->
+      Fmt.epr "internal error: perf table did not record its rows@.";
+      exit 2
+  in
+  let rows =
+    if not fault then rows
+    else
+      List.map
+        (function
+          | Obs.Json.Obj fields ->
+            Obs.Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                   match v with
+                   | Obs.Json.Float x
+                     when List.exists
+                            (fun (f : Obs.History.floor) -> f.Obs.History.metric = k)
+                            floors ->
+                     (k, Obs.Json.Float (x /. 100.))
+                   | _ -> (k, v))
+                 fields)
+          | row -> row)
+        rows
+  in
+  if fault then Fmt.pr "--fault: gated metrics synthetically regressed 100x@.";
+  let verdicts = Obs.History.check_floors ~floors rows in
+  List.iter (fun v -> Fmt.pr "%a@." Obs.History.pp_verdict v) verdicts;
+  let bad = List.filter Obs.History.violated verdicts in
+  if bad <> [] then begin
+    Fmt.pr "bench check: FAIL (%d of %d floors violated)@." (List.length bad)
+      (List.length verdicts);
+    exit 1
+  end;
+  Fmt.pr "bench check: ok (%d floors)@." (List.length verdicts)
+
 let () =
   (* --smoke anywhere on the line switches E16 to CI-sized iteration
-     counts (same arms, same schema). *)
+     counts (same arms, same schema); --fault makes `check` regress the
+     gated metrics synthetically. *)
+  let fault = ref false in
   let argv =
     Array.to_list Sys.argv
     |> List.filter (fun a ->
            if a = "--smoke" then (
              perf_smoke := true;
+             false)
+           else if a = "--fault" then (
+             fault := true;
              false)
            else true)
   in
@@ -1015,6 +1161,12 @@ let () =
         Fmt.(list ~sep:sp string)
         (List.map fst series);
       exit 2)
+  | [ _; "diff" ] -> diff_cmd "perf"
+  | [ _; "diff"; experiment ] -> diff_cmd experiment
+  | [ _; "check" ] -> check_cmd ~fault:!fault ()
+  | [ _; "floors" ] -> floors_cmd ()
   | _ ->
-    Fmt.epr "usage: main.exe [all | bechamel | table <id> | series <id>]@.";
+    Fmt.epr
+      "usage: main.exe [all | bechamel | table <id> | series <id> | diff \
+       [<experiment>] | check [--smoke] [--fault] | floors]@.";
     exit 2

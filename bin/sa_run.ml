@@ -120,13 +120,38 @@ let parse_explore spec ~jobs =
       (Fmt.str "--explore %S: expected engine:DEPTH; valid specs: %s" spec
          (String.concat " | " explore_specs))
 
+(* Shared between the default command and `trace`: the flag-to-impl
+   mapping and instance construction. *)
+let impl_of = function
+  | `Atomic -> Agreement.Instances.Atomic
+  | `Collect -> Agreement.Instances.Double_collect
+  | `Sw -> Agreement.Instances.Sw_based
+
+let build_config ~algo ~impl ~registers params =
+  match algo with
+  | One_shot -> Agreement.Instances.oneshot ?r:registers ~impl params
+  | Repeated -> Agreement.Instances.repeated ?r:registers ~impl params
+  | Baseline ->
+    if registers <> None then
+      Fmt.epr "note: --registers is ignored for the baseline algorithm@.";
+    Agreement.Instances.baseline ~impl params
+  | Anonymous ->
+    Agreement.Instances.anonymous ?r:registers
+      ~anonymous_collect:(impl = Agreement.Instances.Double_collect)
+      params
+
 (* Model-check the configured instance over all schedules up to the
    depth bound, instead of running one schedule. *)
 let explore_main ~engine ~depth ~shrink ~stats ~k ~inputs config =
   let check = Spec.Properties.check_safety ~k in
   let metrics = Obs.Metrics.create () in
+  (* profile only under --stats: phase attribution costs two clock
+     reads per phase per node, which we don't charge to plain runs *)
+  let prof = if stats then Some (Obs.Prof.create ()) else None in
   let t0 = Unix.gettimeofday () in
-  let outcome = Spec.Modelcheck.run ~engine ~depth ~inputs ~metrics ~check config in
+  let outcome =
+    Spec.Modelcheck.run ~engine ~depth ~inputs ~metrics ?prof ~check config
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let s = Spec.Modelcheck.stats_of outcome in
   Fmt.pr "engine: %s, depth bound: %d@." (Spec.Modelcheck.engine_name engine) depth;
@@ -154,7 +179,13 @@ let explore_main ~engine ~depth ~shrink ~stats ~k ~inputs config =
       | Some r -> Fmt.pr "%a@." Spec.Shrink.pp_result r
       | None -> Fmt.pr "shrink: counterexample did not reproduce under replay@."
     end);
-  if stats then Fmt.pr "--- metrics ---@.%a@." Obs.Metrics.pp metrics;
+  if stats then begin
+    Fmt.pr "--- metrics ---@.%a@." Obs.Metrics.pp metrics;
+    match prof with
+    | Some p when not (Obs.Prof.is_empty p) ->
+      Fmt.pr "--- phase breakdown ---@.%a@." Obs.Prof.pp p
+    | _ -> ()
+  end;
   match outcome with Spec.Modelcheck.Ok_bounded _ -> () | _ -> exit 1
 
 let run backend algo n m k impl sched_spec rounds trace diagram stats trace_out
@@ -168,26 +199,9 @@ let run backend algo n m k impl sched_spec rounds trace diagram stats trace_out
       Fmt.epr "%s@." e;
       exit 2
   in
-  let impl =
-    match impl with
-    | `Atomic -> Agreement.Instances.Atomic
-    | `Collect -> Agreement.Instances.Double_collect
-    | `Sw -> Agreement.Instances.Sw_based
-  in
+  let impl = impl_of impl in
   let input_fn pid instance = Shm.Value.int ((100 * instance) + pid) in
-  let config =
-    match algo with
-    | One_shot -> Agreement.Instances.oneshot ?r:registers ~impl params
-    | Repeated -> Agreement.Instances.repeated ?r:registers ~impl params
-    | Baseline ->
-      if registers <> None then
-        Fmt.epr "note: --registers is ignored for the baseline algorithm@.";
-      Agreement.Instances.baseline ~impl params
-    | Anonymous ->
-      Agreement.Instances.anonymous ?r:registers
-        ~anonymous_collect:(impl = Agreement.Instances.Double_collect)
-        params
-  in
+  let config = build_config ~algo ~impl ~registers params in
   let rounds = match algo with One_shot | Baseline -> 1 | Repeated | Anonymous -> rounds in
   let inputs = Shm.Exec.repeated_inputs ~rounds input_fn in
   match explore with
@@ -257,6 +271,179 @@ let run backend algo n m k impl sched_spec rounds trace diagram stats trace_out
     Fmt.pr "%a@." Obs.Span.pp span
   end;
   Option.iter (fun path -> Fmt.pr "trace written to %s (JSONL)@." path) trace_out
+
+(* ------------------------------------------------------------------ *)
+(* The `trace` subcommand: record a causally-linked trace of one run
+   (or one exploration) and export it as Chrome trace-event JSON for
+   Perfetto, plus optionally the raw span JSONL.  Single-run mode
+   records the register-coverage timeline (covered = poised writes,
+   written = the space measure) through Exec's probe hook; explore mode
+   records per-domain DPOR worker timelines, steal flows, and the
+   exploration counter tracks. *)
+
+let trace_main backend algo n m k impl sched_spec rounds registers explore jobs
+    max_steps sets out jsonl_out stats =
+  set_memory_backend backend;
+  let params = Agreement.Params.make ~n ~m ~k in
+  let impl = impl_of impl in
+  let config = build_config ~algo ~impl ~registers params in
+  let rounds =
+    match algo with One_shot | Baseline -> 1 | Repeated | Anonymous -> rounds
+  in
+  let input_fn pid instance = Shm.Value.int ((100 * instance) + pid) in
+  let inputs = Shm.Exec.repeated_inputs ~rounds input_fn in
+  let tr = Obs.Trace.create () in
+  let prof = Obs.Prof.create () in
+  let series = Obs.Prof.Series.create () in
+  let code =
+    Obs.Trace.with_attached tr (fun () ->
+        match explore with
+        | Some spec -> (
+          match parse_explore spec ~jobs with
+          | Error e ->
+            Fmt.epr "%s@." e;
+            exit 2
+          | Ok (engine, depth) ->
+            let check = Spec.Properties.check_safety ~k in
+            let metrics = Obs.Metrics.create () in
+            let outcome =
+              Spec.Modelcheck.run ~engine ~depth ~inputs ~metrics ~prof ~series
+                ~check config
+            in
+            Fmt.pr "engine: %s, depth bound: %d — %a@."
+              (Spec.Modelcheck.engine_name engine)
+              depth Spec.Modelcheck.pp_outcome outcome;
+            (match outcome with Spec.Modelcheck.Ok_bounded _ -> 0 | _ -> 1))
+        | None ->
+          let sched =
+            match parse_sched sched_spec ~n with
+            | Ok s -> s
+            | Error e ->
+              Fmt.epr "%s@." e;
+              exit 2
+          in
+          (* the coverage probe sees the configuration after each event;
+             [--cov-sets] additionally records the sets themselves *)
+          let probe = Obs.Coverage.ambient_probe ~sets () in
+          let root =
+            Obs.Trace.begin_span tr ~cat:"exec"
+              ~args:[ ("sched", Obs.Json.String (Shm.Schedule.name sched)) ]
+              "run"
+          in
+          let result = Shm.Exec.run ?probe ~sched ~inputs ~max_steps config in
+          Obs.Trace.end_span tr
+            ~args:[ ("steps", Obs.Json.Int result.Shm.Exec.steps) ]
+            root;
+          Fmt.pr "ran %d steps (%s); registers written: %d@."
+            result.Shm.Exec.steps
+            (match result.Shm.Exec.stopped with
+            | Shm.Exec.All_quiescent -> "quiescent"
+            | Shm.Exec.Fuel_exhausted -> "fuel exhausted")
+            (Obs.Coverage.num_written result.Shm.Exec.config);
+          0)
+  in
+  (try Obs.Chrome_trace.save out tr
+   with Sys_error e ->
+     Fmt.epr "--out: %s@." e;
+     exit 2);
+  Fmt.pr "chrome trace written to %s (open in https://ui.perfetto.dev)@." out;
+  Option.iter
+    (fun path ->
+      (try Obs.Trace.save_jsonl path tr
+       with Sys_error e ->
+         Fmt.epr "--jsonl: %s@." e;
+         exit 2);
+      Fmt.pr "spans written to %s (JSONL)@." path)
+    jsonl_out;
+  if stats then begin
+    if not (Obs.Prof.is_empty prof) then
+      Fmt.pr "--- phase breakdown ---@.%a@." Obs.Prof.pp prof;
+    if Obs.Prof.Series.length series > 0 then
+      Fmt.pr "--- exploration series ---@.%a@." Obs.Prof.Series.pp series;
+    Fmt.pr "--- trace ---@.%a@." Obs.Trace.pp tr
+  end;
+  exit code
+
+let trace_cmd =
+  let algo =
+    Arg.(value & opt algo_conv One_shot & info [ "algo"; "a" ] ~doc:"Algorithm to run.")
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
+  let m = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Obstruction bound.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement bound.") in
+  let impl =
+    Arg.(value & opt impl_conv `Atomic & info [ "impl" ] ~doc:"Snapshot implementation.")
+  in
+  let sched =
+    Arg.(
+      value & opt string "quantum:300"
+      & info [ "sched"; "s" ]
+          ~doc:
+            "Scheduler (single-run mode): round-robin | quantum[:Q] | random[:SEED] | \
+             solo:P | m-bounded:SEED[:M].")
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds"; "r" ] ~doc:"Instances (repeated).")
+  in
+  let registers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "registers" ] ~docv:"R" ~doc:"Override the register budget.")
+  in
+  let explore =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explore" ] ~docv:"ENGINE:DEPTH"
+          ~doc:
+            "Trace a model-checking exploration instead of a single run: naive:DEPTH | \
+             dpor:DEPTH | dpor-nocache:DEPTH.  With --jobs > 1 the trace shows \
+             per-domain worker timelines and steal flows.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~doc:"Worker domains for --explore dpor (default 1).")
+  in
+  let max_steps =
+    Arg.(value & opt int 500_000 & info [ "max-steps" ] ~doc:"Step budget (single run).")
+  in
+  let sets =
+    Arg.(
+      value & flag
+      & info [ "cov-sets" ]
+          ~doc:
+            "Record the covered/written register sets themselves on every write \
+             event, not just their sizes (heavier; single-run mode).")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event output file (load at ui.perfetto.dev).")
+  in
+  let jsonl_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also dump the raw spans as JSONL.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the phase breakdown, exploration series, and span summary.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a causal trace — spans, register-coverage timeline, per-domain DPOR \
+          worker timelines with steal flows — and export Chrome trace-event JSON \
+          loadable in Perfetto.")
+    Term.(
+      const trace_main $ memory_backend_arg $ algo $ n $ m $ k $ impl $ sched $ rounds
+      $ registers $ explore $ jobs $ max_steps $ sets $ out $ jsonl_out $ stats)
 
 (* ------------------------------------------------------------------ *)
 (* The `analyze` subcommand: static protocol analyzer (lib/analyze).   *)
@@ -657,6 +844,6 @@ let cmd =
        ~doc:
          "Run m-obstruction-free k-set agreement in the simulator, or audit the native \
           layer with `conform'")
-    [ conform_cmd; analyze_cmd ]
+    [ conform_cmd; analyze_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -168,7 +168,20 @@ let observe_latencies ~metrics completed =
       | Spec.Linearize.Scan _ -> Obs.Metrics.Histogram.observe scn lat)
     completed
 
+(* Span bracket used by both harnesses: [f] runs inside a span when a
+   collector is attached, bare otherwise.  The ctx may have been opened
+   on a different domain (the iteration span parents the per-domain
+   workload spans — exactly the cross-domain propagation Obs.Trace is
+   for). *)
+let spanned tr ?parent ~args name f =
+  match tr with
+  | None -> f ()
+  | Some t ->
+    let c = Obs.Trace.begin_span t ?parent ~cat:"conform" ~args name in
+    Fun.protect ~finally:(fun () -> Obs.Trace.end_span t c) f
+
 let run_snapshot ?(metrics = Obs.Metrics.create ()) ~sut (cfg : config) =
+  let tr = Obs.Trace.attached () in
   let iters_c = Obs.Metrics.counter metrics "conform.iters" in
   let ops_c = Obs.Metrics.counter metrics "conform.ops" in
   let checks_c = Obs.Metrics.counter metrics "conform.checks" in
@@ -184,10 +197,22 @@ let run_snapshot ?(metrics = Obs.Metrics.create ()) ~sut (cfg : config) =
       let inst = sut.Sut.create ~components:cfg.components in
       let recorder = Recorder.create ~domains:cfg.domains in
       let plan = Chaos.plan cfg.profile ~seed:iseed in
+      let ispan =
+        match tr with
+        | Some t ->
+          Some
+            (Obs.Trace.begin_span t ~cat:"conform"
+               ~args:[ ("iter", Obs.Json.Int iter); ("seed", Obs.Json.Int iseed) ]
+               "iteration")
+        | None -> None
+      in
       let workers =
         Array.init cfg.domains (fun pid ->
             Domain.spawn (fun () ->
-                snapshot_workload ~cfg ~iseed ~inst ~recorder ~plan pid))
+                spanned tr ?parent:ispan
+                  ~args:[ ("pid", Obs.Json.Int pid) ]
+                  "workload"
+                  (fun () -> snapshot_workload ~cfg ~iseed ~inst ~recorder ~plan pid)))
       in
       Array.iter Domain.join workers;
       let completed, pending = Recorder.history recorder in
@@ -196,9 +221,17 @@ let run_snapshot ?(metrics = Obs.Metrics.create ()) ~sut (cfg : config) =
       Obs.Metrics.Counter.add crashes_c (List.length pending);
       observe_latencies ~metrics completed;
       let t0 = Clock.now_ns () in
-      let w = Spec.Linearize.witness ~components:cfg.components ~pending completed in
+      let w =
+        spanned tr ?parent:ispan
+          ~args:[ ("ops", Obs.Json.Int (List.length completed)) ]
+          "linearize"
+          (fun () -> Spec.Linearize.witness ~components:cfg.components ~pending completed)
+      in
       Obs.Metrics.Counter.incr checks_c;
       Obs.Metrics.Counter.add check_ns_c (Clock.now_ns () - t0);
+      (match (tr, ispan) with
+      | Some t, Some c -> Obs.Trace.end_span t c
+      | _ -> ());
       match w with
       | Some _ -> iterate (iter + 1)
       | None ->
@@ -270,6 +303,7 @@ let run_agreement ?(metrics = Obs.Metrics.create ()) ~(params : Agreement.Params
   let crashed_c = Obs.Metrics.counter metrics "conform.agreement_crashed" in
   let violations_c = Obs.Metrics.counter metrics "conform.violations" in
   let propose_h = Obs.Metrics.histogram metrics "conform.propose_ns" in
+  let tr = Obs.Trace.attached () in
   let n = params.Agreement.Params.n in
   let k = params.Agreement.Params.k in
   let rec iterate iter =
@@ -285,20 +319,39 @@ let run_agreement ?(metrics = Obs.Metrics.create ()) ~(params : Agreement.Params
       let t = Native.Native_agreement.create ~params in
       let plan = Chaos.plan profile ~seed:iseed in
       let inputs = Array.init n (fun pid -> Shm.Value.int ((1000 * (iter + 1)) + pid)) in
+      let ispan =
+        match tr with
+        | Some t ->
+          Some
+            (Obs.Trace.begin_span t ~cat:"conform"
+               ~args:[ ("iter", Obs.Json.Int iter); ("seed", Obs.Json.Int iseed) ]
+               "iteration")
+        | None -> None
+      in
       let workers =
         Array.init n (fun pid ->
             Domain.spawn (fun () ->
-                let hc = Chaos.handle plan ~pid in
-                let chaos () =
-                  Chaos.point hc;
-                  Chaos.crash_point hc
-                in
-                let t0 = Clock.now_ns () in
-                match Native.Native_agreement.propose ~chaos t ~pid ~seed:iseed inputs.(pid) with
-                | w -> Some (w, Clock.now_ns () - t0)
-                | exception Chaos.Crashed -> None))
+                spanned tr ?parent:ispan
+                  ~args:[ ("pid", Obs.Json.Int pid) ]
+                  "propose"
+                  (fun () ->
+                    let hc = Chaos.handle plan ~pid in
+                    let chaos () =
+                      Chaos.point hc;
+                      Chaos.crash_point hc
+                    in
+                    let t0 = Clock.now_ns () in
+                    match
+                      Native.Native_agreement.propose ~chaos t ~pid ~seed:iseed
+                        inputs.(pid)
+                    with
+                    | w -> Some (w, Clock.now_ns () - t0)
+                    | exception Chaos.Crashed -> None)))
       in
       let results = Array.map Domain.join workers in
+      (match (tr, ispan) with
+      | Some t, Some c -> Obs.Trace.end_span t c
+      | _ -> ());
       Obs.Metrics.Counter.incr iters_c;
       let decisions =
         Array.map

@@ -55,11 +55,15 @@ let nth_output history t =
   | Some w -> w
   | None -> invalid_arg "Native_repeated: adopted history shorter than instance"
 
-(* One Propose, following Figure 4 with backoff between full cycles. *)
-let propose s v =
+(* One Propose, following Figure 4 with backoff between full cycles.
+   When a trace collector is attached the call is bracketed in a
+   ["propose"] span on the proposing domain (category ["native"],
+   instance number in the args); detached, one atomic load. *)
+let propose ?span s v =
   let r = registers s.obj in
   Atomic.incr s.t_inst;
   let t = Atomic.get s.t_inst in
+  let body () =
   if List.length (Atomic.get s.history) >= t then
     nth_output (Atomic.get s.history) t
   else begin
@@ -106,15 +110,38 @@ let propose s v =
     in
     loop v 0 1
   end
+  in
+  match Obs.Trace.attached () with
+  | None -> body ()
+  | Some tr ->
+    let c =
+      Obs.Trace.begin_span tr ?parent:span ~cat:"native"
+        ~args:[ ("pid", Obs.Json.Int s.pid); ("t", Obs.Json.Int t) ]
+        "propose"
+    in
+    Fun.protect ~finally:(fun () -> Obs.Trace.end_span tr c) body
 
 (* Run [rounds] instances across n domains; returns decisions as
    [| pid |].(round-1). *)
 let run ?(seed = 0) ~(params : Agreement.Params.t) ~rounds input =
   let obj = create ~params in
+  let tr = Obs.Trace.attached () in
+  let span =
+    Option.map
+      (fun trc ->
+        Obs.Trace.begin_span trc ~cat:"native"
+          ~args:[ ("n", Obs.Json.Int obj.n); ("rounds", Obs.Json.Int rounds) ]
+          "run")
+      tr
+  in
   let domains =
     Array.init obj.n (fun pid ->
         Domain.spawn (fun () ->
             let s = session obj ~pid ~seed in
-            Array.init rounds (fun j -> propose s (input ~pid ~round:(j + 1)))))
+            Array.init rounds (fun j -> propose ?span s (input ~pid ~round:(j + 1)))))
   in
-  (obj, Array.map Domain.join domains)
+  let out = Array.map Domain.join domains in
+  (match (tr, span) with
+  | Some trc, Some c -> Obs.Trace.end_span trc c
+  | _ -> ());
+  (obj, out)

@@ -14,8 +14,11 @@ type session
 
 val session : t -> pid:int -> seed:int -> session
 
-(** One Propose; call successive instances from the same session. *)
-val propose : session -> Shm.Value.t -> Shm.Value.t
+(** One Propose; call successive instances from the same session.  With
+    an {!Obs.Trace} collector attached, the call is bracketed in a
+    ["propose"] span parented to [span] if given (see
+    {!Native_agreement.propose}). *)
+val propose : ?span:Obs.Trace.ctx -> session -> Shm.Value.t -> Shm.Value.t
 
 (** Run [rounds] instances across n domains; [input ~pid ~round] is the
     proposal.  Result: per-pid array of per-round decisions. *)

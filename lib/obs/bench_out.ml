@@ -30,6 +30,45 @@ let write_file path json =
 
 let write ~experiment ~path rows = write_file path (document ~experiment rows)
 
+(* Reload a BENCH_*.json document, refusing schema majors newer than
+   this reader — a future writer bumping the major means "fields moved;
+   do not guess". *)
+
+type doc = { experiment : string; schema : int; rows : Json.t list }
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* experiment =
+    match Json.member "experiment" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "missing string \"experiment\""
+  in
+  let* schema =
+    match Json.member "schema" j with
+    | Some (Json.Int v) -> Ok v
+    | _ -> Error "missing integer \"schema\""
+  in
+  let* () =
+    if schema > schema_version then
+      Error
+        (Fmt.str "bench schema %d is newer than supported major %d" schema
+           schema_version)
+    else Ok ()
+  in
+  let* rows =
+    match Json.member "rows" j with
+    | Some (Json.Arr rows) -> Ok rows
+    | _ -> Error "missing \"rows\" array"
+  in
+  Ok { experiment; schema; rows }
+
+let read path =
+  try
+    let ( let* ) = Result.bind in
+    let* j = Json.of_string (In_channel.with_open_text path In_channel.input_all) in
+    of_json j
+  with Sys_error e -> Error e
+
 (* Span percentiles as row fields, for the common latency columns. *)
 let span_fields span =
   [

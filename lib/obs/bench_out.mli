@@ -14,6 +14,17 @@ val write_file : string -> Json.t -> unit
 (** [write ~experiment ~path rows] writes the standard envelope. *)
 val write : experiment:string -> path:string -> Json.t list -> unit
 
+(** {1 Reading} *)
+
+type doc = { experiment : string; schema : int; rows : Json.t list }
+
+(** Decode a document, rejecting schema majors newer than
+    {!schema_version}. *)
+val of_json : Json.t -> (doc, string) result
+
+(** Load and decode a [BENCH_*.json] file. *)
+val read : string -> (doc, string) result
+
 (** Common latency columns of a span tracker:
     [spans]/[span_p50]/[span_p99]. *)
 val span_fields : Span.t -> (string * Json.t) list

@@ -1,0 +1,262 @@
+(* Append-only bench history: BENCH_history.jsonl.
+
+   Every `bench table <id>` run appends one line — an *entry*: schema
+   version, wall-clock timestamp, git revision, experiment id, smoke
+   flag, and the full row set that also went to BENCH_<id>.json.  The
+   file is the perf trajectory of the repo: `bench diff` compares two
+   entries, `bench check` compares a fresh run against *floor* entries
+   committed in the repository's own BENCH_history.jsonl and exits
+   non-zero on regression.
+
+   Two entry kinds share the line format:
+   - kind "run":    rows are measurement rows (Bench_out schema);
+   - kind "floors": rows are floor specs — string-valued selector
+     fields plus {"metric": <name>, "min": <float>} — the committed
+     baseline `bench check` enforces.  Floors gate machine-independent
+     metrics (same-binary speedup ratios), so the committed baseline
+     holds across hardware.
+
+   This module stays subprocess- and unix-free: callers supply the
+   timestamp and git revision. *)
+
+let schema_version = 1
+
+type entry = {
+  schema : int;
+  ts : float;  (* unix seconds, 0. when unknown *)
+  rev : string;
+  experiment : string;
+  kind : string;  (* "run" | "floors" *)
+  smoke : bool;
+  rows : Json.t list;
+}
+
+let make ?(ts = 0.) ?(rev = "unknown") ?(kind = "run") ?(smoke = false) ~experiment
+    rows =
+  { schema = schema_version; ts; rev; experiment; kind; smoke; rows }
+
+let json_of_entry e =
+  Json.Obj
+    [
+      ("schema", Json.Int e.schema);
+      ("ts", Json.Float e.ts);
+      ("rev", Json.String e.rev);
+      ("experiment", Json.String e.experiment);
+      ("kind", Json.String e.kind);
+      ("smoke", Json.Bool e.smoke);
+      ("rows", Json.Arr e.rows);
+    ]
+
+let entry_of_json j =
+  let ( let* ) = Result.bind in
+  let* schema =
+    match Json.member "schema" j with
+    | Some (Json.Int v) -> Ok v
+    | _ -> Error "entry missing integer \"schema\""
+  in
+  (* the major-version gate of the satellite: refuse to misread a
+     future format rather than silently dropping fields *)
+  let* () =
+    if schema > schema_version then
+      Error
+        (Fmt.str "history schema %d is newer than supported major %d" schema
+           schema_version)
+    else Ok ()
+  in
+  let str k d = match Json.member k j with Some (Json.String s) -> s | _ -> d in
+  let ts =
+    match Json.member "ts" j with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> 0.
+  in
+  let smoke = match Json.member "smoke" j with Some (Json.Bool b) -> b | _ -> false in
+  let* rows =
+    match Json.member "rows" j with
+    | Some (Json.Arr rows) -> Ok rows
+    | _ -> Error "entry missing \"rows\" array"
+  in
+  Ok
+    {
+      schema;
+      ts;
+      rev = str "rev" "unknown";
+      experiment = str "experiment" "";
+      kind = str "kind" "run";
+      smoke;
+      rows;
+    }
+
+let append ~path e =
+  let oc = Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close oc)
+    (fun () ->
+      output_string oc (Json.to_string (json_of_entry e));
+      output_char oc '\n')
+
+let load path =
+  let ( let* ) = Result.bind in
+  try
+    In_channel.with_open_text path (fun ic ->
+        let rec go lineno acc =
+          match In_channel.input_line ic with
+          | None -> Ok (List.rev acc)
+          | Some "" -> go (lineno + 1) acc
+          | Some line ->
+            let parsed =
+              let* j = Json.of_string line in
+              entry_of_json j
+            in
+            (match parsed with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error e -> Error (Fmt.str "%s:%d: %s" path lineno e))
+        in
+        go 1 [])
+  with Sys_error e -> Error e
+
+(* ---- row keys and metrics (for diff) ---- *)
+
+(* A row's identity is its string-valued fields ("bench", "arm",
+   "engine", ...), in field order; its metrics are the numeric
+   fields. *)
+let row_key row =
+  match row with
+  | Json.Obj fields ->
+    fields
+    |> List.filter_map (fun (k, v) ->
+           match v with
+           | Json.String s when k <> "metric" -> Some (Fmt.str "%s=%s" k s)
+           | _ -> None)
+    |> String.concat " "
+  | _ -> ""
+
+let metrics_of_row row =
+  match row with
+  | Json.Obj fields ->
+    List.filter_map
+      (fun (k, v) ->
+        match v with
+        | Json.Float f -> Some (k, f)
+        | Json.Int i -> Some (k, float_of_int i)
+        | _ -> None)
+      fields
+  | _ -> []
+
+type delta = { d_key : string; d_metric : string; base : float; cur : float }
+
+let delta_pct d =
+  if d.base = 0. then if d.cur = 0. then 0. else Float.infinity
+  else 100. *. (d.cur -. d.base) /. Float.abs d.base
+
+(* Rows matched by key, metrics by name; rows or metrics present on
+   only one side are skipped (diff reports drift, not schema change). *)
+let diff base cur =
+  let index e =
+    List.filter_map
+      (fun row ->
+        match row_key row with "" -> None | key -> Some (key, metrics_of_row row))
+      e.rows
+  in
+  let base_rows = index base in
+  index cur
+  |> List.concat_map (fun (key, cur_metrics) ->
+         match List.assoc_opt key base_rows with
+         | None -> []
+         | Some base_metrics ->
+           cur_metrics
+           |> List.filter_map (fun (metric, cur_v) ->
+                  match List.assoc_opt metric base_metrics with
+                  | Some base_v when base_v <> cur_v ->
+                    Some { d_key = key; d_metric = metric; base = base_v; cur = cur_v }
+                  | _ -> None))
+
+let pp_delta ppf d =
+  Fmt.pf ppf "%-46s %-18s %14g -> %-14g %+.1f%%" d.d_key d.d_metric d.base d.cur
+    (delta_pct d)
+
+(* ---- floors (for check) ---- *)
+
+type floor = { selector : (string * string) list; metric : string; min : float }
+
+let floor_row f =
+  Json.Obj
+    (List.map (fun (k, v) -> (k, Json.String v)) f.selector
+    @ [ ("metric", Json.String f.metric); ("min", Json.Float f.min) ])
+
+let floor_of_row row =
+  match row with
+  | Json.Obj fields ->
+    let selector =
+      List.filter_map
+        (fun (k, v) ->
+          match v with Json.String s when k <> "metric" -> Some (k, s) | _ -> None)
+        fields
+    in
+    let metric =
+      match Json.member "metric" row with Some (Json.String s) -> Some s | _ -> None
+    in
+    let min =
+      match Json.member "min" row with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    (match (metric, min) with
+    | Some metric, Some min -> Some { selector; metric; min }
+    | _ -> None)
+  | _ -> None
+
+let floors_of_entry e = List.filter_map floor_of_row e.rows
+
+(* Latest floors entry for [experiment], if any. *)
+let latest_floors entries ~experiment =
+  List.fold_left
+    (fun acc e -> if e.kind = "floors" && e.experiment = experiment then Some e else acc)
+    None entries
+
+let row_matches selector row =
+  List.for_all
+    (fun (k, v) ->
+      match Json.member k row with Some (Json.String s) -> s = v | _ -> false)
+    selector
+
+type verdict = {
+  v_floor : floor;
+  actual : float option;  (* None: no row matched or metric absent *)
+}
+
+let violated v = match v.actual with None -> true | Some a -> a < v.v_floor.min
+
+(* Every floor yields a verdict; a floor whose selector matches no
+   current row is a violation (the gated bench disappeared). *)
+let check_floors ~floors rows =
+  List.map
+    (fun f ->
+      let actual =
+        List.find_opt (row_matches f.selector) rows
+        |> Option.map (fun row -> List.assoc_opt f.metric (metrics_of_row row))
+        |> Option.join
+      in
+      { v_floor = f; actual })
+    floors
+
+let pp_selector ppf selector =
+  Fmt.pf ppf "%a"
+    Fmt.(list ~sep:(any " ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+    selector
+
+let pp_verdict ppf v =
+  let f = v.v_floor in
+  match v.actual with
+  | None -> Fmt.pf ppf "FAIL %a: no row carries metric %S" pp_selector f.selector f.metric
+  | Some a ->
+    Fmt.pf ppf "%s %a: %s = %g (floor %g)"
+      (if a < f.min then "FAIL" else "ok  ")
+      pp_selector f.selector f.metric a f.min
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s %s%s rev %s (%d rows%s)" e.kind e.experiment
+    (if e.smoke then " [smoke]" else "")
+    e.rev (List.length e.rows)
+    (if e.ts = 0. then "" else Fmt.str ", ts %.0f" e.ts)

@@ -1,0 +1,89 @@
+(** Append-only bench history ([BENCH_history.jsonl]) — the repo's perf
+    trajectory, one JSONL entry per [bench table] run — plus the diff
+    and floor-checking logic behind [bench diff] / [bench check].
+
+    Entries come in two kinds: ["run"] (measurement rows, the same rows
+    written to [BENCH_<id>.json]) and ["floors"] (committed baseline:
+    selector fields plus [metric]/[min], enforced by [bench check]).
+    Floors gate machine-independent metrics — same-binary speedup
+    ratios — so one committed baseline holds across hardware.
+
+    The module is subprocess- and unix-free: callers supply timestamps
+    and git revisions. *)
+
+val schema_version : int
+
+type entry = {
+  schema : int;
+  ts : float;  (** unix seconds, [0.] when unknown *)
+  rev : string;
+  experiment : string;
+  kind : string;  (** ["run"] or ["floors"] *)
+  smoke : bool;
+  rows : Json.t list;
+}
+
+val make :
+  ?ts:float ->
+  ?rev:string ->
+  ?kind:string ->
+  ?smoke:bool ->
+  experiment:string ->
+  Json.t list ->
+  entry
+
+val json_of_entry : entry -> Json.t
+
+(** Rejects entries whose schema major exceeds {!schema_version}. *)
+val entry_of_json : Json.t -> (entry, string) result
+
+(** Append one line, creating the file if needed. *)
+val append : path:string -> entry -> unit
+
+(** All entries, oldest first; fails on unparsable lines or a
+    too-new schema. *)
+val load : string -> (entry list, string) result
+
+(** {1 Diff} *)
+
+(** A row's identity: its string-valued fields, in field order. *)
+val row_key : Json.t -> string
+
+(** A row's numeric fields. *)
+val metrics_of_row : Json.t -> (string * float) list
+
+type delta = { d_key : string; d_metric : string; base : float; cur : float }
+
+val delta_pct : delta -> float
+
+(** Metrics that changed between rows present in both entries. *)
+val diff : entry -> entry -> delta list
+
+val pp_delta : Format.formatter -> delta -> unit
+
+(** {1 Floors} *)
+
+type floor = {
+  selector : (string * string) list;  (** string fields a row must match *)
+  metric : string;
+  min : float;
+}
+
+val floor_row : floor -> Json.t
+val floors_of_entry : entry -> floor list
+
+(** Most recent ["floors"] entry for [experiment]. *)
+val latest_floors : entry list -> experiment:string -> entry option
+
+type verdict = {
+  v_floor : floor;
+  actual : float option;  (** [None]: no matching row / metric absent *)
+}
+
+val violated : verdict -> bool
+
+(** One verdict per floor; a floor matching no row is a violation. *)
+val check_floors : floors:floor list -> Json.t list -> verdict list
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_entry : Format.formatter -> entry -> unit

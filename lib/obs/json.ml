@@ -14,20 +14,78 @@ type t =
 
 (* ---- printing ---- *)
 
+(* OCaml strings are arbitrary bytes, but a JSON document must be
+   valid UTF-8 — emitting non-ASCII bytes raw produces output that
+   strict parsers (and Perfetto) reject.  The encoder validates UTF-8
+   as it walks: well-formed scalar sequences pass through, every byte
+   that is not part of one (stray continuation bytes, overlong
+   encodings, encoded surrogates, truncated sequences) is escaped as
+   a *surrogate escape* [\udcXX] — the lone-low-surrogate convention
+   (PEP 383) — which the parser below maps back to the raw byte.
+   Encode/decode is therefore the identity on arbitrary byte strings;
+   a QCheck property in test_obs.ml pins it. *)
 let add_escaped buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let byte j = Char.code (String.unsafe_get s j) in
+  let cont j = j < n && byte j land 0xC0 = 0x80 in
+  let i = ref 0 in
+  let escape_byte () =
+    Buffer.add_string buf (Printf.sprintf "\\udc%02x" (byte !i));
+    incr i
+  in
+  while !i < n do
+    match String.unsafe_get s !i with
+    | '"' -> Buffer.add_string buf "\\\""; incr i
+    | '\\' -> Buffer.add_string buf "\\\\"; incr i
+    | '\n' -> Buffer.add_string buf "\\n"; incr i
+    | '\r' -> Buffer.add_string buf "\\r"; incr i
+    | '\t' -> Buffer.add_string buf "\\t"; incr i
+    | c when Char.code c < 0x20 ->
+      Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+      incr i
+    | c when Char.code c < 0x80 -> Buffer.add_char buf c; incr i
+    | _ ->
+      let b0 = byte !i in
+      if b0 land 0xE0 = 0xC0 && cont (!i + 1) then begin
+        (* 2-byte sequence; reject overlong (cp < 0x80) *)
+        let cp = ((b0 land 0x1F) lsl 6) lor (byte (!i + 1) land 0x3F) in
+        if cp >= 0x80 then begin
+          Buffer.add_substring buf s !i 2;
+          i := !i + 2
+        end
+        else escape_byte ()
+      end
+      else if b0 land 0xF0 = 0xE0 && cont (!i + 1) && cont (!i + 2) then begin
+        (* 3-byte; reject overlong and encoded surrogates *)
+        let cp =
+          ((b0 land 0x0F) lsl 12)
+          lor ((byte (!i + 1) land 0x3F) lsl 6)
+          lor (byte (!i + 2) land 0x3F)
+        in
+        if cp >= 0x800 && not (cp >= 0xD800 && cp <= 0xDFFF) then begin
+          Buffer.add_substring buf s !i 3;
+          i := !i + 3
+        end
+        else escape_byte ()
+      end
+      else if b0 land 0xF8 = 0xF0 && cont (!i + 1) && cont (!i + 2) && cont (!i + 3)
+      then begin
+        (* 4-byte; reject overlong and beyond U+10FFFF *)
+        let cp =
+          ((b0 land 0x07) lsl 18)
+          lor ((byte (!i + 1) land 0x3F) lsl 12)
+          lor ((byte (!i + 2) land 0x3F) lsl 6)
+          lor (byte (!i + 3) land 0x3F)
+        in
+        if cp >= 0x10000 && cp <= 0x10FFFF then begin
+          Buffer.add_substring buf s !i 4;
+          i := !i + 4
+        end
+        else escape_byte ()
+      end
+      else escape_byte ()
+  done;
   Buffer.add_char buf '"'
 
 (* Floats must stay valid JSON: no nan/infinity, and keep a marker
@@ -101,8 +159,14 @@ let add_utf8 buf cp =
     Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
-  else begin
+  else if cp < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
@@ -166,7 +230,34 @@ let of_string s =
               lor hex_digit s.[!pos + 4]
             in
             pos := !pos + 5;
-            add_utf8 buf cp
+            (* Surrogate handling, mirroring add_escaped: a high
+               surrogate pairs with a following \uDCxx-range low
+               surrogate into one supplementary-plane scalar; a lone
+               \udcXX in 0xDC80–0xDCFF is a surrogate-escaped raw
+               byte; any other lone surrogate decodes to U+FFFD
+               rather than producing ill-formed UTF-8. *)
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              let lo =
+                if !pos + 5 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then
+                  let l =
+                    (hex_digit s.[!pos + 2] lsl 12)
+                    lor (hex_digit s.[!pos + 3] lsl 8)
+                    lor (hex_digit s.[!pos + 4] lsl 4)
+                    lor hex_digit s.[!pos + 5]
+                  in
+                  if l >= 0xDC00 && l <= 0xDFFF then Some l else None
+                else None
+              in
+              match lo with
+              | Some l ->
+                pos := !pos + 6;
+                add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (l - 0xDC00))
+              | None -> add_utf8 buf 0xFFFD
+            end
+            else if cp >= 0xDC80 && cp <= 0xDCFF then
+              Buffer.add_char buf (Char.chr (cp land 0xFF))
+            else if cp >= 0xDC00 && cp <= 0xDFFF then add_utf8 buf 0xFFFD
+            else add_utf8 buf cp
           | c -> fail (Fmt.str "bad escape \\%c" c));
           go ()
         | c ->

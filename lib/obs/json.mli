@@ -11,7 +11,11 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
-(** Compact single-line rendering (the JSONL form). *)
+(** Compact single-line rendering (the JSONL form).  Output is always
+    valid UTF-8: string bytes that are not part of a well-formed UTF-8
+    scalar sequence are emitted as surrogate escapes ([\udcXX]), which
+    {!of_string} maps back to the raw bytes — so encode/decode is the
+    identity on arbitrary byte strings. *)
 val to_string : t -> string
 
 (** Indented multi-line rendering (the [BENCH_*.json] form). *)

@@ -103,29 +103,88 @@ let line_of_event ev = Json.to_string (json_of_event ev)
 
 let event_of_line line = Result.bind (Json.of_string line) event_of_json
 
+(* ---- schema header ----
+
+   Writers open every file/stream with one header line
+
+     {"jsonl":"sa-events","schema":1}
+
+   so a reader can refuse a future major version instead of misreading
+   it.  Readers skip a valid header, reject a header declaring a newer
+   major or a different format name, and tolerate headerless files
+   (traces written before the header existed). *)
+
+let schema_version = 1
+
+let header_json =
+  Json.Obj [ ("jsonl", Json.String "sa-events"); ("schema", Json.Int schema_version) ]
+
+let write_header oc =
+  output_string oc (Json.to_string header_json);
+  output_char oc '\n'
+
+(* [`Skip]: valid header, consume the line; [`Event]: not a header,
+   parse the line as an event (legacy file). *)
+let classify_first_line line =
+  match Json.of_string line with
+  | Ok j -> (
+    match Json.member "jsonl" j with
+    | Some (Json.String "sa-events") -> (
+      match Json.member "schema" j with
+      | Some (Json.Int v) when v > schema_version ->
+        Error (Fmt.str "event schema %d is newer than supported major %d" v schema_version)
+      | Some (Json.Int _) -> Ok `Skip
+      | _ -> Error "header missing integer \"schema\"")
+    | Some (Json.String other) ->
+      Error (Fmt.str "not an sa-events file (format %S)" other)
+    | Some _ -> Error "malformed header"
+    | None -> Ok `Event)
+  | Error _ -> Ok `Event
+
 (* ---- channels and files ---- *)
 
 let sink_to_channel oc : Sink.t =
- fun ev ->
-  output_string oc (line_of_event ev);
-  output_char oc '\n'
+  write_header oc;
+  fun ev ->
+    output_string oc (line_of_event ev);
+    output_char oc '\n'
 
-let write_channel oc trace = List.iter (Sink.emit (sink_to_channel oc)) trace
+let write_channel oc trace =
+  let sink ev =
+    output_string oc (line_of_event ev);
+    output_char oc '\n'
+  in
+  List.iter (Sink.emit sink) trace
 
-let read_channel ic =
-  let rec go lineno acc =
+(* Streaming read: [emit] per event, header handled on the first
+   non-blank line. *)
+let fold_channel ic ~init ~f =
+  let rec go lineno ~first acc =
     match In_channel.input_line ic with
-    | None -> Ok (List.rev acc)
-    | Some "" -> go (lineno + 1) acc
+    | None -> Ok acc
+    | Some "" -> go (lineno + 1) ~first acc
+    | Some line when first -> (
+      match classify_first_line line with
+      | Error e -> Error (Fmt.str "line %d: %s" lineno e)
+      | Ok `Skip -> go (lineno + 1) ~first:false acc
+      | Ok `Event -> (
+        match event_of_line line with
+        | Ok ev -> go (lineno + 1) ~first:false (f acc ev)
+        | Error e -> Error (Fmt.str "line %d: %s" lineno e)))
     | Some line -> (
       match event_of_line line with
-      | Ok ev -> go (lineno + 1) (ev :: acc)
+      | Ok ev -> go (lineno + 1) ~first (f acc ev)
       | Error e -> Error (Fmt.str "line %d: %s" lineno e))
   in
-  go 1 []
+  go 1 ~first:true init
+
+let read_channel ic =
+  Result.map List.rev (fold_channel ic ~init:[] ~f:(fun acc ev -> ev :: acc))
 
 let save path trace =
-  Out_channel.with_open_text path (fun oc -> write_channel oc trace)
+  Out_channel.with_open_text path (fun oc ->
+      write_header oc;
+      write_channel oc trace)
 
 let load path =
   try In_channel.with_open_text path read_channel
@@ -134,16 +193,5 @@ let load path =
 (* [fold_file] streams the file through [f] without materializing the
    event list — the offline counterpart of a live sink. *)
 let fold_file path ~init ~f =
-  try
-    In_channel.with_open_text path (fun ic ->
-        let rec go lineno acc =
-          match In_channel.input_line ic with
-          | None -> Ok acc
-          | Some "" -> go (lineno + 1) acc
-          | Some line -> (
-            match event_of_line line with
-            | Ok ev -> go (lineno + 1) (f acc ev)
-            | Error e -> Error (Fmt.str "line %d: %s" lineno e))
-        in
-        go 1 init)
+  try In_channel.with_open_text path (fun ic -> fold_channel ic ~init ~f)
   with Sys_error e -> Error e

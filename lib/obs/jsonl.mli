@@ -18,9 +18,20 @@ val line_of_event : Shm.Event.t -> string
 
 val event_of_line : string -> (Shm.Event.t, string) result
 
-(** {1 Channels and files} *)
+(** {1 Channels and files}
 
-(** A sink writing one line per event as it happens — O(1) memory. *)
+    Files and streams open with a schema header line
+    [{"jsonl":"sa-events","schema":N}].  Readers skip a valid header,
+    reject one declaring a schema major newer than {!schema_version},
+    and tolerate headerless files written before the header existed. *)
+
+val schema_version : int
+
+(** Write the header line (callers composing their own streams). *)
+val write_header : out_channel -> unit
+
+(** A sink writing one line per event as it happens — O(1) memory.
+    Writes the header immediately. *)
 val sink_to_channel : out_channel -> Sink.t
 
 val write_channel : out_channel -> Shm.Event.t list -> unit

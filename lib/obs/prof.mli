@@ -1,0 +1,75 @@
+(** Phase-attribution profiling of the exploration hot path.
+
+    Attribution ({!add}) is two array stores — allocation-free — so a
+    profiling run can bracket every phase of every node without
+    distorting what it measures.  Callers use explicit clock reads,
+    never closure-based helpers (closures allocate):
+
+    {[
+      let t0 = if profiling then Prof.now_ns () else 0 in
+      (* ... work ... *)
+      if profiling then Prof.add p Prof.Interp (Prof.now_ns () - t0)
+    ]} *)
+
+(** Where exploration time goes (see {!describe}). *)
+type phase = Interp | Footprint | Hash | Cache | Replay | Steal | Check
+
+val phases : phase list
+val name : phase -> string
+val describe : phase -> string
+
+type t
+
+val create : unit -> t
+
+(** Alias of {!Trace.now_ns}. *)
+val now_ns : unit -> int
+
+(** [add t phase dns] attributes [dns] nanoseconds (and one hit) to
+    [phase].  Allocation-free. *)
+val add : t -> phase -> int -> unit
+
+val ns : t -> phase -> int
+val count : t -> phase -> int
+val total_ns : t -> int
+
+(** Fold per-worker profiles into a run profile. *)
+val merge_into : into:t -> t -> unit
+
+val merge : t list -> t
+val is_empty : t -> bool
+val to_json : t -> Json.t
+
+(** Breakdown table: per-phase milliseconds, hits, share of total. *)
+val pp : Format.formatter -> t -> unit
+
+(** Strided time series of an exploration's shape: frontier depth,
+    nodes processed, cache hits, sleep-set prunes. *)
+module Series : sig
+  type row = {
+    ts_ns : int;
+    nodes : int;
+    frontier : int;
+    cache_hits : int;
+    sleep_hits : int;
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val add :
+    t -> ts_ns:int -> nodes:int -> frontier:int -> cache_hits:int -> sleep_hits:int -> unit
+
+  (** Samples in timestamp order. *)
+  val rows : t -> row list
+
+  val length : t -> int
+  val to_json : t -> Json.t
+
+  (** Replay the series into counter tracks of a trace collector so the
+      exported Chrome trace plots them alongside worker spans. *)
+  val to_trace : t -> Trace.t -> unit
+
+  val pp : Format.formatter -> t -> unit
+end

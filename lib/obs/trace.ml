@@ -1,0 +1,469 @@
+(* Causally-linked spans with cross-domain context propagation.
+
+   A span is a named interval of wall-clock (monotonic) time attributed
+   to the domain that opened it; spans nest through an explicit parent
+   context, and a context is two plain integers — so it can be handed
+   to another domain (through a work-stealing deque, a Domain.spawn
+   closure, a queue) and the span closed over there.  One collector
+   gathers everything under a mutex; ids come from a single atomic
+   counter, so they are unique across domains and monotone in
+   allocation order.
+
+   The collector is *attachable*: instrumented hot paths (the DPOR
+   workers, the native operations, the execution runner) guard every
+   emission with [enabled ()], which is one atomic load — when nothing
+   is attached the instrumentation allocates nothing and calls no
+   clock.  test_obs.ml pins that with a Gc-measured test.
+
+   Besides spans the collector records:
+   - instants: point events (a steal, a crash, a cache milestone),
+     optionally carrying a flow id that links an emitting and a
+     receiving instant across domains (rendered as arrows in Perfetto);
+   - samples: named counter tracks (registers covered, frontier depth,
+     cache hit-rate) — the register-coverage timeline of the paper's
+     covering argument is exported this way (Obs.Coverage).
+
+   Export: Chrome trace-event JSON via {!Chrome_trace} (loadable in
+   Perfetto / chrome://tracing) and a JSONL span log (schema-versioned,
+   reloadable) here. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+type ctx = { trace_id : int; span_id : int }
+
+type span = {
+  id : int;
+  parent : int;  (* 0 = no parent *)
+  name : string;
+  cat : string;
+  dom : int;       (* domain that opened the span *)
+  close_dom : int; (* domain that closed it (= dom unless stolen) *)
+  start_ns : int;
+  dur_ns : int;
+  args : (string * Json.t) list;
+}
+
+type flow_dir = Flow_none | Flow_out | Flow_in
+
+type instant = {
+  i_name : string;
+  i_cat : string;
+  i_dom : int;
+  i_ts_ns : int;
+  i_flow : int;  (* 0 = not part of a flow *)
+  i_dir : flow_dir;
+  i_args : (string * Json.t) list;
+}
+
+type sample = { track : string; s_dom : int; s_ts_ns : int; value : float }
+
+type open_span = {
+  o_parent : int;
+  o_name : string;
+  o_cat : string;
+  o_dom : int;
+  o_start_ns : int;
+  o_args : (string * Json.t) list;
+}
+
+type t = {
+  trace_id : int;
+  t0_ns : int;
+  next_id : int Atomic.t;  (* span and flow ids; 0 reserved for "none" *)
+  mu : Mutex.t;
+  open_tbl : (int, open_span) Hashtbl.t;
+  mutable spans : span list;       (* completed, reversed *)
+  mutable span_count : int;
+  mutable instants : instant list; (* reversed *)
+  mutable samples : sample list;   (* reversed *)
+}
+
+let next_trace_id = Atomic.make 1
+
+let create ?trace_id () =
+  let trace_id =
+    match trace_id with Some i -> i | None -> Atomic.fetch_and_add next_trace_id 1
+  in
+  {
+    trace_id;
+    t0_ns = now_ns ();
+    next_id = Atomic.make 1;
+    mu = Mutex.create ();
+    open_tbl = Hashtbl.create 64;
+    spans = [];
+    span_count = 0;
+    instants = [];
+    samples = [];
+  }
+
+let trace_id t = t.trace_id
+let epoch_ns t = t.t0_ns
+
+let root t = { trace_id = t.trace_id; span_id = 0 }
+
+(* ---- the ambient collector ---- *)
+
+(* The option cell is written once per attach/detach, so [enabled] is a
+   single atomic load with no allocation — the guard every instrumented
+   hot path uses. *)
+let current : t option Atomic.t = Atomic.make None
+
+let attach t = Atomic.set current (Some t)
+let detach () = Atomic.set current None
+let attached () = Atomic.get current
+let enabled () = Atomic.get current != None
+
+let with_attached t f =
+  attach t;
+  Fun.protect ~finally:detach f
+
+let self_dom () = (Domain.self () :> int)
+
+(* ---- spans ---- *)
+
+let fresh_id t = Atomic.fetch_and_add t.next_id 1
+
+let begin_span t ?parent ?(cat = "") ?(args = []) name =
+  let id = fresh_id t in
+  let parent_id = match parent with Some c -> c.span_id | None -> 0 in
+  let o =
+    {
+      o_parent = parent_id;
+      o_name = name;
+      o_cat = cat;
+      o_dom = self_dom ();
+      o_start_ns = now_ns ();
+      o_args = args;
+    }
+  in
+  Mutex.lock t.mu;
+  Hashtbl.replace t.open_tbl id o;
+  Mutex.unlock t.mu;
+  { trace_id = t.trace_id; span_id = id }
+
+let end_span t ?(args = []) ctx =
+  let finish = now_ns () in
+  let close_dom = self_dom () in
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.open_tbl ctx.span_id with
+  | None -> ()  (* double close or foreign ctx: drop rather than corrupt *)
+  | Some o ->
+    Hashtbl.remove t.open_tbl ctx.span_id;
+    let s =
+      {
+        id = ctx.span_id;
+        parent = o.o_parent;
+        name = o.o_name;
+        cat = o.o_cat;
+        dom = o.o_dom;
+        close_dom;
+        start_ns = o.o_start_ns;
+        dur_ns = max 0 (finish - o.o_start_ns);
+        args = o.o_args @ args;
+      }
+    in
+    t.spans <- s :: t.spans;
+    t.span_count <- t.span_count + 1);
+  Mutex.unlock t.mu
+
+let with_span t ?parent ?cat ?args name f =
+  let ctx = begin_span t ?parent ?cat ?args name in
+  Fun.protect ~finally:(fun () -> end_span t ctx) (fun () -> f ctx)
+
+(* ---- instants, flows, counter samples ---- *)
+
+let fresh_flow t = fresh_id t
+
+(* [dom] overrides the attributed domain: a thief records the victim
+   side of a steal handoff on the victim's timeline. *)
+let instant t ?(cat = "") ?(args = []) ?flow ?dom name =
+  let flow_id, dir =
+    match flow with
+    | None -> (0, Flow_none)
+    | Some (id, `Out) -> (id, Flow_out)
+    | Some (id, `In) -> (id, Flow_in)
+  in
+  let i =
+    {
+      i_name = name;
+      i_cat = cat;
+      i_dom = (match dom with Some d -> d | None -> self_dom ());
+      i_ts_ns = now_ns ();
+      i_flow = flow_id;
+      i_dir = dir;
+      i_args = args;
+    }
+  in
+  Mutex.lock t.mu;
+  t.instants <- i :: t.instants;
+  Mutex.unlock t.mu
+
+let counter t ?ts_ns ?dom ~track value =
+  let s =
+    {
+      track;
+      s_dom = (match dom with Some d -> d | None -> self_dom ());
+      s_ts_ns = (match ts_ns with Some ts -> ts | None -> now_ns ());
+      value;
+    }
+  in
+  Mutex.lock t.mu;
+  t.samples <- s :: t.samples;
+  Mutex.unlock t.mu
+
+(* ---- reading the collector ---- *)
+
+(* Merged-output ordering guarantee: spans sort by (start_ns, id).  Ids
+   are allocated monotonically from one atomic counter and a parent is
+   always opened before its children, so in the sorted output a parent
+   precedes every child even when their clock timestamps tie (the tie
+   breaks on the smaller id).  test_trace.ml pins this under real
+   domains. *)
+let compare_span a b =
+  match compare a.start_ns b.start_ns with 0 -> compare a.id b.id | c -> c
+
+let spans t =
+  Mutex.lock t.mu;
+  let l = t.spans in
+  Mutex.unlock t.mu;
+  List.sort compare_span l
+
+let instants t =
+  Mutex.lock t.mu;
+  let l = t.instants in
+  Mutex.unlock t.mu;
+  List.sort (fun a b -> compare a.i_ts_ns b.i_ts_ns) l
+
+let samples t =
+  Mutex.lock t.mu;
+  let l = t.samples in
+  Mutex.unlock t.mu;
+  List.sort (fun a b -> compare a.s_ts_ns b.s_ts_ns) l
+
+let span_count t =
+  Mutex.lock t.mu;
+  let n = t.span_count in
+  Mutex.unlock t.mu;
+  n
+
+let open_count t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.open_tbl in
+  Mutex.unlock t.mu;
+  n
+
+let find_span t name =
+  List.find_opt (fun s -> s.name = name) (spans t)
+
+(* ---- JSONL export / reload ---- *)
+
+(* One header line then one record per span/instant/sample.  The header
+   carries the format name and schema version; the reader rejects a
+   major it does not know (same discipline as Obs.Bench_out). *)
+
+let schema_version = 1
+
+let header t =
+  Json.Obj
+    [
+      ("jsonl", Json.String "sa-trace");
+      ("schema", Json.Int schema_version);
+      ("trace_id", Json.Int t.trace_id);
+      ("epoch_ns", Json.Int t.t0_ns);
+    ]
+
+let json_of_span s =
+  Json.Obj
+    [
+      ("rec", Json.String "span");
+      ("id", Json.Int s.id);
+      ("parent", Json.Int s.parent);
+      ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("dom", Json.Int s.dom);
+      ("close_dom", Json.Int s.close_dom);
+      ("start_ns", Json.Int s.start_ns);
+      ("dur_ns", Json.Int s.dur_ns);
+      ("args", Json.Obj s.args);
+    ]
+
+let json_of_instant i =
+  Json.Obj
+    [
+      ("rec", Json.String "instant");
+      ("name", Json.String i.i_name);
+      ("cat", Json.String i.i_cat);
+      ("dom", Json.Int i.i_dom);
+      ("ts_ns", Json.Int i.i_ts_ns);
+      ("flow", Json.Int i.i_flow);
+      ( "dir",
+        Json.String
+          (match i.i_dir with Flow_none -> "" | Flow_out -> "out" | Flow_in -> "in") );
+      ("args", Json.Obj i.i_args);
+    ]
+
+let json_of_sample s =
+  Json.Obj
+    [
+      ("rec", Json.String "sample");
+      ("track", Json.String s.track);
+      ("dom", Json.Int s.s_dom);
+      ("ts_ns", Json.Int s.s_ts_ns);
+      ("value", Json.Float s.value);
+    ]
+
+let to_jsonl_channel oc t =
+  let line j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  line (header t);
+  List.iter (fun s -> line (json_of_span s)) (spans t);
+  List.iter (fun i -> line (json_of_instant i)) (instants t);
+  List.iter (fun s -> line (json_of_sample s)) (samples t)
+
+let save_jsonl path t =
+  Out_channel.with_open_text path (fun oc -> to_jsonl_channel oc t)
+
+(* -- reload -- *)
+
+let int_field j k =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Fmt.str "missing integer field %S" k)
+
+let str_field j k =
+  match Json.member k j with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Fmt.str "missing string field %S" k)
+
+let args_field j =
+  match Json.member "args" j with
+  | Some (Json.Obj kvs) -> Ok kvs
+  | None -> Ok []
+  | Some _ -> Error "malformed \"args\""
+
+let span_of_json j =
+  let ( let* ) = Result.bind in
+  let* id = int_field j "id" in
+  let* parent = int_field j "parent" in
+  let* name = str_field j "name" in
+  let* cat = str_field j "cat" in
+  let* dom = int_field j "dom" in
+  let* close_dom = int_field j "close_dom" in
+  let* start_ns = int_field j "start_ns" in
+  let* dur_ns = int_field j "dur_ns" in
+  let* args = args_field j in
+  Ok { id; parent; name; cat; dom; close_dom; start_ns; dur_ns; args }
+
+let instant_of_json j =
+  let ( let* ) = Result.bind in
+  let* i_name = str_field j "name" in
+  let* i_cat = str_field j "cat" in
+  let* i_dom = int_field j "dom" in
+  let* i_ts_ns = int_field j "ts_ns" in
+  let* i_flow = int_field j "flow" in
+  let* dir = str_field j "dir" in
+  let* i_dir =
+    match dir with
+    | "" -> Ok Flow_none
+    | "out" -> Ok Flow_out
+    | "in" -> Ok Flow_in
+    | d -> Error (Fmt.str "unknown flow direction %S" d)
+  in
+  let* i_args = args_field j in
+  Ok { i_name; i_cat; i_dom; i_ts_ns; i_flow; i_dir; i_args }
+
+let sample_of_json j =
+  let ( let* ) = Result.bind in
+  let* track = str_field j "track" in
+  let* s_dom = int_field j "dom" in
+  let* s_ts_ns = int_field j "ts_ns" in
+  let* value =
+    match Json.member "value" j with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error "missing \"value\""
+  in
+  Ok { track; s_dom; s_ts_ns; value }
+
+type reloaded = {
+  r_trace_id : int;
+  r_spans : span list;
+  r_instants : instant list;
+  r_samples : sample list;
+}
+
+(* Rejects files whose header declares a schema major newer than this
+   reader ([schema_version]); missing header is an error too — every
+   writer since the format existed emits one. *)
+let load_jsonl path =
+  let ( let* ) = Result.bind in
+  try
+    In_channel.with_open_text path (fun ic ->
+        let* hdr =
+          match In_channel.input_line ic with
+          | None -> Error "empty trace file"
+          | Some line -> Json.of_string line
+        in
+        let* () =
+          match (Json.member "jsonl" hdr, Json.member "schema" hdr) with
+          | Some (Json.String "sa-trace"), Some (Json.Int v) ->
+            if v > schema_version then
+              Error
+                (Fmt.str "trace schema %d is newer than supported major %d" v
+                   schema_version)
+            else Ok ()
+          | _ -> Error "not an sa-trace JSONL file (missing header)"
+        in
+        let r_trace_id =
+          match Json.member "trace_id" hdr with Some (Json.Int i) -> i | _ -> 0
+        in
+        let rec go lineno acc =
+          match In_channel.input_line ic with
+          | None -> Ok acc
+          | Some "" -> go (lineno + 1) acc
+          | Some line -> (
+            let* j = Json.of_string line in
+            let dec =
+              match Json.member "rec" j with
+              | Some (Json.String "span") ->
+                Result.map (fun s -> `Span s) (span_of_json j)
+              | Some (Json.String "instant") ->
+                Result.map (fun i -> `Instant i) (instant_of_json j)
+              | Some (Json.String "sample") ->
+                Result.map (fun s -> `Sample s) (sample_of_json j)
+              | _ -> Error "missing or unknown \"rec\" tag"
+            in
+            match dec with
+            | Ok r -> go (lineno + 1) (r :: acc)
+            | Error e -> Error (Fmt.str "line %d: %s" lineno e))
+        in
+        let* records = go 2 [] in
+        let split (sp, ins, sa) = function
+          | `Span s -> (s :: sp, ins, sa)
+          | `Instant i -> (sp, i :: ins, sa)
+          | `Sample s -> (sp, ins, s :: sa)
+        in
+        let sp, ins, sa = List.fold_left split ([], [], []) records in
+        Ok
+          {
+            r_trace_id;
+            r_spans = List.sort compare_span sp;
+            r_instants = List.sort (fun a b -> compare a.i_ts_ns b.i_ts_ns) ins;
+            r_samples = List.sort (fun a b -> compare a.s_ts_ns b.s_ts_ns) sa;
+          })
+  with Sys_error e -> Error e
+
+let pp_span ppf s =
+  Fmt.pf ppf "[%d<-%d] %s%s dom %d%s %d ns" s.id s.parent s.name
+    (if s.cat = "" then "" else Fmt.str " (%s)" s.cat)
+    s.dom
+    (if s.close_dom <> s.dom then Fmt.str "->%d" s.close_dom else "")
+    s.dur_ns
+
+let pp ppf t =
+  Fmt.pf ppf "trace %d: %d spans (%d open), %d instants, %d samples" t.trace_id
+    (span_count t) (open_count t)
+    (List.length (instants t))
+    (List.length (samples t))

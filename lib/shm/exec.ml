@@ -19,10 +19,21 @@ type result = {
 
 (* [sink] is called on every event as it happens, so observers (metric
    registries, span trackers, JSONL export) run in O(1) memory however
-   long the schedule; [record] additionally keeps the in-memory list. *)
-let run ?(record = false) ?sink ?(max_steps = 1_000_000) ~sched ~inputs config =
+   long the schedule; [record] additionally keeps the in-memory list.
+
+   [probe] is the post-state hook: unlike [sink] it also sees the step
+   index and the configuration *after* the event, which is what
+   coverage timelines need (which registers are poised-covered now).
+   Shm cannot depend on the observability layer, so the hook is a bare
+   function — Obs.Coverage supplies one.  Like [sink] it is hoisted
+   once per run: absent means one extra [match] at startup and nothing
+   per step. *)
+let run ?(record = false) ?sink ?probe ?(max_steps = 1_000_000) ~sched ~inputs config =
   let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
   let observe = match sink with Some f -> f | None -> fun _ -> () in
+  let observe_config =
+    match probe with Some f -> f | None -> fun ~step:_ _ _ -> ()
+  in
   (* one [runnable] closure for the whole run, reading the current
      configuration through a cell — the scheduler probes it up to n
      times per step, so a per-step closure shows up in profiles *)
@@ -51,6 +62,7 @@ let run ?(record = false) ?sink ?(max_steps = 1_000_000) ~sched ~inputs config =
           | Program.Op _ | Program.Yield _ -> Config.step config pid
         in
         observe ev;
+        observe_config ~step ev config;
         go config (step + 1) (if record then ev :: trace else trace))
   in
   go config 0 []

@@ -20,10 +20,14 @@ type result = {
     [max_steps] (default 1,000,000).  With [record:true] the full event
     trace is kept.  [sink] is called on every event as it happens, so
     observers run in O(1) memory however long the schedule ([Obs.Sink]
-    provides composable sinks: tee, filter, metrics, spans, JSONL). *)
+    provides composable sinks: tee, filter, metrics, spans, JSONL).
+    [probe] additionally sees the step index and the configuration
+    {e after} the event — the hook coverage timelines use
+    ([Obs.Coverage.probe]); absent, it costs nothing per step. *)
 val run :
   ?record:bool ->
   ?sink:(Event.t -> unit) ->
+  ?probe:(step:int -> Event.t -> Config.t -> unit) ->
   ?max_steps:int ->
   sched:Schedule.t ->
   inputs:(pid:int -> instance:int -> Value.t option) ->

@@ -69,6 +69,7 @@ type stats = {
   max_depth : int;
   cache_hits : int;    (* nodes short-circuited by the state cache *)
   sleep_pruned : int;  (* branches pruned by sleep sets *)
+  steals : int;        (* successful steals (work-migration events) *)
   domains : int;
 }
 
@@ -158,6 +159,15 @@ type ctx = {
   deques : deque array;
   pending : int Atomic.t;             (* nodes queued or in flight *)
   found : Counterex.t option Atomic.t;
+  (* -- observability (all optional, zero-cost when absent) -- *)
+  trace : Obs.Trace.t option;   (* ambient collector, captured at explore *)
+  troot : Obs.Trace.ctx option; (* the run's root span *)
+  (* worker id -> domain id, written once by each worker at startup; a
+     thief reads its victim's slot to attribute the out-side of a steal
+     flow (a stale read only misplaces one arrow, never corrupts) *)
+  doms : int array;
+  profiling : bool;
+  series : Obs.Prof.Series.t option;
 }
 
 type acc = {
@@ -166,7 +176,17 @@ type acc = {
   mutable max_depth : int;
   mutable cache_hits : int;
   mutable sleep_pruned : int;
+  mutable steals : int;
 }
+
+(* Per-worker observability state: the phase profile (merged into the
+   caller's after the join) and the strided sampling countdown. *)
+type wobs = { prof : Obs.Prof.t; mutable until_sample : int }
+
+(* Sampling stride for the time series and coverage counter tracks:
+   cheap enough to leave on whenever a trace/series is requested, fine
+   enough to resolve exploration shape. *)
+let sample_stride = 64
 
 let report ctx ce = ignore (Atomic.compare_and_set ctx.found None (Some ce))
 
@@ -214,30 +234,93 @@ let replay_config ctx ~id sched =
       | Program.Op _ | Program.Yield _ -> Stdlib.fst (Config.step config pid))
     ctx.roots.(id) (List.rev sched)
 
-let process ctx cache acc ~id ~push node =
+(* Strided observability sampling: time-series row plus the coverage
+   and frontier counter tracks.  Runs every [sample_stride] nodes and
+   only when a series or trace is requested, so the hot path pays one
+   decrement-and-test per node. *)
+let sample ctx acc node =
+  let frontier () =
+    (* unlocked reads: [items] is a mutable field holding an immutable
+       list, so a racy read sees some recent snapshot — fine at stride *)
+    Array.fold_left (fun t dq -> t + List.length dq.items) 0 ctx.deques
+  in
+  (match ctx.series with
+  | Some s ->
+    Obs.Prof.Series.add s ~ts_ns:(Obs.Prof.now_ns ()) ~nodes:acc.explored
+      ~frontier:(frontier ()) ~cache_hits:acc.cache_hits ~sleep_hits:acc.sleep_pruned
+  | None -> ());
+  match ctx.trace with
+  | Some tr ->
+    Obs.Trace.counter tr ~track:Obs.Coverage.track_covered
+      (float_of_int (Obs.Coverage.num_covered node.config));
+    Obs.Trace.counter tr ~track:Obs.Coverage.track_written
+      (float_of_int (Obs.Coverage.num_written node.config));
+    Obs.Trace.counter tr ~track:"frontier" (float_of_int (frontier ()))
+  | None -> ()
+
+let process ctx cache acc ~id ~push w node =
   acc.explored <- acc.explored + 1;
   if node.depth > acc.max_depth then acc.max_depth <- node.depth;
+  let profiling = ctx.profiling in
+  let prof = w.prof in
   let node =
     if (not ctx.replay) || node.owner = id then node
-    else { node with config = replay_config ctx ~id node.sched; owner = id }
+    else begin
+      (* foreign node: rebuild on our own root (journal ownership) *)
+      let t0 = if profiling then Obs.Prof.now_ns () else 0 in
+      let sctx =
+        match ctx.trace with
+        | Some tr ->
+          Some (tr, Obs.Trace.begin_span tr ?parent:ctx.troot ~cat:"dpor" "replay")
+        | None -> None
+      in
+      let config = replay_config ctx ~id node.sched in
+      (match sctx with
+      | Some (tr, c) ->
+        Obs.Trace.end_span tr ~args:[ ("depth", Obs.Json.Int node.depth) ] c
+      | None -> ());
+      if profiling then Obs.Prof.add prof Obs.Prof.Replay (Obs.Prof.now_ns () - t0);
+      { node with config; owner = id }
+    end
   in
+  if ctx.series <> None || ctx.trace <> None then begin
+    w.until_sample <- w.until_sample - 1;
+    if w.until_sample <= 0 then begin
+      w.until_sample <- sample_stride;
+      sample ctx acc node
+    end
+  end;
   let config = node.config in
   let has_input pid inst = Option.is_some (ctx.inputs ~pid ~instance:inst) in
+  let t0 = if profiling then Obs.Prof.now_ns () else 0 in
   let runnable =
     List.filter
       (fun pid -> Config.runnable config ~has_input pid)
       (List.init (Config.n config) Fun.id)
   in
-  if cache_covers ctx cache node ~remaining:(ctx.bound - node.depth) acc then ()
+  if profiling then Obs.Prof.add prof Obs.Prof.Footprint (Obs.Prof.now_ns () - t0);
+  let t0 = if profiling then Obs.Prof.now_ns () else 0 in
+  let covered = cache_covers ctx cache node ~remaining:(ctx.bound - node.depth) acc in
+  if profiling then Obs.Prof.add prof Obs.Prof.Cache (Obs.Prof.now_ns () - t0);
+  if covered then ()
   else
     let leaf () =
       acc.leaves <- acc.leaves + 1;
+      let t0 = if profiling then Obs.Prof.now_ns () else 0 in
       let final =
         Counterex.complete ~inputs:ctx.inputs ~max_steps:ctx.completion_steps config
       in
-      match ctx.check final with
+      let verdict = ctx.check final in
+      if profiling then Obs.Prof.add prof Obs.Prof.Check (Obs.Prof.now_ns () - t0);
+      match verdict with
       | Ok () -> ()
       | Error error ->
+        (match ctx.trace with
+        | Some tr ->
+          Obs.Trace.instant tr ~cat:"dpor"
+            ~args:[ ("error", Obs.Json.String error) ]
+            "violation"
+        | None -> ());
         report ctx { Counterex.schedule = List.rev node.sched; error; config = final }
     in
     match runnable with
@@ -245,6 +328,7 @@ let process ctx cache acc ~id ~push node =
     | _ when node.depth >= ctx.bound -> leaf ()
     | _ ->
       let fp pid = Config.footprint config pid in
+      let t0 = if profiling then Obs.Prof.now_ns () else 0 in
       (* a local (empty-footprint) step is a singleton persistent set *)
       let ample =
         match List.find_opt (fun pid -> Program.footprint_is_local (fp pid)) runnable with
@@ -252,17 +336,22 @@ let process ctx cache acc ~id ~push node =
         | None -> runnable
       in
       let branches = List.filter (fun p -> not (Iset.mem p node.sleep)) ample in
+      if profiling then Obs.Prof.add prof Obs.Prof.Footprint (Obs.Prof.now_ns () - t0);
       acc.sleep_pruned <- acc.sleep_pruned + (List.length ample - List.length branches);
       let _, children =
         List.fold_left
           (fun (explored_siblings, children) pid ->
             (* siblings explored before [pid] go to sleep in its
                subtree, as long as the steps taken commute with theirs *)
+            let t0 = if profiling then Obs.Prof.now_ns () else 0 in
             let sleep =
               Iset.filter
                 (fun q -> Program.independent (fp q) (fp pid))
                 (Iset.union node.sleep explored_siblings)
             in
+            if profiling then
+              Obs.Prof.add prof Obs.Prof.Footprint (Obs.Prof.now_ns () - t0);
+            let t0 = if profiling then Obs.Prof.now_ns () else 0 in
             let config', ev =
               match Config.proc config pid with
               | Program.Await _ ->
@@ -271,10 +360,14 @@ let process ctx cache acc ~id ~push node =
               | Program.Stop -> assert false (* not runnable *)
               | Program.Op _ | Program.Yield _ -> Config.step config pid
             in
+            if profiling then Obs.Prof.add prof Obs.Prof.Interp (Obs.Prof.now_ns () - t0);
+            let t0 = if profiling then Obs.Prof.now_ns () else 0 in
+            let hash = Statehash.record node.hash ~before:config config' ev in
+            if profiling then Obs.Prof.add prof Obs.Prof.Hash (Obs.Prof.now_ns () - t0);
             let child =
               {
                 config = config';
-                hash = Statehash.record node.hash ~before:config config' ev;
+                hash;
                 depth = node.depth + 1;
                 sched = pid :: node.sched;
                 sleep;
@@ -291,7 +384,27 @@ let process ctx cache acc ~id ~push node =
 let worker ctx id =
   let cache = if ctx.use_cache then Some (Hashtbl.create 4096) else None in
   let acc =
-    { explored = 0; leaves = 0; max_depth = 0; cache_hits = 0; sleep_pruned = 0 }
+    {
+      explored = 0;
+      leaves = 0;
+      max_depth = 0;
+      cache_hits = 0;
+      sleep_pruned = 0;
+      steals = 0;
+    }
+  in
+  let w = { prof = Obs.Prof.create (); until_sample = sample_stride } in
+  ctx.doms.(id) <- (Domain.self () :> int);
+  (* the worker's whole lifetime is one span on its own domain's row *)
+  let wspan =
+    match ctx.trace with
+    | Some tr ->
+      Some
+        ( tr,
+          Obs.Trace.begin_span tr ?parent:ctx.troot ~cat:"dpor"
+            ~args:[ ("worker", Obs.Json.Int id) ]
+            (Fmt.str "worker %d" id) )
+    | None -> None
   in
   let my = ctx.deques.(id) in
   let push n =
@@ -299,25 +412,49 @@ let worker ctx id =
     push_deque my n
   in
   let jobs = Array.length ctx.deques in
+  let profiling = ctx.profiling in
   let try_steal () =
+    let t0 = if profiling then Obs.Prof.now_ns () else 0 in
     let rec go i =
       if i >= jobs then None
       else
-        match steal_deque ctx.deques.((id + i) mod jobs) with
+        let victim = (id + i) mod jobs in
+        match steal_deque ctx.deques.(victim) with
         | [] -> go (i + 1)
         | n :: rest ->
           (* stolen nodes are already counted in [pending] *)
           List.iter (push_deque my) rest;
+          acc.steals <- acc.steals + 1;
+          (match ctx.trace with
+          | Some tr ->
+            (* the handoff arrow: out on the victim's row, in on ours *)
+            let flow = Obs.Trace.fresh_flow tr in
+            Obs.Trace.instant tr ~cat:"dpor" ~dom:ctx.doms.(victim)
+              ~flow:(flow, `Out)
+              ~args:[ ("thief", Obs.Json.Int id) ]
+              "steal.out";
+            Obs.Trace.instant tr ~cat:"dpor"
+              ~flow:(flow, `In)
+              ~args:
+                [
+                  ("victim", Obs.Json.Int victim);
+                  ("nodes", Obs.Json.Int (1 + List.length rest));
+                  ("depth", Obs.Json.Int n.depth);
+                ]
+              "steal.in"
+          | None -> ());
           Some n
     in
-    go 1
+    let r = go 1 in
+    if profiling then Obs.Prof.add w.prof Obs.Prof.Steal (Obs.Prof.now_ns () - t0);
+    r
   in
   let rec loop () =
     if Atomic.get ctx.found <> None then ()
     else
       match pop_deque my with
       | Some node ->
-        process ctx cache acc ~id ~push node;
+        process ctx cache acc ~id ~push w node;
         Atomic.decr ctx.pending;
         loop ()
       | None ->
@@ -325,14 +462,25 @@ let worker ctx id =
         else begin
           (match try_steal () with
           | Some node ->
-            process ctx cache acc ~id ~push node;
+            process ctx cache acc ~id ~push w node;
             Atomic.decr ctx.pending
           | None -> Domain.cpu_relax ());
           loop ()
         end
   in
   loop ();
-  acc
+  (match wspan with
+  | Some (tr, c) ->
+    Obs.Trace.end_span tr
+      ~args:
+        [
+          ("explored", Obs.Json.Int acc.explored);
+          ("leaves", Obs.Json.Int acc.leaves);
+          ("steals", Obs.Json.Int acc.steals);
+        ]
+      c
+  | None -> ());
+  (acc, w.prof)
 
 let merge_stats ~domains accs =
   Array.fold_left
@@ -343,9 +491,18 @@ let merge_stats ~domains accs =
         max_depth = max s.max_depth a.max_depth;
         cache_hits = s.cache_hits + a.cache_hits;
         sleep_pruned = s.sleep_pruned + a.sleep_pruned;
+        steals = s.steals + a.steals;
         domains = s.domains;
       })
-    { explored = 0; leaves = 0; max_depth = 0; cache_hits = 0; sleep_pruned = 0; domains }
+    {
+      explored = 0;
+      leaves = 0;
+      max_depth = 0;
+      cache_hits = 0;
+      sleep_pruned = 0;
+      steals = 0;
+      domains;
+    }
     accs
 
 (* Merge the final counters into a metrics registry, one counter per
@@ -356,10 +513,11 @@ let export_metrics m (stats : stats) =
   bump "explore.leaves" stats.leaves;
   bump "explore.cache_hits" stats.cache_hits;
   bump "explore.sleep_pruned" stats.sleep_pruned;
+  bump "explore.steals" stats.steals;
   Obs.Metrics.Gauge.set (Obs.Metrics.gauge m "explore.domains") (float_of_int stats.domains)
 
 let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
-    ?(completion_steps = 50_000) ?metrics ~inputs ~check config =
+    ?(completion_steps = 50_000) ?metrics ?prof ?series ~inputs ~check config =
   if depth < 0 then invalid_arg "Dpor.explore: negative depth";
   let jobs = max 1 jobs in
   let deques = Array.init jobs (fun _ -> { lock = Mutex.create (); items = [] }) in
@@ -387,6 +545,24 @@ let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
     }
   in
   deques.(0).items <- [ root ];
+  (* capture the ambient collector once: workers must all see the same
+     collector (or none) for the run's lifetime *)
+  let trace = Obs.Trace.attached () in
+  let espan =
+    match trace with
+    | Some tr ->
+      Some
+        (Obs.Trace.begin_span tr ~cat:"dpor"
+           ~args:
+             [
+               ("depth", Obs.Json.Int depth);
+               ("jobs", Obs.Json.Int jobs);
+               ("cache", Obs.Json.Bool cache);
+               ("replay", Obs.Json.Bool replay);
+             ]
+           "explore")
+    | None -> None
+  in
   let ctx =
     {
       bound = depth;
@@ -400,9 +576,14 @@ let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
       deques;
       pending = Atomic.make 1;
       found = Atomic.make None;
+      trace;
+      troot = espan;
+      doms = Array.make jobs 0;
+      profiling = prof <> None;
+      series;
     }
   in
-  let accs =
+  let results =
     if jobs = 1 then [| worker ctx 0 |]
     else begin
       let others =
@@ -412,7 +593,22 @@ let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
       Array.append [| mine |] (Array.map Domain.join others)
     end
   in
+  let accs = Array.map Stdlib.fst results in
   let stats = merge_stats ~domains:jobs accs in
+  Option.iter
+    (fun into -> Array.iter (fun (_, p) -> Obs.Prof.merge_into ~into p) results)
+    prof;
+  (match (trace, espan) with
+  | Some tr, Some c ->
+    Obs.Trace.end_span tr
+      ~args:
+        [
+          ("explored", Obs.Json.Int stats.explored);
+          ("leaves", Obs.Json.Int stats.leaves);
+          ("steals", Obs.Json.Int stats.steals);
+        ]
+      c
+  | _ -> ());
   Option.iter (fun m -> export_metrics m stats) metrics;
   match Atomic.get ctx.found with
   | Some ce -> Violation (ce, stats)

@@ -37,6 +37,7 @@ type stats = {
   max_depth : int;
   cache_hits : int;    (** nodes short-circuited by the state cache *)
   sleep_pruned : int;  (** branches pruned by sleep sets *)
+  steals : int;        (** successful steals (work-migration events) *)
   domains : int;
 }
 
@@ -56,6 +57,14 @@ val pp_outcome : Format.formatter -> outcome -> unit
     [jobs > 1] which one is found first may vary between runs; whether
     one exists does not).
 
+    Observability (all off by default, zero-cost when absent):
+    [prof] receives the merged per-phase breakdown of where
+    exploration time went ({!Obs.Prof}); [series] receives strided
+    samples of frontier depth / nodes / cache hits / sleep prunes; and
+    if an {!Obs.Trace} collector is attached when [explore] is called,
+    the run emits one span per worker domain, steal-handoff flow
+    arrows, replay spans, and register-coverage counter tracks.
+
     With the journaled memory backend ({!Shm.Memory.Journaled}) and
     [jobs > 1], stolen subtrees are rebuilt by deterministic schedule
     replay on a per-domain root copy — configurations never cross
@@ -67,6 +76,8 @@ val explore :
   ?key:key_mode ->
   ?completion_steps:int ->
   ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
+  ?series:Obs.Prof.Series.t ->
   inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
   check:(Shm.Config.t -> (unit, string) result) ->
   Shm.Config.t ->

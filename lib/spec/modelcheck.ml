@@ -32,6 +32,7 @@ type stats = {
   max_depth : int;
   cache_hits : int;      (* Dpor only: nodes short-circuited by the cache *)
   pruned : int;          (* Dpor only: branches pruned by sleep sets *)
+  steals : int;          (* Dpor only: work-stealing migrations *)
 }
 
 type outcome =
@@ -100,7 +101,7 @@ let exhaustive ~depth ~inputs ?(completion_steps = 50_000) ~check config =
   in
   let stats () =
     { explored = !explored; leaves = !leaves; max_depth = !deepest;
-      cache_hits = 0; pruned = 0 }
+      cache_hits = 0; pruned = 0; steals = 0 }
   in
   try
     go config 0 [];
@@ -130,7 +131,8 @@ let export_metrics m (stats : stats) =
 
 let stats_of = function Ok_bounded s -> s | Counterexample { stats; _ } -> stats
 
-let run ~engine ~depth ?key ~inputs ?completion_steps ?metrics ~check config =
+let run ~engine ~depth ?key ~inputs ?completion_steps ?metrics ?prof ?series ~check
+    config =
   match engine with
   | Naive ->
     let out = exhaustive ~depth ~inputs ?completion_steps ~check config in
@@ -144,9 +146,13 @@ let run ~engine ~depth ?key ~inputs ?completion_steps ?metrics ~check config =
         max_depth = s.Dpor.max_depth;
         cache_hits = s.Dpor.cache_hits;
         pruned = s.Dpor.sleep_pruned;
+        steals = s.Dpor.steals;
       }
     in
-    match Dpor.explore ~depth ~cache ~jobs ?key ?completion_steps ?metrics ~inputs ~check config with
+    match
+      Dpor.explore ~depth ~cache ~jobs ?key ?completion_steps ?metrics ?prof ?series
+        ~inputs ~check config
+    with
     | Dpor.Complete s -> Ok_bounded (to_stats s)
     | Dpor.Violation (ce, s) ->
       Counterexample

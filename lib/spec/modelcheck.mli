@@ -17,6 +17,7 @@ type stats = {
   max_depth : int;
   cache_hits : int;  (** [Dpor] engine only; 0 for [Naive] *)
   pruned : int;      (** [Dpor] engine only; 0 for [Naive] *)
+  steals : int;      (** [Dpor] engine only; 0 for [Naive] *)
 }
 
 type outcome =
@@ -70,7 +71,9 @@ val stats_of : outcome -> stats
     outcome type as {!exhaustive}.  When [metrics] is given, the final
     counters are exported into it under [explore.*] names (both
     engines).  [key] selects the {!Dpor} cache-key flavour (default
-    [`Incremental]; ignored by [Naive]). *)
+    [`Incremental]; ignored by [Naive]).  [prof] and [series] thread
+    through to {!Dpor.explore} (phase breakdown and exploration time
+    series; ignored by [Naive]). *)
 val run :
   engine:engine ->
   depth:int ->
@@ -78,6 +81,8 @@ val run :
   inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
   ?completion_steps:int ->
   ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
+  ?series:Obs.Prof.Series.t ->
   check:(Shm.Config.t -> (unit, string) result) ->
   Shm.Config.t ->
   outcome

@@ -6,6 +6,7 @@ let () =
       ("pp", Test_pp.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("bounds", Test_bounds.suite);
       ("oneshot", Test_oneshot.suite);
       ("repeated", Test_repeated.suite);

@@ -358,6 +358,197 @@ let bench_out_format () =
     Alcotest.(check (option int)) "schema tagged" (Some Obs.Bench_out.schema_version)
       (Option.bind (Obs.Json.member "schema" parsed) Obs.Json.to_int_opt)
 
+(* ---- JSON escaping: arbitrary byte strings round-trip ---- *)
+
+(* The encoder must emit valid JSON for any byte string — control
+   characters escaped, valid UTF-8 passed through, invalid bytes mapped
+   to lone surrogates — and the decoder must invert it exactly. *)
+let json_string_roundtrip_qcheck =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x0B5 |])
+    (QCheck.Test.make ~name:"Json string encode/decode on arbitrary bytes"
+       ~count:2000
+       QCheck.(string_gen_of_size Gen.(0 -- 64) Gen.(map Char.chr (0 -- 255)))
+       (fun s ->
+         match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.String s)) with
+         | Ok (Obs.Json.String s') -> s' = s
+         | Ok _ | Error _ -> false))
+
+let json_escaping_edge_cases () =
+  let rt s =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.String s)) with
+    | Ok (Obs.Json.String s') -> s'
+    | Ok _ -> Alcotest.failf "%S decoded to a non-string" s
+    | Error e -> Alcotest.failf "%S: %s" s e
+  in
+  List.iter
+    (fun s -> Alcotest.(check string) (Fmt.str "%S" s) s (rt s))
+    [
+      "";
+      "plain ascii";
+      "\x00\x01\x1f\x7f";                   (* control chars *)
+      "tab\tnewline\nquote\"backslash\\";
+      "caf\xc3\xa9";                        (* valid 2-byte UTF-8 *)
+      "\xe2\x86\x92";                       (* 3-byte: RIGHTWARDS ARROW *)
+      "\xf0\x9f\x90\xab";                   (* 4-byte: emoji, needs surrogate pair *)
+      "\xff\xfe lone invalid bytes";        (* not UTF-8 at all *)
+      "\xc3truncated";                      (* truncated sequence *)
+      "\xed\xa0\x80";                       (* encoded surrogate = invalid UTF-8 *)
+    ];
+  (* encoded form is pure ASCII-safe JSON: every control byte escaped *)
+  let enc = Obs.Json.to_string (Obs.Json.String "\x00\x07\n\x1b\xff") in
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "no raw control bytes in output" true (Char.code c >= 0x20))
+    enc
+
+(* ---- schema versioning ---- *)
+
+let bench_out_reader () =
+  let rows = [ Obs.Json.Obj [ ("n", Obs.Json.Int 4); ("r", Obs.Json.Float 5.5) ] ] in
+  let path = Filename.temp_file "sa_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Bench_out.write ~experiment:"probe" ~path rows;
+      (match Obs.Bench_out.read path with
+      | Error e -> Alcotest.failf "read back: %s" e
+      | Ok doc ->
+        Alcotest.(check string) "experiment" "probe" doc.Obs.Bench_out.experiment;
+        Alcotest.(check int) "schema" Obs.Bench_out.schema_version doc.Obs.Bench_out.schema;
+        Alcotest.(check bool) "rows" true (doc.Obs.Bench_out.rows = rows));
+      (* a newer major is rejected *)
+      let doc = Obs.Bench_out.document ~experiment:"probe" rows in
+      let bumped =
+        match doc with
+        | Obs.Json.Obj fields ->
+          Obs.Json.Obj
+            (List.map
+               (fun (k, v) -> if k = "schema" then (k, Obs.Json.Int 99) else (k, v))
+               fields)
+        | j -> j
+      in
+      match Obs.Bench_out.of_json bumped with
+      | Ok _ -> Alcotest.fail "accepted schema 99"
+      | Error e -> Alcotest.(check bool) "rejected with reason" true (e <> ""))
+
+let jsonl_header_versioned () =
+  let path = Filename.temp_file "sa_hdr" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let ev = Event.Did_write { pid = 0; reg = 1; value = vi 7 } in
+      Obs.Jsonl.save path [ ev ];
+      (* the first line is the version header *)
+      let ic = open_in path in
+      let first = input_line ic in
+      close_in ic;
+      (match Obs.Json.of_string first with
+      | Ok j ->
+        Alcotest.(check (option int)) "header schema" (Some Obs.Jsonl.schema_version)
+          (Option.bind (Obs.Json.member "schema" j) Obs.Json.to_int_opt)
+      | Error e -> Alcotest.failf "header unparseable: %s" e);
+      Alcotest.(check bool) "reloads" true (Obs.Jsonl.load path = Ok [ ev ]);
+      (* a newer major is rejected *)
+      let oc = open_out path in
+      output_string oc "{\"jsonl\":\"sa-events\",\"schema\":99}\n";
+      output_string oc (Obs.Jsonl.line_of_event ev);
+      output_char oc '\n';
+      close_out oc;
+      (match Obs.Jsonl.load path with
+      | Ok _ -> Alcotest.fail "accepted schema 99"
+      | Error e -> Alcotest.(check bool) "rejected with reason" true (e <> ""));
+      (* legacy headerless files still load (pre-versioning traces) *)
+      let oc = open_out path in
+      output_string oc (Obs.Jsonl.line_of_event ev);
+      output_char oc '\n';
+      close_out oc;
+      Alcotest.(check bool) "legacy headerless accepted" true
+        (Obs.Jsonl.load path = Ok [ ev ]))
+
+(* ---- bench history ---- *)
+
+let history_entry ?(kind = "run") ?(rev = "abc1234") rows =
+  Obs.History.make ~ts:1000. ~rev ~kind ~experiment:"perf" rows
+
+let perf_row ~arm ~ratio =
+  Obs.Json.Obj
+    [
+      ("bench", Obs.Json.String "sim-steps");
+      ("arm", Obs.Json.String arm);
+      ("steps", Obs.Json.Int 100);
+      ("ratio_vs_reference", Obs.Json.Float ratio);
+    ]
+
+let history_roundtrip_and_diff () =
+  let path = Filename.temp_file "sa_hist" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let base = history_entry ~rev:"base111" [ perf_row ~arm:"new" ~ratio:10. ] in
+      let cur = history_entry ~rev:"cur2222" [ perf_row ~arm:"new" ~ratio:5. ] in
+      Obs.History.append ~path base;
+      Obs.History.append ~path cur;
+      (match Obs.History.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok [ b; c ] ->
+        Alcotest.(check string) "rev" "base111" b.Obs.History.rev;
+        Alcotest.(check bool) "rows back" true (c.Obs.History.rows = cur.Obs.History.rows);
+        let deltas = Obs.History.diff b c in
+        let d =
+          match
+            List.find_opt
+              (fun (d : Obs.History.delta) ->
+                d.Obs.History.d_metric = "ratio_vs_reference")
+              deltas
+          with
+          | Some d -> d
+          | None -> Alcotest.fail "ratio delta missing"
+        in
+        Alcotest.(check (float 1e-9)) "base" 10. d.Obs.History.base;
+        Alcotest.(check (float 1e-9)) "cur" 5. d.Obs.History.cur;
+        Alcotest.(check (float 1e-6)) "pct" (-50.) (Obs.History.delta_pct d)
+      | Ok l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+      (* a newer major is rejected on load *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc
+        "{\"schema\":99,\"ts\":0,\"rev\":\"x\",\"experiment\":\"perf\",\"kind\":\"run\",\"smoke\":false,\"rows\":[]}\n";
+      close_out oc;
+      match Obs.History.load path with
+      | Ok _ -> Alcotest.fail "accepted schema 99"
+      | Error e -> Alcotest.(check bool) "rejected with reason" true (e <> ""))
+
+let history_floors_gate () =
+  let floors =
+    [
+      {
+        Obs.History.selector = [ ("bench", "sim-steps"); ("arm", "new") ];
+        metric = "ratio_vs_reference";
+        min = 5.0;
+      };
+    ]
+  in
+  (* floors survive the entry round trip *)
+  let entry = history_entry ~kind:"floors" (List.map Obs.History.floor_row floors) in
+  let entry =
+    Result.get_ok (Obs.History.entry_of_json (Obs.History.json_of_entry entry))
+  in
+  Alcotest.(check bool) "floors round-trip" true
+    (Obs.History.floors_of_entry entry = floors);
+  Alcotest.(check bool) "latest_floors finds it" true
+    (Obs.History.latest_floors [ history_entry []; entry ] ~experiment:"perf"
+    = Some entry);
+  let verdicts rows = Obs.History.check_floors ~floors rows in
+  (* above the floor: pass *)
+  Alcotest.(check bool) "pass above floor" false
+    (List.exists Obs.History.violated (verdicts [ perf_row ~arm:"new" ~ratio:38. ]));
+  (* below the floor: fail *)
+  Alcotest.(check bool) "fail below floor" true
+    (List.exists Obs.History.violated (verdicts [ perf_row ~arm:"new" ~ratio:4.9 ]));
+  (* the gated row disappearing entirely: fail *)
+  Alcotest.(check bool) "fail on missing row" true
+    (List.exists Obs.History.violated (verdicts [ perf_row ~arm:"reference" ~ratio:1. ]))
+
 let suite =
   [
     test "analysis: empty trace" analysis_empty_trace;
@@ -380,4 +571,10 @@ let suite =
     test "jsonl file round-trip reproduces analysis" jsonl_file_roundtrip_analysis;
     test "jsonl 10k-event trace round-trips exactly" jsonl_10k_roundtrip;
     test "bench output format parses back" bench_out_format;
+    json_string_roundtrip_qcheck;
+    test "json escaping edge cases" json_escaping_edge_cases;
+    test "bench output reader enforces schema" bench_out_reader;
+    test "jsonl header versioned, legacy accepted" jsonl_header_versioned;
+    test "history round-trip, diff, schema rejection" history_roundtrip_and_diff;
+    test "history floors gate regressions" history_floors_gate;
   ]
