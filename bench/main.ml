@@ -985,6 +985,175 @@ let bechamel_benches () =
          Fmt.pr "%-50s %-16s %-8.3f@." name pretty r2)
 
 (* ------------------------------------------------------------------ *)
+(* E17: the serving layer (lib/service).  Three sections, one schema:
+   - service-scaling: closed-loop throughput/latency over a
+     domains × shards grid (the scaling curve);
+   - service-throughput: same-binary batched (batch_max 16) vs
+     reference (batch_max 1) arms on one shard — the floor-gated
+     machine-independent ratio;
+   - service-verdict: a crash-chaos run whose per-shard histories are
+     graded by the Conform linearizability/k-agreement oracles ("ok"
+     is 1.0 or 0.0, and floor-gated to 1.0). *)
+
+let service_table () =
+  section
+    (Fmt.str "E17: set-agreement-as-a-service — sharded batched serving%s"
+       (if !perf_smoke then ", smoke" else ""));
+  let params = Agreement.Params.make ~n:4 ~m:1 ~k:1 in
+  let clients = if !perf_smoke then 48 else 192 in
+  let ops = if !perf_smoke then 4 else 12 in
+  let keys = 1024 in
+  let theta = 0.9 in
+  let seed = 0x5e17 in
+  let rows = ref [] in
+  let loadrun ~domains ~shards ~batch_max ~window ~app ~history =
+    let server =
+      Service.Server.create ~batch_max ~window ~app ~history ~seed ~shards
+        ~domains params
+    in
+    let report =
+      Service.Loadgen.run server
+        { Service.Loadgen.clients; ops_per_client = ops; keys; theta; seed }
+    in
+    Service.Server.stop server;
+    (server, report)
+  in
+  let totals server =
+    List.fold_left
+      (fun (slots, cmds) (s : Service.Shard.stats) ->
+        (slots + s.Service.Shard.slots, cmds + s.Service.Shard.committed))
+      (0, 0) (Service.Server.stats server)
+  in
+  (* scaling curve: domains × shards *)
+  let grid =
+    if !perf_smoke then [ (1, 1); (1, 4); (2, 4); (4, 8) ]
+    else
+      List.concat_map
+        (fun domains -> List.map (fun shards -> (domains, shards)) [ 1; 2; 4; 8 ])
+        [ 1; 2; 4 ]
+  in
+  Fmt.pr "%-8s %-8s %-14s %-12s %-12s %-8s@." "domains" "shards" "cmds/s" "p50 us"
+    "p99 us" "slots";
+  List.iter
+    (fun (domains, shards) ->
+      let server, report =
+        loadrun ~domains ~shards ~batch_max:16 ~window:64 ~app:Service.App.counter
+          ~history:false
+      in
+      let slots, cmds = totals server in
+      Fmt.pr "%-8d %-8d %-14.0f %-12.1f %-12.1f %-8d@." domains shards
+        report.Service.Loadgen.throughput_cps
+        (report.Service.Loadgen.p50_ns /. 1e3)
+        (report.Service.Loadgen.p99_ns /. 1e3)
+        slots;
+      rows :=
+        Obs.Json.Obj
+          [
+            ("bench", Obs.Json.String "service-scaling");
+            ("domains", Obs.Json.Int domains);
+            ("shards", Obs.Json.Int shards);
+            ("clients", Obs.Json.Int clients);
+            ("commands", Obs.Json.Int cmds);
+            ("slots", Obs.Json.Int slots);
+            ("batch_max", Obs.Json.Int 16);
+            ("window", Obs.Json.Int 64);
+            ("theta", Obs.Json.Float theta);
+            ("throughput_cps", Obs.Json.Float report.Service.Loadgen.throughput_cps);
+            ("p50_ns", Obs.Json.Float report.Service.Loadgen.p50_ns);
+            ("p99_ns", Obs.Json.Float report.Service.Loadgen.p99_ns);
+            ("stalls", Obs.Json.Int report.Service.Loadgen.stalls);
+            ("registers", Obs.Json.Int (Service.Server.registers_used server));
+          ]
+        :: !rows)
+    grid;
+  (* batched vs reference: the same binary, one shard, one domain; the
+     floor gates the machine-independent ratio *)
+  let _, ref_report =
+    loadrun ~domains:1 ~shards:1 ~batch_max:1 ~window:64 ~app:Service.App.counter
+      ~history:false
+  in
+  let _, batched_report =
+    loadrun ~domains:1 ~shards:1 ~batch_max:16 ~window:64
+      ~app:Service.App.counter ~history:false
+  in
+  let ratio =
+    batched_report.Service.Loadgen.throughput_cps
+    /. ref_report.Service.Loadgen.throughput_cps
+  in
+  Fmt.pr "@.batching: reference %.0f cmds/s, batched %.0f cmds/s (%.1fx)@."
+    ref_report.Service.Loadgen.throughput_cps
+    batched_report.Service.Loadgen.throughput_cps ratio;
+  let arm_row name report r =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "service-throughput");
+        ("arm", Obs.Json.String name);
+        ("throughput_cps", Obs.Json.Float report.Service.Loadgen.throughput_cps);
+        ("p99_ns", Obs.Json.Float report.Service.Loadgen.p99_ns);
+        ("ratio_vs_reference", Obs.Json.Float r);
+      ]
+  in
+  rows := arm_row "batched" batched_report ratio :: arm_row "reference" ref_report 1.0 :: !rows;
+  (* chaos verdict: a crash-profile run on the register app, graded by
+     the Conform oracles per shard *)
+  let shards = 4 in
+  let server =
+    Service.Server.create ~batch_max:4 ~window:16 ~app:Service.App.register
+      ~history:true ~seed ~shards ~domains:0 params
+  in
+  let rng = Shm.Rng.create seed in
+  let rounds = if !perf_smoke then 16 else 48 in
+  for round = 1 to rounds do
+    for client = 0 to 15 do
+      let cmd =
+        if Shm.Rng.bool rng then Service.App.read
+        else
+          Universal.Machines.write
+            (Shm.Value.pair (Shm.Value.int client) (Shm.Value.int round))
+      in
+      ignore
+        (Service.Server.try_submit server
+           ~key:(Shm.Value.int (Shm.Rng.int rng keys))
+           ~tag:client cmd)
+    done;
+    ignore (Service.Server.pump server);
+    (* fail-stop a replica on some shard every few rounds *)
+    if round mod (rounds / 4) = 0 then
+      ignore
+        (Service.Server.crash_replica server
+           ~shard:(Shm.Rng.int rng shards)
+           ~pid:(Shm.Rng.int rng params.Agreement.Params.n))
+  done;
+  Service.Server.drain server;
+  let verdict = Service.Server.verdict server in
+  let _, chaos_cmds = totals server in
+  let crashed =
+    List.fold_left
+      (fun acc (s : Service.Shard.stats) ->
+        acc + (params.Agreement.Params.n - s.Service.Shard.alive))
+      0 (Service.Server.stats server)
+  in
+  (match verdict with
+  | Ok () ->
+    Fmt.pr "chaos verdict: ok (%d commands, %d shards, %d crashed replicas)@."
+      chaos_cmds shards crashed
+  | Error errs ->
+    Fmt.pr "chaos verdict: MISMATCH@.";
+    List.iter (fun e -> Fmt.pr "  %s@." e) errs);
+  rows :=
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "service-verdict");
+        ("arm", Obs.Json.String "chaos");
+        ("shards", Obs.Json.Int shards);
+        ("commands", Obs.Json.Int chaos_cmds);
+        ("crashed_replicas", Obs.Json.Int crashed);
+        ("ok", Obs.Json.Float (match verdict with Ok () -> 1.0 | Error _ -> 0.0));
+      ]
+    :: !rows;
+  write_bench ~experiment:"service" ~file:"BENCH_service.json" (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 
 let tables =
   [
@@ -1002,6 +1171,7 @@ let tables =
     ("conform", conform_table);
     ("analyze", analyze_table);
     ("perf", perf_table);
+    ("service", service_table);
   ]
 
 let series =
@@ -1065,34 +1235,61 @@ let perf_floors =
     };
   ]
 
-let floors_cmd () =
-  let entry =
-    Obs.History.make ~ts:(Unix.time ()) ~rev:(git_rev ()) ~kind:"floors"
-      ~experiment:"perf"
-      (List.map Obs.History.floor_row perf_floors)
-  in
-  Obs.History.append ~path:history_path entry;
-  Fmt.pr "appended floors entry to %s: %a@." history_path Obs.History.pp_entry entry
+(* Floors for E17: the batching speedup is a same-binary ratio (so it
+   holds across hardware), and the chaos verdict must be clean — a
+   history that stops linearizing is a regression like any other. *)
+let service_floors =
+  [
+    {
+      Obs.History.selector =
+        [ ("bench", "service-throughput"); ("arm", "batched") ];
+      metric = "ratio_vs_reference";
+      min = 2.0;
+    };
+    {
+      Obs.History.selector = [ ("bench", "service-verdict"); ("arm", "chaos") ];
+      metric = "ok";
+      min = 1.0;
+    };
+  ]
 
-(* `check [--smoke] [--fault]`: run the perf table and gate its rows
+(* Every floor-gated experiment: its committed floors and the table
+   that regenerates the gated rows. *)
+let gated_experiments =
+  [ ("perf", (perf_floors, perf_table)); ("service", (service_floors, service_table)) ]
+
+let floors_cmd () =
+  List.iter
+    (fun (experiment, (floors, _)) ->
+      let entry =
+        Obs.History.make ~ts:(Unix.time ()) ~rev:(git_rev ()) ~kind:"floors"
+          ~experiment
+          (List.map Obs.History.floor_row floors)
+      in
+      Obs.History.append ~path:history_path entry;
+      Fmt.pr "appended floors entry to %s: %a@." history_path Obs.History.pp_entry
+        entry)
+    gated_experiments
+
+(* `check [--smoke] [--fault]`: run each gated table and gate its rows
    against the committed floors.  Exit 1 on any violation.  --fault
    synthetically regresses every gated metric (divides it by 100)
    before checking — CI uses it to prove the gate actually fails. *)
-let check_cmd ~fault () =
+let check_experiment ~fault ~experiment ~run_table () =
   let floors =
-    match Obs.History.latest_floors (load_history ()) ~experiment:"perf" with
+    match Obs.History.latest_floors (load_history ()) ~experiment with
     | Some e -> Obs.History.floors_of_entry e
     | None ->
-      Fmt.epr "no committed floors entry for \"perf\" in %s (run `bench floors`)@."
-        history_path;
+      Fmt.epr "no committed floors entry for %S in %s (run `bench floors`)@."
+        experiment history_path;
       exit 2
   in
-  perf_table ();
+  run_table ();
   let rows =
     match !last_bench with
-    | Some ("perf", rows) -> rows
+    | Some (e, rows) when e = experiment -> rows
     | _ ->
-      Fmt.epr "internal error: perf table did not record its rows@.";
+      Fmt.epr "internal error: %s table did not record its rows@." experiment;
       exit 2
   in
   let rows =
@@ -1118,6 +1315,15 @@ let check_cmd ~fault () =
   if fault then Fmt.pr "--fault: gated metrics synthetically regressed 100x@.";
   let verdicts = Obs.History.check_floors ~floors rows in
   List.iter (fun v -> Fmt.pr "%a@." Obs.History.pp_verdict v) verdicts;
+  verdicts
+
+let check_cmd ~fault () =
+  let verdicts =
+    List.concat_map
+      (fun (experiment, (_, run_table)) ->
+        check_experiment ~fault ~experiment ~run_table ())
+      gated_experiments
+  in
   let bad = List.filter Obs.History.violated verdicts in
   if bad <> [] then begin
     Fmt.pr "bench check: FAIL (%d of %d floors violated)@." (List.length bad)

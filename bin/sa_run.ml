@@ -767,6 +767,148 @@ let conform_cmd =
       const conform $ obj $ domains $ components $ ops $ chaos $ seed $ iters $ mutant
       $ m $ k $ stats)
 
+(* ------------------------------------------------------------------ *)
+(* The `serve` subcommand: sharded batched serving layer (lib/service). *)
+
+let serve backend shards domains clients ops keys theta seed app_name batch
+    window n m k trace_out stats =
+  set_memory_backend backend;
+  let app =
+    match Service.App.by_name app_name with
+    | Some app -> app
+    | None ->
+      Fmt.epr "unknown app %S; valid: %s@." app_name
+        (String.concat " | "
+           (List.map (fun a -> a.Service.App.name) Service.App.all));
+      exit 2
+  in
+  let params =
+    try Agreement.Params.make ~n ~m ~k
+    with Invalid_argument msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+  in
+  let server =
+    Service.Server.create ~batch_max:batch ~window ~app ~seed ~shards ~domains
+      params
+  in
+  let cfg =
+    { Service.Loadgen.clients; ops_per_client = ops; keys; theta; seed }
+  in
+  Fmt.pr "serve: %d shards x %s, %d domains (%s), app %s, %d clients x %d ops, \
+          zipf theta %.2f, seed %d@."
+    shards
+    (Agreement.Params.to_string params)
+    domains
+    (if domains = 0 then "caller-pumped" else "pool")
+    app.Service.App.name clients ops theta seed;
+  let tr = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+  let report =
+    match tr with
+    | None -> Service.Loadgen.run server cfg
+    | Some tr -> Obs.Trace.with_attached tr (fun () -> Service.Loadgen.run server cfg)
+  in
+  Fmt.pr "committed %d commands in %.1f ms: %.0f cmds/s, p50 %.1f us, p99 %.1f us, \
+          %d backpressure stalls@."
+    report.Service.Loadgen.ops
+    (float_of_int report.Service.Loadgen.wall_ns /. 1e6)
+    report.Service.Loadgen.throughput_cps
+    (report.Service.Loadgen.p50_ns /. 1e3)
+    (report.Service.Loadgen.p99_ns /. 1e3)
+    report.Service.Loadgen.stalls;
+  Fmt.pr "space: %d registers total (%d shards x min(n+2m-k, n) = %d each)@."
+    (Service.Server.registers_used server)
+    shards
+    (min (n + (2 * m) - k) n);
+  if stats then
+    List.iter
+      (fun (s : Service.Shard.stats) ->
+        Fmt.pr "  shard %d: %d slots, %d commands, %d steps, %d registers, %d alive%s@."
+          s.Service.Shard.shard s.Service.Shard.slots s.Service.Shard.committed
+          s.Service.Shard.steps s.Service.Shard.registers s.Service.Shard.alive
+          (if s.Service.Shard.stuck then " [stuck]" else ""))
+      (Service.Server.stats server);
+  (match (trace_out, tr) with
+  | Some out, Some tr ->
+    (try Obs.Chrome_trace.save out tr
+     with Sys_error e ->
+       Fmt.epr "--trace-out: %s@." e;
+       exit 2);
+    Fmt.pr "chrome trace written to %s (open in https://ui.perfetto.dev)@." out
+  | _ -> ());
+  match Service.Server.verdict server with
+  | Ok () ->
+    Fmt.pr "verdict: ok (every shard passes validity + %d-agreement%s)@." k
+      (if app.Service.App.name = "register" then " + linearizability" else "");
+    exit 0
+  | Error errors ->
+    List.iter (Fmt.epr "verdict: %s@.") errors;
+    exit 1
+
+let serve_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Independent agreement shards.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ]
+          ~doc:"Worker domains stepping the shards; 0 = deterministic caller-pumped mode.")
+  in
+  let clients =
+    Arg.(value & opt int 32 & info [ "clients" ] ~doc:"Closed-loop clients.")
+  in
+  let ops =
+    Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Commands per client.")
+  in
+  let keys =
+    Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"Key-space size (keys hash onto shards).")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.9
+      & info [ "skew"; "theta" ] ~doc:"Zipf skew theta; 0 = uniform keys.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed (replayable).") in
+  let app_arg =
+    Arg.(
+      value & opt string "register"
+      & info [ "app" ] ~doc:"Replicated application: register | counter.")
+  in
+  let batch =
+    Arg.(value & opt int 16 & info [ "batch" ] ~doc:"Max commands per agreement slot.")
+  in
+  let window =
+    Arg.(
+      value & opt int 64
+      & info [ "window" ] ~doc:"Per-shard in-flight window (backpressure bound).")
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Replicas per shard.") in
+  let m = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Obstruction bound.") in
+  let k = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Agreement bound.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record per-slot service spans and write a Chrome trace-event file \
+             (load at ui.perfetto.dev).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the per-shard breakdown.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a replicated application over sharded, batched repeated set \
+          agreement: Zipfian closed-loop load, per-shard backpressure, and a \
+          conformance verdict (validity + k-agreement + linearizability) at the \
+          end.  Exits 1 if any shard fails its verdict.")
+    Term.(
+      const serve $ memory_backend_arg $ shards $ domains $ clients $ ops $ keys
+      $ theta $ seed $ app_arg $ batch $ window $ n $ m $ k $ trace_out $ stats)
+
 let cmd =
   let algo =
     Arg.(value & opt algo_conv One_shot & info [ "algo"; "a" ] ~doc:"Algorithm to run.")
@@ -844,6 +986,6 @@ let cmd =
        ~doc:
          "Run m-obstruction-free k-set agreement in the simulator, or audit the native \
           layer with `conform'")
-    [ conform_cmd; analyze_cmd; trace_cmd ]
+    [ conform_cmd; analyze_cmd; trace_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

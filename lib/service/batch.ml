@@ -1,0 +1,24 @@
+(* Batch encoding: many client commands, one agreement proposal.
+
+   A slot's proposal is ("batch", [cmd; ...]).  Every live replica of a
+   shard proposes the same drained batch, so by validity the decided
+   value is that batch regardless of k — deciding one agreement
+   instance commits batch_max commands at once.  This is where the
+   space result earns its keep: the per-slot proposal grows with the
+   batch, but the agreement layer's register footprint does not. *)
+
+open Shm
+
+let tag = Value.str "batch"
+
+let encode cmds = Value.pair tag (Value.list cmds)
+
+let decode v =
+  match Value.view v with
+  | Value.Pair (t, rest) when Value.equal t tag -> (
+      match Value.view rest with Value.List cmds -> Some cmds | _ -> None)
+  | _ -> None
+
+let size v = match decode v with Some cmds -> List.length cmds | None -> 0
+
+let apply_all (app : App.t) state cmds = List.fold_left_map app.App.apply state cmds

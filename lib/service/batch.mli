@@ -1,0 +1,21 @@
+(** Batch encoding: many client commands, one agreement proposal.
+
+    Commands drained from a shard's queue are packed into a single
+    [("batch", [cmd; ...])] value; one agreement instance decides the
+    whole batch.  Since every live replica proposes the same batch,
+    validity pins the decision — one decided slot commits the batch in
+    submission order. *)
+
+(** Pack commands, in order, into one proposal value. *)
+val encode : Shm.Value.t list -> Shm.Value.t
+
+(** Inverse of {!encode}; [None] if the value is not a batch. *)
+val decode : Shm.Value.t -> Shm.Value.t list option
+
+(** Number of commands in a batch value; 0 if not a batch. *)
+val size : Shm.Value.t -> int
+
+(** Fold a decided batch through an application: final state and the
+    per-command replies, in batch order. *)
+val apply_all :
+  App.t -> Shm.Value.t -> Shm.Value.t list -> Shm.Value.t * Shm.Value.t list

@@ -1,0 +1,60 @@
+(** Closed-loop load generation with Zipfian key skew.
+
+    Simulates [clients] independent clients from one driver thread:
+    each client has a fixed key drawn once from a Zipf distribution
+    (hot keys make hot shards), keeps exactly one command in flight,
+    and submits its next command the moment the previous one commits.
+    Everything derives from the seed, so runs are replayable — in pump
+    mode (a [domains = 0] server) byte-for-byte, including every
+    shard's committed log. *)
+
+(** Zipf(θ) over [0..keys-1]: weight of key i ∝ 1/(i+1)^θ; θ = 0 is
+    uniform. *)
+module Zipf : sig
+  type t
+
+  (** Normalized weights — the distribution tests check against. *)
+  val pmf : keys:int -> theta:float -> float array
+
+  val create : keys:int -> theta:float -> seed:int -> t
+
+  (** Draw one key (deterministic per seed). *)
+  val sample : t -> int
+end
+
+type config = {
+  clients : int;
+  ops_per_client : int;
+  keys : int;    (** key-space size (keys hash onto shards) *)
+  theta : float; (** Zipf skew; 0 = uniform *)
+  seed : int;
+}
+
+type report = {
+  ops : int;              (** commands committed *)
+  wall_ns : int;
+  throughput_cps : float; (** committed commands per second *)
+  p50_ns : float;         (** submit-to-commit latency quantiles *)
+  p99_ns : float;
+  max_ns : int;
+  mean_ns : float;
+  stalls : int;           (** submissions initially refused by backpressure *)
+}
+
+(** The default command stream for the counter app: [("add", 1)]. *)
+val counter_workload : Shm.Rng.t -> client:int -> op:int -> Shm.Value.t
+
+(** A read/write mix for the register app ([read_pct]% reads, default
+    50); writes carry a unique [(client, op)] payload. *)
+val register_workload :
+  ?read_pct:int -> unit -> Shm.Rng.t -> client:int -> op:int -> Shm.Value.t
+
+(** [run server cfg] starts the server (if it has domains), drives the
+    closed loop to completion, and reports.  With a [domains = 0]
+    server the driver pumps shards itself.  [command] overrides the
+    app-matched default workload. *)
+val run :
+  ?command:(Shm.Rng.t -> client:int -> op:int -> Shm.Value.t) ->
+  Server.t ->
+  config ->
+  report

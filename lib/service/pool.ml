@@ -1,0 +1,29 @@
+(* A fixed pool of worker domains running one work function each.
+
+   The work function returns whether it made progress; idle workers
+   spin on Domain.cpu_relax rather than sleeping — the pool exists for
+   closed-loop benchmarking, where the next batch is rarely far away
+   and wake-up latency would dominate. *)
+
+type t = {
+  workers : unit Domain.t list;
+  stop_flag : bool Atomic.t;
+}
+
+let spawn ~domains ~work =
+  if domains <= 0 then invalid_arg "Pool.spawn: domains must be positive";
+  let stop_flag = Atomic.make false in
+  let workers =
+    List.init domains (fun worker ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop_flag) do
+              if not (work ~worker) then Domain.cpu_relax ()
+            done))
+  in
+  { workers; stop_flag }
+
+let size t = List.length t.workers
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  List.iter Domain.join t.workers

@@ -1,0 +1,19 @@
+(** A fixed pool of worker domains.
+
+    [spawn ~domains ~work] starts [domains] OCaml 5 domains; each loops
+    calling [work ~worker] (with its index) until {!stop}.  [work]
+    returns whether it made progress; idle workers spin politely
+    ([Domain.cpu_relax]).  The server partitions shards statically over
+    workers (shard [i] belongs to worker [i mod domains]), so a shard
+    is only ever stepped by one domain. *)
+
+type t
+
+(** Raises [Invalid_argument] if [domains <= 0]. *)
+val spawn : domains:int -> work:(worker:int -> bool) -> t
+
+val size : t -> int
+
+(** Signal all workers to finish their current iteration and join
+    them.  Does not drain queues — see {!Server.stop}. *)
+val stop : t -> unit

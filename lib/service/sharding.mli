@@ -1,0 +1,14 @@
+(** Key → shard routing.
+
+    Clients address the service by key; keys hash onto independent
+    repeated-agreement shards.  Routing is pure: the same key maps to
+    the same shard in every run, on every domain (Value hashes are
+    structural), so a replayed load run exercises the same shards. *)
+
+(** [shard_of_key ~shards key] in [\[0, shards)].  Raises
+    [Invalid_argument] if [shards <= 0]. *)
+val shard_of_key : shards:int -> Shm.Value.t -> int
+
+(** [shard_of_int ~shards i] routes the integer key [i] — the common
+    case for generated load. *)
+val shard_of_int : shards:int -> int -> int

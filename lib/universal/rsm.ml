@@ -76,6 +76,73 @@ let replicate ?sched ?(max_steps = 5_000_000) (params : Agreement.Params.t) mach
     quiescent = result.Exec.stopped = Exec.All_quiescent;
   }
 
+(* Incremental slot-at-a-time stepping.  A stepper owns a repeated
+   (Figure 4) configuration and advances it one agreement instance per
+   call.  Because configurations are persistent, "advance" is just
+   re-running [Exec.run] on the stored config with the inputs window
+   widened by one instance: processes offered no proposal for the new
+   slot simply stay idle, and the run quiesces once every proposer has
+   decided.  This is the serving layer's engine: a shard holds one
+   stepper and feeds it one batch per slot, forever, in min(n+2m−k, n)
+   registers total. *)
+module Stepper = struct
+  type t = {
+    params : Agreement.Params.t;
+    config : Config.t;
+    slot : int;   (* instances decided so far; next instance is slot+1 *)
+    steps : int;  (* simulator steps across all slots *)
+    max_steps_per_slot : int;
+  }
+
+  type outcome = {
+    stepper : t;
+    decisions : (int * Value.t) list;  (* (pid, decided), completion order *)
+    quiescent : bool;
+  }
+
+  let create ?impl ?backend ?(max_steps_per_slot = 2_000_000)
+      (params : Agreement.Params.t) =
+    let impl =
+      match impl with
+      | Some i -> i
+      | None -> Agreement.Instances.space_optimal_impl params
+    in
+    let config = Agreement.Instances.repeated ~impl ?backend params in
+    { params; config; slot = 0; steps = 0; max_steps_per_slot }
+
+  let slot t = t.slot
+  let config t = t.config
+  let steps t = t.steps
+  let params t = t.params
+  let registers_used t = Memory.num_written (Config.mem t.config)
+  let unshare t = { t with config = Config.unshare t.config }
+
+  let step_slot ?sched t ~proposals =
+    let n = t.params.Agreement.Params.n in
+    let sched =
+      match sched with
+      | Some s -> s
+      | None -> Schedule.quantum_round_robin ~quantum:800 n
+    in
+    let instance = t.slot + 1 in
+    let inputs ~pid ~instance:i =
+      if i = instance then proposals pid else None
+    in
+    let result =
+      Exec.run ~sched ~inputs ~max_steps:t.max_steps_per_slot t.config
+    in
+    let config = result.Exec.config in
+    let decisions =
+      Config.outputs config
+      |> List.filter_map (fun (pid, inst, v) ->
+             if inst = instance then Some (pid, v) else None)
+    in
+    let stepper =
+      { t with config; slot = instance; steps = t.steps + result.Exec.steps }
+    in
+    { stepper; decisions; quiescent = result.Exec.stopped = Exec.All_quiescent }
+end
+
 (* With consensus underneath, all replicas must agree on the whole log;
    [agreement_log] returns it (and None if replicas diverged — possible
    only if k > 1 or the layer below is broken). *)

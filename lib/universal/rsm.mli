@@ -40,6 +40,65 @@ val replicate :
   slots:int ->
   'state run
 
+(** Incremental slot-at-a-time stepping: a persistent handle on a
+    repeated (Figure 4) configuration that advances one agreement
+    instance per call.  This is the serving layer's engine
+    ({!Service.Shard}): the instance space is unbounded in time but the
+    register footprint stays min(n+2m−k, n) — {!Stepper.registers_used}
+    is constant across slots. *)
+module Stepper : sig
+  type t
+
+  (** One slot's result: the advanced stepper, the slot's decisions as
+      [(pid, decided)] pairs in completion order, and whether the run
+      quiesced ([false] means the per-slot step budget ran out with
+      proposers still undecided — the slot must be treated as stuck). *)
+  type outcome = {
+    stepper : t;
+    decisions : (int * Shm.Value.t) list;
+    quiescent : bool;
+  }
+
+  (** [create params] builds a fresh repeated-agreement instance space.
+      Defaults: the space-optimal snapshot choice, the default memory
+      backend, a 2M-step budget per slot. *)
+  val create :
+    ?impl:Agreement.Instances.impl ->
+    ?backend:Shm.Memory.backend ->
+    ?max_steps_per_slot:int ->
+    Agreement.Params.t ->
+    t
+
+  (** Slots decided so far; the next [step_slot] runs instance
+      [slot t + 1]. *)
+  val slot : t -> int
+
+  (** The underlying configuration (for conformance checking). *)
+  val config : t -> Shm.Config.t
+
+  (** Simulator steps consumed across all slots so far. *)
+  val steps : t -> int
+
+  val params : t -> Agreement.Params.t
+
+  (** Registers the agreement layer has written — the space measure;
+      stays ≤ min(n+2m−k, n) no matter how many slots have run. *)
+  val registers_used : t -> int
+
+  (** Detach the stepper's journaled memory from its creating domain
+      (see {!Shm.Config.unshare}); call once when handing a stepper to
+      a worker domain. *)
+  val unshare : t -> t
+
+  (** [step_slot t ~proposals] runs one more agreement instance.
+      [proposals pid] is the value pid proposes for this slot, or
+      [None] to sit the slot out (a crashed or idle replica — pair
+      with a schedule over the live pids so the run can quiesce).
+      Default schedule: solo bursts over all n processes. *)
+  val step_slot :
+    ?sched:Shm.Schedule.t -> t -> proposals:(int -> Shm.Value.t option) -> outcome
+end
+
 (** The common log when all replicas agree (always, under k = 1);
     [None] if replicas diverged. *)
 val agreement_log : 'state run -> Shm.Value.t list option

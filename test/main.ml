@@ -23,6 +23,7 @@ let () =
       ("alpha", Test_alpha.suite);
       ("invariants", Test_invariants.suite);
       ("universal", Test_universal.suite);
+      ("service", Test_service.suite);
       ("faults", Test_faults.suite);
       ("anonymity", Test_anonymity.suite);
       ("errata", Test_errata.suite);

@@ -198,9 +198,93 @@ let lww_register_machine () =
     check_value "last write wins" last r.Rsm.state
   | _ -> Alcotest.fail "register replication failed"
 
+(* --- edge cases --- *)
+
+(* slots = 0: nothing to decide, the run quiesces immediately with
+   empty logs and pristine state. *)
+let zero_slots () =
+  let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
+  let run = Rsm.replicate p counter_machine ~commands:add ~slots:0 in
+  Alcotest.(check bool) "quiescent" true run.Rsm.quiescent;
+  List.iter
+    (fun (r : int Rsm.replica) ->
+      Alcotest.(check int) "empty log" 0 (List.length r.Rsm.log);
+      Alcotest.(check int) "initial state" 0 r.Rsm.state)
+    run.Rsm.replicas;
+  match Rsm.agreement_log run with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "zero slots produced a non-empty log"
+  | None -> Alcotest.fail "zero slots diverged"
+
+(* A single replica is not a legal system: the paper's standing
+   assumption is 1 ≤ m ≤ k < n, so n = 1 admits no valid k. *)
+let single_replica_rejected () =
+  Alcotest.check_raises "n = 1 is rejected"
+    (Invalid_argument "Params.make: need n > 1, got n=1") (fun () ->
+      ignore (Agreement.Params.make ~n:1 ~m:1 ~k:1));
+  (* n = 2 is the smallest replicated service; it works end to end *)
+  let p = Agreement.Params.make ~n:2 ~m:1 ~k:1 in
+  let run = Rsm.replicate p counter_machine ~commands:add ~slots:3 in
+  Alcotest.(check bool) "n=2 quiesces" true run.Rsm.quiescent;
+  match Rsm.agreement_log run with
+  | Some log -> Alcotest.(check int) "3 slots" 3 (List.length log)
+  | None -> Alcotest.fail "n=2 consensus diverged"
+
+(* The incremental stepper decides the same slots replicate does: fold
+   step_slot and compare safety, decisions, and the space bill. *)
+let stepper_slot_at_a_time () =
+  let p = Agreement.Params.make ~n:4 ~m:1 ~k:1 in
+  let stepper = ref (Rsm.Stepper.create p) in
+  for slot = 1 to 6 do
+    let outcome =
+      Rsm.Stepper.step_slot !stepper ~proposals:(fun pid -> Some (add pid slot))
+    in
+    Alcotest.(check bool) "slot quiesced" true outcome.Rsm.Stepper.quiescent;
+    Alcotest.(check int) "all replicas decided"
+      p.Agreement.Params.n
+      (List.length outcome.Rsm.Stepper.decisions);
+    (* consensus: every decision in the slot is the same proposed value *)
+    (match outcome.Rsm.Stepper.decisions with
+    | [] -> Alcotest.fail "no decisions"
+    | (_, v) :: rest ->
+      List.iter (fun (_, v') -> check_value "consensus" v v') rest;
+      Alcotest.(check bool) "validity" true
+        (List.exists (fun pid -> Shm.Value.equal v (add pid slot))
+           (List.init p.Agreement.Params.n Fun.id)));
+    stepper := outcome.Rsm.Stepper.stepper
+  done;
+  Alcotest.(check int) "6 slots decided" 6 (Rsm.Stepper.slot !stepper);
+  (match Spec.Properties.check_safety ~k:1 (Rsm.Stepper.config !stepper) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "safety: %s" e);
+  let bound = min (p.Agreement.Params.n + (2 * p.Agreement.Params.m) - p.Agreement.Params.k) p.Agreement.Params.n in
+  Alcotest.(check bool) "registers within min(n+2m-k, n)" true
+    (Rsm.Stepper.registers_used !stepper <= bound)
+
+(* A replica that proposes nothing sits the slot out; the rest decide
+   under a schedule restricted to the proposers. *)
+let stepper_sitting_out () =
+  let p = Agreement.Params.make ~n:3 ~m:1 ~k:1 in
+  let live = [ 0; 2 ] in
+  let outcome =
+    Rsm.Stepper.step_slot
+      ~sched:(Shm.Schedule.alternating ~burst:800 (List.map (fun p -> [ p ]) live))
+      (Rsm.Stepper.create p)
+      ~proposals:(fun pid -> if List.mem pid live then Some (vi (pid + 1)) else None)
+  in
+  Alcotest.(check bool) "quiesced without pid 1" true outcome.Rsm.Stepper.quiescent;
+  Alcotest.(check int) "both proposers decided" 2
+    (List.length outcome.Rsm.Stepper.decisions);
+  Alcotest.(check bool) "pid 1 decided nothing" true
+    (not (List.mem_assoc 1 outcome.Rsm.Stepper.decisions))
+
 let suite =
   [
     test "consensus replicas agree on log and state" consensus_replicas_agree;
+    test "zero slots quiesce with empty logs" zero_slots;
+    test "single replica rejected; n=2 smallest service" single_replica_rejected;
+    test "stepper decides slot at a time" stepper_slot_at_a_time;
+    test "stepper lets replicas sit a slot out" stepper_sitting_out;
     test "replicated FIFO queue: conservation + order" queue_machine;
     test "replicated bank never goes negative" bank_never_negative;
     test "replicated LWW register" lww_register_machine;
