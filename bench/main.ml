@@ -1154,6 +1154,105 @@ let service_table () =
   write_bench ~experiment:"service" ~file:"BENCH_service.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* E18: coverage-guided fuzzing (lib/fuzz) — execs/s and the coverage
+   curve per oracle, plus the seeded-mutant regression sweep.  The
+   gated metrics are machine-independent verdicts (clean campaign,
+   every mutant caught) and the deterministic coverage-bit count; the
+   throughput column is informational.  Schema in EXPERIMENTS.md §E18. *)
+
+let fuzz_table () =
+  let budget = if !perf_smoke then 100 else 600 in
+  let mutant_budget = if !perf_smoke then 200 else 400 in
+  let seed = 0x5eed in
+  section
+    (Fmt.str
+       "E18 Coverage-guided fuzzing (lib/fuzz): %d execs per oracle, seed %d%s"
+       budget seed
+       (if !perf_smoke then ", smoke" else ""));
+  Fmt.pr "%-14s %-8s %-10s %-12s %-10s %-10s %-12s %-10s@." "oracle" "execs"
+    "interest" "corpus" "cov bits" "diverge" "execs/s" "wall ms";
+  let rows = ref [] in
+  List.iter
+    (fun oracle ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = Fuzz.Driver.run ~oracle ~budget ~seed () in
+      let wall = Unix.gettimeofday () -. t0 in
+      let s = outcome.Fuzz.Driver.stats in
+      let execs_per_s =
+        if wall <= 0. then 0. else float_of_int s.Fuzz.Driver.execs /. wall
+      in
+      let curve =
+        Obs.Json.Arr
+          (List.map
+             (fun (x, b) ->
+               Obs.Json.Obj [ ("exec", Obs.Json.Int x); ("bits", Obs.Json.Int b) ])
+             s.Fuzz.Driver.curve)
+      in
+      rows :=
+        Obs.Json.Obj
+          [
+            ("bench", Obs.Json.String "fuzz-oracle");
+            ("oracle", Obs.Json.String (Fuzz.Oracle.name oracle));
+            ("budget", Obs.Json.Int s.Fuzz.Driver.budget);
+            ("seed", Obs.Json.Int s.Fuzz.Driver.seed);
+            ("execs", Obs.Json.Int s.Fuzz.Driver.execs);
+            ("interesting", Obs.Json.Int s.Fuzz.Driver.interesting);
+            ("corpus_size", Obs.Json.Int s.Fuzz.Driver.corpus_size);
+            ("coverage_bits", Obs.Json.Int s.Fuzz.Driver.coverage_bits);
+            ("coverage_curve", curve);
+            ("divergences", Obs.Json.Int s.Fuzz.Driver.divergences);
+            ("execs_per_s", Obs.Json.Float execs_per_s);
+            ("wall_ms", Obs.Json.Float (1000. *. wall));
+            ( "ok",
+              Obs.Json.Float (if s.Fuzz.Driver.divergences = 0 then 1.0 else 0.0)
+            );
+          ]
+        :: !rows;
+      Fmt.pr "%-14s %-8d %-10d %-12d %-10d %-10d %-12.0f %-10.1f@."
+        (Fuzz.Oracle.name oracle) s.Fuzz.Driver.execs s.Fuzz.Driver.interesting
+        s.Fuzz.Driver.corpus_size s.Fuzz.Driver.coverage_bits
+        s.Fuzz.Driver.divergences execs_per_s (1000. *. wall);
+      match outcome.Fuzz.Driver.witness with
+      | None -> ()
+      | Some w -> Fmt.pr "  !! %a@." Fuzz.Driver.pp_witness w)
+    Fuzz.Oracle.all;
+  let t0 = Unix.gettimeofday () in
+  let results = Fuzz.Oracle.mutant_sweep ~budget:mutant_budget ~seed:42 in
+  let wall = Unix.gettimeofday () -. t0 in
+  let caught =
+    List.length (List.filter (fun r -> r.Fuzz.Oracle.caught) results)
+  in
+  let total = List.length results in
+  rows :=
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "fuzz-mutants");
+        ("budget", Obs.Json.Int mutant_budget);
+        ("seed", Obs.Json.Int 42);
+        ("mutants", Obs.Json.Int total);
+        ("caught", Obs.Json.Int caught);
+        ( "caught_ratio",
+          Obs.Json.Float
+            (if total = 0 then 1.0 else float_of_int caught /. float_of_int total)
+        );
+        ( "witness_sizes",
+          Obs.Json.Arr
+            (List.map
+               (fun r ->
+                 Obs.Json.Obj
+                   [
+                     ("mutant", Obs.Json.String r.Fuzz.Oracle.mutant);
+                     ("caught", Obs.Json.Bool r.Fuzz.Oracle.caught);
+                     ("witness_size", Obs.Json.Int r.Fuzz.Oracle.witness_size);
+                   ])
+               results) );
+        ("wall_ms", Obs.Json.Float (1000. *. wall));
+      ]
+    :: !rows;
+  Fmt.pr "mutants: %d/%d caught in %.1f ms@." caught total (1000. *. wall);
+  write_bench ~experiment:"fuzz" ~file:"BENCH_fuzz.json" (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 
 let tables =
   [
@@ -1172,6 +1271,7 @@ let tables =
     ("analyze", analyze_table);
     ("perf", perf_table);
     ("service", service_table);
+    ("fuzz", fuzz_table);
   ]
 
 let series =
@@ -1255,8 +1355,41 @@ let service_floors =
 
 (* Every floor-gated experiment: its committed floors and the table
    that regenerates the gated rows. *)
+(* Floors for E18: verdict floors are exact (a clean campaign and a
+   full mutant catch are both 1.0 by construction, on any machine);
+   the coverage floor is a conservative bound on the deterministic
+   bit count at the smoke budget — a generator or coverage regression
+   that guts feedback shows up as a collapse here. *)
+let fuzz_floors =
+  List.map
+    (fun oracle ->
+      {
+        Obs.History.selector =
+          [ ("bench", "fuzz-oracle"); ("oracle", Fuzz.Oracle.name oracle) ];
+        metric = "ok";
+        min = 1.0;
+      })
+    Fuzz.Oracle.all
+  @ [
+      {
+        Obs.History.selector =
+          [ ("bench", "fuzz-oracle"); ("oracle", "analyzer") ];
+        metric = "coverage_bits";
+        min = 500.0;
+      };
+      {
+        Obs.History.selector = [ ("bench", "fuzz-mutants") ];
+        metric = "caught_ratio";
+        min = 1.0;
+      };
+    ]
+
 let gated_experiments =
-  [ ("perf", (perf_floors, perf_table)); ("service", (service_floors, service_table)) ]
+  [
+    ("perf", (perf_floors, perf_table));
+    ("service", (service_floors, service_table));
+    ("fuzz", (fuzz_floors, fuzz_table));
+  ]
 
 let floors_cmd () =
   List.iter

@@ -909,6 +909,110 @@ let serve_cmd =
       const serve $ memory_backend_arg $ shards $ domains $ clients $ ops $ keys
       $ theta $ seed $ app_arg $ batch $ window $ n $ m $ k $ trace_out $ stats)
 
+(* ------------------------------------------------------------------ *)
+(* The `fuzz` subcommand: coverage-guided differential fuzzing of the
+   simulator stack (lib/fuzz). *)
+
+let fuzz_one ~budget ~seed ~corpus_out oracle =
+  let outcome = Fuzz.Driver.run ~oracle ~budget ~seed () in
+  Fmt.pr "%a@." Fuzz.Driver.pp_stats outcome.Fuzz.Driver.stats;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      List.iter
+        (fun (e : Fuzz.Corpus.entry) ->
+          Printf.fprintf oc "%d | %s | %s\n" e.Fuzz.Corpus.credit
+            (Fuzz.Gen.to_string e.Fuzz.Corpus.program)
+            (Fuzz.Gen.schedule_to_string e.Fuzz.Corpus.schedule))
+        outcome.Fuzz.Driver.corpus;
+      close_out oc;
+      Fmt.pr "corpus (%d entries) written to %s@."
+        (List.length outcome.Fuzz.Driver.corpus)
+        path)
+    corpus_out;
+  match outcome.Fuzz.Driver.witness with
+  | None -> true
+  | Some w ->
+    Fmt.pr "%a@." Fuzz.Driver.pp_witness w;
+    false
+
+let fuzz oracle_s budget seed corpus_out mutants =
+  if mutants then begin
+    let results = Fuzz.Oracle.mutant_sweep ~budget ~seed in
+    let ok =
+      List.fold_left
+        (fun ok (r : Fuzz.Oracle.mutant_result) ->
+          Fmt.pr "%-28s %s  %s@." r.Fuzz.Oracle.mutant
+            (if r.Fuzz.Oracle.caught then "caught " else "MISSED ")
+            r.Fuzz.Oracle.detail;
+          ok && r.Fuzz.Oracle.caught)
+        true results
+    in
+    exit (if ok then 0 else 1)
+  end;
+  let oracles =
+    if String.lowercase_ascii oracle_s = "all" then Fuzz.Oracle.all
+    else
+      match Fuzz.Oracle.of_string oracle_s with
+      | Some o -> [ o ]
+      | None ->
+        Fmt.epr "unknown oracle %S; valid: all %s@." oracle_s
+          (String.concat " " (List.map Fuzz.Oracle.name Fuzz.Oracle.all));
+        exit 2
+  in
+  let ok =
+    List.fold_left
+      (fun ok o -> fuzz_one ~budget ~seed ~corpus_out o && ok)
+      true oracles
+  in
+  exit (if ok then 0 else 1)
+
+let fuzz_cmd =
+  let oracle =
+    Arg.(
+      value & opt string "all"
+      & info [ "oracle" ]
+          ~doc:
+            "Differential oracle to judge inputs with: analyzer | backend | \
+             linearize | determinism | all.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~doc:"Inputs to generate and judge (executions).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ]
+          ~doc:
+            "Campaign seed.  A campaign is deterministic in (oracle, budget, \
+             seed): re-running reproduces the same witness.")
+  in
+  let corpus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"FILE"
+          ~doc:"Write the final corpus (credit | program | schedule) to FILE.")
+  in
+  let mutants =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "Run the seeded-mutant regression sweep instead of fuzzing: every \
+             analyzer and conformance mutant must be caught within the budget.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided differential fuzzing of the simulator stack: random \
+          protocols + schedules, coverage feedback from state keys and analyzer \
+          footprints, and joint 1-minimal shrinking of any divergence.  Exits 1 \
+          with a replayable witness on divergence.")
+    Term.(const fuzz $ oracle $ budget $ seed $ corpus_out $ mutants)
+
 let cmd =
   let algo =
     Arg.(value & opt algo_conv One_shot & info [ "algo"; "a" ] ~doc:"Algorithm to run.")
@@ -986,6 +1090,6 @@ let cmd =
        ~doc:
          "Run m-obstruction-free k-set agreement in the simulator, or audit the native \
           layer with `conform'")
-    [ conform_cmd; analyze_cmd; trace_cmd; serve_cmd ]
+    [ conform_cmd; analyze_cmd; trace_cmd; serve_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,156 @@
+(* Deterministic corpus with well-formedness-preserving mutations.
+
+   All randomness flows from the single PRNG created with the seed;
+   nothing here reads clocks, addresses, or global state, which is
+   what makes a whole campaign replayable from (seed, budget). *)
+
+type entry = { program : Gen.program; schedule : Gen.schedule; credit : int }
+
+type t = {
+  rng : Shm.Rng.t;
+  sizes : Gen.sizes;
+  mutable items : entry list;  (* newest first *)
+  mutable total_credit : int;
+}
+
+let create ?(sizes = Gen.default_sizes) ~seed () =
+  { rng = Shm.Rng.create seed; sizes; items = []; total_credit = 0 }
+
+let size t = List.length t.items
+
+let entries t = List.rev t.items
+
+(* ------------------------------------------------------------------ *)
+(* Mutation operators.  Each preserves the Gen invariants: indices in
+   [0, registers), scan ranges fitted, loops bounded, so mutated
+   programs are exactly as well-formed as generated ones. *)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let drop k l = List.filteri (fun i _ -> i >= k) l
+
+(* Re-fit every access of [steps] into [registers] (used when a splice
+   or renumber changes the frame).  Scan lengths are clamped to the
+   space left of their offset. *)
+let rec refit ~registers steps =
+  List.map
+    (function
+      | Gen.Read r -> Gen.Read (r mod registers)
+      | Gen.Write (r, s) -> Gen.Write (r mod registers, s)
+      | Gen.Scan (off, len) ->
+        let off = off mod registers in
+        Gen.Scan (off, min len (registers - off))
+      | Gen.Loop (c, body) -> Gen.Loop (c, refit ~registers body)
+      | Gen.Decide s -> Gen.Decide s)
+    steps
+
+let splice rng (a : Gen.program) (b : Gen.program) =
+  let registers = max a.Gen.registers b.Gen.registers in
+  let cut xs = Shm.Rng.int rng (1 + List.length xs) in
+  let head = take (cut a.Gen.steps) a.Gen.steps in
+  let tail = drop (cut b.Gen.steps) b.Gen.steps in
+  let steps = refit ~registers (head @ tail) in
+  let steps = if steps = [] then [ Gen.Decide Gen.Last ] else steps in
+  { Gen.registers; n = (if Shm.Rng.bool rng then a.Gen.n else b.Gen.n); steps }
+
+let insert_step ?(sizes = Gen.default_sizes) rng (p : Gen.program) =
+  let s =
+    (* draw through a 1-step generated program so loop nesting and
+       range invariants come from the one generator *)
+    match
+      (Gen.generate ~sizes:{ sizes with Gen.max_steps = 1 } rng).Gen.steps
+    with
+    | s :: _ -> refit ~registers:p.Gen.registers [ s ]
+    | [] -> []
+  in
+  let at = Shm.Rng.int rng (1 + List.length p.Gen.steps) in
+  { p with Gen.steps = take at p.Gen.steps @ s @ drop at p.Gen.steps }
+
+let delete_step rng (p : Gen.program) =
+  match p.Gen.steps with
+  | [] | [ _ ] -> p
+  | steps ->
+    let at = Shm.Rng.int rng (List.length steps) in
+    { p with Gen.steps = List.filteri (fun i _ -> i <> at) steps }
+
+let renumber rng (p : Gen.program) =
+  let perm = Array.init p.Gen.registers Fun.id in
+  Shm.Rng.shuffle rng perm;
+  let rec go steps =
+    List.map
+      (function
+        | Gen.Read r -> Gen.Read perm.(r)
+        | Gen.Write (r, s) -> Gen.Write (perm.(r), s)
+        | Gen.Scan (off, len) ->
+          (* a permuted range need not stay contiguous; renumber the
+             offset and re-fit the length instead *)
+          let off = perm.(off) in
+          Gen.Scan (off, min len (p.Gen.registers - off))
+        | Gen.Loop (c, body) -> Gen.Loop (c, go body)
+        | Gen.Decide s -> Gen.Decide s)
+      steps
+  in
+  { p with Gen.steps = go p.Gen.steps }
+
+let mutate_schedule ?(sizes = Gen.default_sizes) rng ~n sched =
+  match Shm.Rng.int rng 3 with
+  | 0 ->
+    (* splice with a fresh tail *)
+    let head = take (Shm.Rng.int rng (1 + List.length sched)) sched in
+    head @ Gen.gen_schedule ~sizes rng ~n
+  | 1 ->
+    let at = Shm.Rng.int rng (1 + List.length sched) in
+    take at sched @ (Shm.Rng.int rng n :: drop at sched)
+  | _ -> (
+    match sched with
+    | [] | [ _ ] -> Gen.gen_schedule ~sizes rng ~n
+    | _ ->
+      let at = Shm.Rng.int rng (List.length sched) in
+      List.filteri (fun i _ -> i <> at) sched)
+
+(* ------------------------------------------------------------------ *)
+(* Selection and admission *)
+
+let fresh t = (Gen.generate ~sizes:t.sizes t.rng, Gen.gen_schedule ~sizes:t.sizes t.rng ~n:0)
+
+let pick_biased t =
+  (* roulette over credit: entries that opened more coverage get
+     proportionally more mutation budget *)
+  let total = max 1 t.total_credit in
+  let target = Shm.Rng.int t.rng total in
+  let rec go acc = function
+    | [] -> List.hd t.items
+    | e :: tl -> if acc + e.credit > target then e else go (acc + e.credit) tl
+  in
+  go 0 t.items
+
+let next t =
+  if t.items = [] || Shm.Rng.int t.rng 4 = 0 then begin
+    let p = Gen.generate ~sizes:t.sizes t.rng in
+    (p, Gen.gen_schedule ~sizes:t.sizes t.rng ~n:p.Gen.n)
+  end
+  else begin
+    let e = pick_biased t in
+    let p =
+      match Shm.Rng.int t.rng 5 with
+      | 0 ->
+        let other =
+          if t.items = [] then e.program else (pick_biased t).program
+        in
+        splice t.rng e.program other
+      | 1 -> insert_step ~sizes:t.sizes t.rng e.program
+      | 2 -> delete_step t.rng e.program
+      | 3 -> renumber t.rng e.program
+      | _ -> e.program (* keep the program, mutate only the schedule *)
+    in
+    let sched = mutate_schedule ~sizes:t.sizes t.rng ~n:p.Gen.n e.schedule in
+    (p, sched)
+  end
+
+let record t program schedule ~credit =
+  if credit > 0 then begin
+    t.items <- { program; schedule; credit } :: t.items;
+    t.total_credit <- t.total_credit + credit
+  end
+
+let _ = fresh (* selection goes through [next]; kept for symmetry *)

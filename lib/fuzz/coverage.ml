@@ -1,0 +1,102 @@
+(* Coverage signatures over existing instrumentation.
+
+   Bits live in disjoint tag spaces (state keys, footprint cells, lint
+   rules, summary shape) mixed down to 16-bit buckets per channel.
+   Bucketing trades a little precision for a bounded map: the fuzzer
+   only needs "did anything new happen", not exact state identity —
+   collisions cost a missed interesting input, never a wrong verdict
+   (oracles are independent of coverage). *)
+
+module IntSet = Set.Make (Int)
+
+type t = IntSet.t
+
+let bucket ~tag h =
+  (* 16 bits of the mixed hash, tagged so channels cannot collide *)
+  (tag lsl 16) lor (Shm.Value.mix tag h land 0xffff)
+
+(* State-key channel: replay the schedule threading the incremental
+   state hash exactly as the DPOR engine does, one bit per visited
+   key bucket.  The journaled backend is fine — keys hash contents. *)
+let state_bits p schedule set =
+  let inputs = Gen.inputs in
+  let config = ref (Gen.config p) in
+  let hash = ref (Spec.Statehash.create !config) in
+  let set = ref set in
+  List.iter
+    (fun pid ->
+      if pid >= 0 && pid < Shm.Config.n !config then begin
+        let before = !config in
+        let has_input pid inst = Option.is_some (inputs ~pid ~instance:inst) in
+        if Shm.Config.runnable before ~has_input pid then begin
+          let after, ev =
+            match Shm.Config.proc before pid with
+            | Shm.Program.Await _ ->
+              let inst = Shm.Config.instance before pid + 1 in
+              Shm.Config.invoke before pid
+                (Option.get (inputs ~pid ~instance:inst))
+            | Shm.Program.Stop -> assert false
+            | Shm.Program.Op _ | Shm.Program.Yield _ ->
+              Shm.Config.step before pid
+          in
+          hash := Spec.Statehash.record !hash ~before after ev;
+          config := after;
+          set :=
+            IntSet.add
+              (bucket ~tag:1 (Spec.Statehash.key_hash (Spec.Statehash.key !hash)))
+              !set
+        end
+      end)
+    schedule;
+  !set
+
+(* Analyzer channel: footprint cells and summary shape.  Budgets are
+   the scaled defaults, not exhaustive — coverage wants cheap structure
+   discovery; the soundness *oracle* is where exhaustive budgets go. *)
+let analyzer_bits p set =
+  let summary =
+    Analyze.Absint.analyze
+      ~budgets:(Analyze.Absint.budgets_for ~registers:p.Gen.registers ~n:p.Gen.n)
+      (Gen.config p)
+  in
+  let set = ref set in
+  let put tag h = set := IntSet.add (bucket ~tag h) !set in
+  Array.iter
+    (fun (ps : Analyze.Absint.process_summary) ->
+      Analyze.Absint.IntSet.iter
+        (fun r -> put 2 ((ps.Analyze.Absint.pid * 64) + r))
+        ps.Analyze.Absint.reads;
+      Analyze.Absint.IntSet.iter
+        (fun r -> put 3 ((ps.Analyze.Absint.pid * 64) + r))
+        ps.Analyze.Absint.writes;
+      if ps.Analyze.Absint.halted then put 4 ps.Analyze.Absint.pid;
+      if ps.Analyze.Absint.truncated then put 5 ps.Analyze.Absint.pid)
+    summary.Analyze.Absint.per_process;
+  Analyze.Absint.IntSet.iter (fun r -> put 6 r) summary.Analyze.Absint.dead;
+  if summary.Analyze.Absint.widened then put 7 1;
+  if not summary.Analyze.Absint.converged then put 7 2;
+  (* lint channel rides on the same summary *)
+  let _, diags = Analyze.Lint.check ~summary ~anonymous:false (Gen.config p) in
+  List.iter
+    (fun (d : Analyze.Lint.diag) -> put 8 (Hashtbl.hash d.Analyze.Lint.rule))
+    diags;
+  !set
+
+let signature p schedule = analyzer_bits p (state_bits p schedule IntSet.empty)
+
+let bits t = IntSet.elements t
+
+let cardinal = IntSet.cardinal
+
+let equal = IntSet.equal
+
+type acc = IntSet.t ref
+
+let acc_create () = ref IntSet.empty
+
+let acc_cardinal acc = IntSet.cardinal !acc
+
+let add acc t =
+  let fresh = IntSet.cardinal (IntSet.diff t !acc) in
+  acc := IntSet.union t !acc;
+  fresh

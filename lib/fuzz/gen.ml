@@ -1,0 +1,207 @@
+(* Sized random-protocol generation.
+
+   Programs are first-order data (step lists) compiled to the free
+   monad, not closures built directly: the corpus mutates them, the
+   shrinker drops steps from them, and witnesses print them.  The
+   invariants the rest of the fuzzer leans on — all register accesses
+   in bounds, all iteration bounded, decide-then-halt — hold by
+   construction here, and nowhere else needs to re-establish them. *)
+
+type src = Const of int | Input | Last
+
+type step =
+  | Read of int
+  | Write of int * src
+  | Scan of int * int
+  | Loop of int * step list
+  | Decide of src
+
+type program = { registers : int; n : int; steps : step list }
+
+type schedule = int list
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+type sizes = {
+  max_registers : int;
+  max_procs : int;
+  max_steps : int;
+  max_loop : int;
+  max_sched : int;
+}
+
+let default_sizes =
+  { max_registers = 4; max_procs = 4; max_steps = 7; max_loop = 3; max_sched = 48 }
+
+let gen_src rng =
+  match Shm.Rng.int rng 4 with
+  | 0 -> Input
+  | 1 -> Const (Shm.Rng.int rng 3)
+  | _ -> Last (* bias toward data flow: written values depend on reads *)
+
+(* One step.  [depth] > 0 allows a (shallower) loop; loop bodies are
+   decide-free so the body's step count is exact fuel. *)
+let rec gen_step rng ~registers ~sizes ~depth =
+  let reg () = Shm.Rng.int rng registers in
+  match Shm.Rng.int rng (if depth > 0 then 10 else 8) with
+  | 0 | 1 | 2 -> Read (reg ())
+  | 3 | 4 | 5 -> Write (reg (), gen_src rng)
+  | 6 | 7 ->
+    let off = Shm.Rng.int rng registers in
+    let len = 1 + Shm.Rng.int rng (registers - off) in
+    Scan (off, len)
+  | _ ->
+    let count = 2 + Shm.Rng.int rng (max 1 (sizes.max_loop - 1)) in
+    let body_len = 1 + Shm.Rng.int rng 2 in
+    Loop
+      ( count,
+        List.init body_len (fun _ ->
+            gen_step rng ~registers ~sizes ~depth:(depth - 1)) )
+
+let generate ?(sizes = default_sizes) rng =
+  let registers = 1 + Shm.Rng.int rng sizes.max_registers in
+  let n = 2 + Shm.Rng.int rng (max 1 (sizes.max_procs - 1)) in
+  let len = 1 + Shm.Rng.int rng sizes.max_steps in
+  let steps =
+    List.init len (fun _ -> gen_step rng ~registers ~sizes ~depth:1)
+  in
+  (* every process outputs: end on a Decide (mid-list Decides halt
+     early, which is fine — the tail is dead code the shrinker eats) *)
+  let steps =
+    match List.rev steps with
+    | Decide _ :: _ -> steps
+    | _ -> steps @ [ Decide (gen_src rng) ]
+  in
+  { registers; n; steps }
+
+let gen_schedule ?(sizes = default_sizes) rng ~n =
+  let len = n + Shm.Rng.int rng (max 1 (sizes.max_sched - n + 1)) in
+  List.init len (fun _ -> Shm.Rng.int rng n)
+
+(* ------------------------------------------------------------------ *)
+(* Structure *)
+
+let rec step_fuel = function
+  | Read _ | Write _ | Scan _ -> 1
+  | Decide _ -> 1
+  | Loop (count, body) ->
+    count * List.fold_left (fun acc s -> acc + step_fuel s) 0 body
+
+let flat_length p = List.fold_left (fun acc s -> acc + step_fuel s) 0 p.steps
+
+let oob_steps p =
+  let bad_reg r = r < 0 || r >= p.registers in
+  let rec bad = function
+    | Read r -> bad_reg r
+    | Write (r, _) -> bad_reg r
+    | Scan (off, len) -> off < 0 || len < 0 || off + len > p.registers
+    | Loop (_, body) -> List.exists bad body
+    | Decide _ -> false
+  in
+  let rec collect acc = function
+    | [] -> List.rev acc
+    | s :: tl ->
+      let acc = if bad s then s :: acc else acc in
+      let acc =
+        match s with
+        | Loop (_, body) -> List.rev_append (collect [] body) acc
+        | _ -> acc
+      in
+      collect acc tl
+  in
+  collect [] p.steps
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: CPS over the step list, threading the process's "last
+   observation" (⊥ until the first read; a scan observes its first
+   component).  Loops unroll at compile time — counts are constants. *)
+
+module P = Shm.Program
+module V = Shm.Value
+
+let value_of src ~input ~last =
+  match src with Const c -> V.int c | Input -> input | Last -> last
+
+let compile p ~pid:_ =
+  let rec seq steps ~input ~last k =
+    match steps with
+    | [] -> k last
+    | Read r :: tl -> P.read r (fun v -> seq tl ~input ~last:v k)
+    | Write (r, s) :: tl ->
+      P.write r (value_of s ~input ~last) (fun () -> seq tl ~input ~last k)
+    | Scan (off, len) :: tl ->
+      P.scan ~off ~len (fun view ->
+          let last = if len = 0 then last else view.(0) in
+          seq tl ~input ~last k)
+    | Loop (count, body) :: tl ->
+      let rec iter i last =
+        if i = 0 then seq tl ~input ~last k
+        else seq body ~input ~last (fun last -> iter (i - 1) last)
+      in
+      iter count last
+    | Decide s :: _ -> P.yield (value_of s ~input ~last) P.stop
+  in
+  P.await (fun input -> seq p.steps ~input ~last:V.bot (fun _ -> P.stop))
+
+let config ?backend p =
+  Shm.Config.create ?backend ~registers:p.registers
+    ~procs:(Array.init p.n (fun pid -> compile p ~pid))
+    ()
+
+let inputs ~pid ~instance =
+  if instance = 1 then Some (Agreement.Runner.default_input ~pid ~instance)
+  else None
+
+(* Replay through the shared stepping rule so a fuzz schedule means
+   exactly what a model-checker counterexample schedule means; record
+   the trace by probing around each step. *)
+let run ?backend p schedule =
+  let cursor = ref schedule in
+  let sched =
+    {
+      Shm.Schedule.name = "fuzz-replay";
+      next =
+        (fun ~step:_ ~runnable ->
+          let rec pick () =
+            match !cursor with
+            | [] -> None
+            | pid :: tl ->
+              cursor := tl;
+              (* mutated schedules may carry pids from a program with
+                 more processes; skip them like blocked pids *)
+              if pid >= 0 && pid < p.n && runnable pid then Some pid
+              else pick ()
+          in
+          pick ());
+    }
+  in
+  Shm.Exec.run ~record:true ~sched ~inputs
+    ~max_steps:(List.length schedule + 1)
+    (config ?backend p)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let src_to_string = function
+  | Const c -> string_of_int c
+  | Input -> "in"
+  | Last -> "last"
+
+let rec step_to_string = function
+  | Read r -> Fmt.str "R%d" r
+  | Write (r, s) -> Fmt.str "W%d<-%s" r (src_to_string s)
+  | Scan (off, len) -> Fmt.str "S%d+%d" off len
+  | Loop (count, body) ->
+    Fmt.str "L%d[%s]" count (String.concat "; " (List.map step_to_string body))
+  | Decide s -> Fmt.str "D %s" (src_to_string s)
+
+let pp_step ppf s = Fmt.string ppf (step_to_string s)
+
+let to_string p =
+  Fmt.str "r%d n%d : %s" p.registers p.n
+    (String.concat "; " (List.map step_to_string p.steps))
+
+let pp ppf p = Fmt.string ppf (to_string p)
+
+let schedule_to_string s = String.concat " " (List.map string_of_int s)

@@ -1,0 +1,305 @@
+module S = Set.Make (Int)
+module V = Shm.Value
+module L = Spec.Linearize
+
+type kind = Analyzer | Backend | Linearize | Determinism
+
+let all = [ Analyzer; Backend; Linearize; Determinism ]
+
+let name = function
+  | Analyzer -> "analyzer"
+  | Backend -> "backend"
+  | Linearize -> "linearize"
+  | Determinism -> "determinism"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "analyzer" | "absint" -> Some Analyzer
+  | "backend" | "memory" -> Some Backend
+  | "linearize" | "lin" -> Some Linearize
+  | "determinism" | "det" -> Some Determinism
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* (a) Analyzer soundness: every dynamically written register is in the
+   static write footprint.  Exhaustive budgets make the analysis exact
+   on the generator's (unrolled, loop-free) programs; a truncated
+   analysis carries no exactness claim, so it passes vacuously. *)
+
+let analyzer p sched =
+  let summary =
+    Analyze.Absint.analyze
+      ~budgets:
+        (Analyze.Absint.exhaustive ~registers:p.Gen.registers ~n:p.Gen.n)
+      (Gen.config p)
+  in
+  let truncated =
+    Array.exists
+      (fun (ps : Analyze.Absint.process_summary) -> ps.Analyze.Absint.truncated)
+      summary.Analyze.Absint.per_process
+  in
+  if truncated then None
+  else begin
+    let res = Gen.run p sched in
+    let dynamic =
+      Shm.Memory.written_set (Shm.Config.mem res.Shm.Exec.config)
+    in
+    let static = summary.Analyze.Absint.writes in
+    let escaped =
+      S.elements
+        (S.filter (fun r -> not (Analyze.Absint.IntSet.mem r static)) dynamic)
+    in
+    match escaped with
+    | [] -> None
+    | rs ->
+      Some
+        (Fmt.str "dynamic write outside static footprint: R%a (static {%a})"
+           Fmt.(list ~sep:(any ",R") int)
+           rs
+           Fmt.(list ~sep:comma int)
+           (Analyze.Absint.IntSet.elements static))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* (b) Backend differential: persistent vs journaled *)
+
+let event_equal (a : Shm.Event.t) (b : Shm.Event.t) =
+  match (a, b) with
+  | Invoke a, Invoke b ->
+    a.pid = b.pid && a.instance = b.instance && V.equal a.input b.input
+  | Did_read a, Did_read b ->
+    a.pid = b.pid && a.reg = b.reg && V.equal a.value b.value
+  | Did_write a, Did_write b ->
+    a.pid = b.pid && a.reg = b.reg && V.equal a.value b.value
+  | Did_scan a, Did_scan b ->
+    a.pid = b.pid && a.off = b.off && a.len = b.len
+  | Output a, Output b ->
+    a.pid = b.pid && a.instance = b.instance && V.equal a.value b.value
+  | _ -> false
+
+let trace_diff ta tb =
+  if List.length ta <> List.length tb then
+    Some (Fmt.str "trace lengths %d vs %d" (List.length ta) (List.length tb))
+  else
+    List.find_mapi
+      (fun i (a, b) ->
+        if event_equal a b then None
+        else Some (Fmt.str "trace[%d]: %a vs %a" i Shm.Event.pp a Shm.Event.pp b))
+      (List.combine ta tb)
+
+let final_scan (res : Shm.Exec.result) =
+  let mem = Shm.Config.mem res.Shm.Exec.config in
+  Shm.Memory.scan mem ~off:0 ~len:(Shm.Memory.size mem)
+
+let safety_verdict config =
+  match Spec.Properties.check_safety ~k:1 config with
+  | Ok () -> "ok"
+  | Error e -> "violation: " ^ e
+
+let compare_runs ~what (ra : Shm.Exec.result) (rb : Shm.Exec.result) =
+  if ra.Shm.Exec.steps <> rb.Shm.Exec.steps then
+    Some (Fmt.str "%s: steps %d vs %d" what ra.Shm.Exec.steps rb.Shm.Exec.steps)
+  else if ra.Shm.Exec.stopped <> rb.Shm.Exec.stopped then
+    Some (Fmt.str "%s: stop reasons differ" what)
+  else
+    match trace_diff ra.Shm.Exec.trace rb.Shm.Exec.trace with
+    | Some d -> Some (Fmt.str "%s: %s" what d)
+    | None ->
+      let sa = final_scan ra and sb = final_scan rb in
+      if not (Array.for_all2 V.equal sa sb) then
+        Some (Fmt.str "%s: final memories differ" what)
+      else if
+        not
+          (S.equal
+             (Shm.Memory.written_set (Shm.Config.mem ra.Shm.Exec.config))
+             (Shm.Memory.written_set (Shm.Config.mem rb.Shm.Exec.config)))
+      then Some (Fmt.str "%s: written sets differ" what)
+      else begin
+        let va = safety_verdict ra.Shm.Exec.config
+        and vb = safety_verdict rb.Shm.Exec.config in
+        if String.equal va vb then None
+        else Some (Fmt.str "%s: safety verdicts differ (%s vs %s)" what va vb)
+      end
+
+let backend p sched =
+  let rp = Gen.run ~backend:Shm.Memory.Persistent p sched in
+  let rj = Gen.run ~backend:Shm.Memory.Journaled p sched in
+  compare_runs ~what:"persistent vs journaled" rp rj
+
+(* ------------------------------------------------------------------ *)
+(* (c) Linearize mode agreement: boolean and witness checkers must
+   agree on every history — the run's own (sequential, hence
+   linearizable) history, a deterministically corrupted copy, and the
+   partial-history variants. *)
+
+(* Reconstruct full-range scan views by replaying writes out of the
+   trace; the step index is the clock (operations are atomic in the
+   simulator, so intervals are points). *)
+let history_of p (trace : Shm.Event.t list) =
+  let mem = Array.make p.Gen.registers V.bot in
+  let clock = ref 0 in
+  List.filter_map
+    (fun (ev : Shm.Event.t) ->
+      incr clock;
+      match ev with
+      | Did_write { pid; reg; value } ->
+        mem.(reg) <- value;
+        Some
+          {
+            L.pid;
+            op = L.Update { i = reg; v = value };
+            start = !clock;
+            finish = !clock;
+          }
+      | Did_scan { pid; off = 0; len } when len = p.Gen.registers ->
+        Some
+          {
+            L.pid;
+            op = L.Scan { view = Array.copy mem };
+            start = !clock;
+            finish = !clock;
+          }
+      | _ -> None)
+    trace
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let modes_agree ~components h =
+  let b = L.check ~components h in
+  let w = L.witness ~components h in
+  match (b, w) with
+  | true, None -> Some "check=true but witness=None"
+  | false, Some _ -> Some "check=false but witness=Some"
+  | _ -> None
+
+let partial_modes_agree ~components ~pending completed =
+  let b = L.check_partial ~components ~pending completed in
+  let w = L.witness ~components ~pending completed in
+  match (b, w) with
+  | true, None -> Some "check_partial=true but witness=None"
+  | false, Some _ -> Some "check_partial=false but witness=Some"
+  | _ -> None
+
+let corrupt rng h =
+  List.map
+    (fun (e : L.event) ->
+      match e.L.op with
+      | L.Scan { view } when Array.length view > 0 && Shm.Rng.int rng 3 = 0 ->
+        let view = Array.copy view in
+        view.(Shm.Rng.int rng (Array.length view)) <-
+          V.int (Shm.Rng.int rng 7);
+        { e with L.op = L.Scan { view } }
+      | _ -> e)
+    h
+
+let linearize p sched =
+  let res = Gen.run p sched in
+  let h = take 12 (history_of p res.Shm.Exec.trace) in
+  let components = p.Gen.registers in
+  match modes_agree ~components h with
+  | Some d -> Some ("own history: " ^ d)
+  | None -> (
+    (* corruption seed from the rendered input, not from hash-consing
+       internals, so the judgement is replayable *)
+    let rng =
+      Shm.Rng.create
+        (Hashtbl.hash (Gen.to_string p, Gen.schedule_to_string sched))
+    in
+    match modes_agree ~components (corrupt rng h) with
+    | Some d -> Some ("corrupted history: " ^ d)
+    | None -> (
+      match List.rev h with
+      | [] -> None
+      | last :: rev_completed ->
+        let completed = List.rev rev_completed in
+        let pending = [ { last with L.finish = max_int } ] in
+        Option.map
+          (fun d -> "partial history: " ^ d)
+          (partial_modes_agree ~components ~pending completed)))
+
+(* ------------------------------------------------------------------ *)
+(* (d) Determinism: same input, same trace; unshare preserves the
+   observable memory. *)
+
+let determinism p sched =
+  let r1 = Gen.run p sched in
+  let r2 = Gen.run p sched in
+  match compare_runs ~what:"run vs re-run" r1 r2 with
+  | Some d -> Some d
+  | None ->
+    let before = final_scan r1 in
+    let unshared = Shm.Config.unshare r1.Shm.Exec.config in
+    let mem = Shm.Config.mem unshared in
+    let after = Shm.Memory.scan mem ~off:0 ~len:(Shm.Memory.size mem) in
+    if not (Array.for_all2 V.equal before after) then
+      Some "unshare changed observable memory"
+    else if
+      not
+        (S.equal
+           (Shm.Memory.written_set (Shm.Config.mem r1.Shm.Exec.config))
+           (Shm.Memory.written_set mem))
+    then Some "unshare changed the written set"
+    else None
+
+let check kind p sched =
+  match kind with
+  | Analyzer -> analyzer p sched
+  | Backend -> backend p sched
+  | Linearize -> linearize p sched
+  | Determinism -> determinism p sched
+
+(* ------------------------------------------------------------------ *)
+(* Seeded-mutant regression *)
+
+type mutant_result = {
+  mutant : string;
+  caught : bool;
+  witness_size : int;
+  detail : string;
+}
+
+let analyze_mutant (mu : Analyze.Mutants.mutant) =
+  let p = Agreement.Params.make ~n:4 ~m:1 ~k:2 in
+  let caught = Analyze.Mutants.rejected mu p in
+  let summary, diags = Analyze.Mutants.check mu p in
+  let bound = mu.Analyze.Mutants.bound p in
+  let excess =
+    max 0 (Analyze.Absint.IntSet.cardinal summary.Analyze.Absint.writes - bound)
+  in
+  {
+    mutant = "analyze/" ^ mu.Analyze.Mutants.name;
+    caught;
+    witness_size = excess + List.length (Analyze.Lint.errors diags);
+    detail =
+      Fmt.str "static writes %d, bound %d, lint errors %d"
+        (Analyze.Absint.IntSet.cardinal summary.Analyze.Absint.writes)
+        bound
+        (List.length (Analyze.Lint.errors diags));
+  }
+
+let conform_mutant ~budget ~seed (sut : Conform.Sut.t) =
+  let cfg =
+    { Conform.Harness.default_config with seed; iters = budget; ops = 12 }
+  in
+  match Conform.Harness.run_snapshot ~sut cfg with
+  | Conform.Harness.Pass { iters; _ } ->
+    {
+      mutant = "conform/" ^ sut.Conform.Sut.name;
+      caught = false;
+      witness_size = 0;
+      detail = Fmt.str "survived %d iterations" iters;
+    }
+  | Conform.Harness.Fail v ->
+    {
+      mutant = "conform/" ^ sut.Conform.Sut.name;
+      caught = true;
+      witness_size = List.length v.Conform.Harness.shrunk;
+      detail =
+        Fmt.str "iter %d: %s (witness %d ops)" v.Conform.Harness.iter
+          v.Conform.Harness.error
+          (List.length v.Conform.Harness.shrunk);
+    }
+
+let mutant_sweep ~budget ~seed =
+  List.map analyze_mutant Analyze.Mutants.all
+  @ List.map (conform_mutant ~budget ~seed) Conform.Sut.mutants

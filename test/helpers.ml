@@ -54,3 +54,13 @@ let with_seed_report f () =
 let seeded_test name f = Alcotest.test_case name `Quick (with_seed_report f)
 
 let seeded_slow_test name f = Alcotest.test_case name `Slow (with_seed_report f)
+
+(* QCheck suites get the same discipline: the property PRNG derives
+   from [base_seed] (not a per-file constant), and a failure prints the
+   seed in play — so SA_TEST_SEED reproduces property failures exactly
+   like it reproduces seeded unit tests. *)
+let qcheck_to_alcotest t =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| base_seed |]) t
+  in
+  (name, speed, fun x -> with_seed_report (fun _seed -> run x) ())

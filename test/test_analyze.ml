@@ -9,8 +9,7 @@ module V = Shm.Value
 
 module IS = Set.Make (Int)
 
-let to_alcotest t =
-  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xA11A7 |]) t
+let to_alcotest = Helpers.qcheck_to_alcotest
 
 let params ~n ~m ~k = Agreement.Params.make ~n ~m ~k
 

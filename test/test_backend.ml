@@ -13,8 +13,7 @@
 open Agreement
 module Iset = Set.Make (Int)
 
-let to_alcotest t =
-  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xBACCE5 |]) t
+let to_alcotest = Helpers.qcheck_to_alcotest
 
 let params_gen =
   QCheck.Gen.(

@@ -3,8 +3,9 @@
 
 open Shm
 
-(* fixed PRNG state: property failures must be reproducible *)
-let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xC0FFEE |]) t
+(* PRNG state derives from SA_TEST_SEED (default fixed): property
+   failures are reproducible and the seed is printed on failure *)
+let to_alcotest = Helpers.qcheck_to_alcotest
 
 (* ---- generators ---- *)
 
