@@ -431,6 +431,189 @@ let explore_table () =
   write_bench ~experiment:"explore" ~file:"BENCH_explore.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* E19: static conditional independence for DPOR — the dataflow        *)
+(* engine's refinement (Analyze.Indep) vs the dynamic-footprint        *)
+(* baseline, same engine and depth per case.  Two case families:       *)
+(*                                                                     *)
+(* - the E13 oneshot grid (correct + starved), kept for verdict        *)
+(*   identity and as an honest negative result: Figure 3 writes        *)
+(*   pid-tagged pairs and scans everything, so its conflicts are       *)
+(*   almost never conditionally independent — the refinement holds     *)
+(*   verdicts and prunes ~nothing there;                               *)
+(* - first-order protocols with provable redundancy (constant and      *)
+(*   re-written registers — the patterns flow/constant-register and    *)
+(*   the no-op-write rule certify), where conditional independence     *)
+(*   carries real weight.                                              *)
+(*                                                                     *)
+(* The gate is the aggregate explored-state ratio (base/refined) plus  *)
+(* verdict identity — a refinement that changes any verdict is         *)
+(* unsound, not fast.                                                  *)
+
+let indep_table () =
+  section
+    "E19 Static conditional independence (lib/analyze dataflow): dpor+cache \
+     baseline vs dpor+cache with ?static_indep, on the E13 grid and on \
+     redundancy-bearing first-order protocols";
+  let oneshot_cases =
+    if !perf_smoke then
+      [ ("correct", 3, 1, None, 8); ("starved-r3", 3, 1, Some 3, 10) ]
+    else
+      [
+        ("correct", 3, 1, None, 8);
+        ("correct", 3, 1, None, 10);
+        ("starved-r3", 3, 1, Some 3, 14);
+      ]
+  in
+  (* Every process runs the same text, so constant stores collide only
+     with equal values — exactly what the WW-equal and no-op-write
+     rules license the engine to commute. *)
+  let proto_cases =
+    if !perf_smoke then
+      [
+        ("proto-const", "r3 n3 : W0<-7; L2[W1<-7; R0]; D last", 12);
+        ("proto-noop", "r2 n3 : W0<-3; L3[W0<-3; R0]; D last", 12);
+      ]
+    else
+      [
+        ("proto-const", "r3 n3 : W0<-7; L2[W1<-7; R0]; D last", 14);
+        ("proto-noop", "r2 n3 : W0<-3; L3[W0<-3; R0]; D last", 14);
+        ("proto-scan", "r2 n3 : W0<-4; S0+2; L2[W1<-4; S0+2]; D 4", 14);
+      ]
+  in
+  Fmt.pr "%-12s %-6s %-10s %-10s %-10s %-10s %-10s %-10s@." "case" "depth" "arm"
+    "explored" "pruned" "refined" "verdict" "wall ms";
+  let rows = ref [] in
+  let total_base = ref 0 and total_refined = ref 0 in
+  let verdicts_match = ref true in
+  let engine = Spec.Modelcheck.Dpor { cache = true; jobs = 1 } in
+  (* One case: run both arms at equal depth, record per-arm rows, fold
+     the explored counts and verdicts into the table-wide gate. *)
+  let run_case ~case ~depth ~facts ~inputs ~check ~fields mk_config =
+    let arms =
+      [ ("base", None); ("refined", Some (Analyze.Indep.refinement ~facts ())) ]
+    in
+    let base_explored = ref 0 in
+    let base_verdict = ref "" in
+    List.iter
+      (fun (arm, static_indep) ->
+        let metrics = Obs.Metrics.create () in
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          Spec.Modelcheck.run ~engine ~depth ~inputs ~check ?static_indep
+            ~metrics (mk_config ())
+        in
+        let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        let s = Spec.Modelcheck.stats_of outcome in
+        let refined_count =
+          Obs.Metrics.Counter.value (Obs.Metrics.counter metrics "explore.refined")
+        in
+        let verdict =
+          match outcome with
+          | Spec.Modelcheck.Ok_bounded _ -> "ok"
+          | Spec.Modelcheck.Counterexample _ -> "violation"
+        in
+        (if arm = "base" then begin
+           base_explored := s.Spec.Modelcheck.explored;
+           total_base := !total_base + s.Spec.Modelcheck.explored
+         end
+         else total_refined := !total_refined + s.Spec.Modelcheck.explored);
+        (* verdict identity is checked per case: both arms must agree *)
+        if arm = "base" then base_verdict := verdict
+        else if !base_verdict <> verdict then verdicts_match := false;
+        rows :=
+          Obs.Json.Obj
+            (fields
+            @ [
+                ("bench", Obs.Json.String "indep-dpor");
+                ("case", Obs.Json.String case);
+                ("depth", Obs.Json.Int depth);
+                ("arm", Obs.Json.String arm);
+                ("explored", Obs.Json.Int s.Spec.Modelcheck.explored);
+                ("pruned", Obs.Json.Int s.Spec.Modelcheck.pruned);
+                ("refined", Obs.Json.Int refined_count);
+                ("verdict", Obs.Json.String verdict);
+                ( "states_ratio",
+                  if arm = "refined" && s.Spec.Modelcheck.explored > 0 then
+                    Obs.Json.Float
+                      (float_of_int !base_explored
+                      /. float_of_int s.Spec.Modelcheck.explored)
+                  else Obs.Json.Null );
+                ("wall_ms", Obs.Json.Float wall_ms);
+              ])
+          :: !rows;
+        Fmt.pr "%-12s %-6d %-10s %-10d %-10d %-10d %-10s %-10.1f@." case depth
+          arm s.Spec.Modelcheck.explored s.Spec.Modelcheck.pruned refined_count
+          verdict wall_ms)
+      arms
+  in
+  List.iter
+    (fun (case, n, k, r, depth) ->
+      let p = Params.make ~n ~m:1 ~k in
+      let r = Option.value r ~default:(Params.r_oneshot p) in
+      let inputs =
+        Shm.Exec.oneshot_inputs (Array.init n (fun pid -> Shm.Value.int (pid + 1)))
+      in
+      run_case ~case ~depth
+        ~facts:(Analyze.Indep.of_config (Instances.oneshot ~r p))
+        ~inputs
+        ~check:(Spec.Properties.check_safety ~k)
+        ~fields:(point_fields ~n ~m:1 ~k @ [ ("registers", Obs.Json.Int r) ])
+        (fun () -> Instances.oneshot ~r p))
+    oneshot_cases;
+  List.iter
+    (fun (case, text, depth) ->
+      let prog =
+        match Analyze.Ir.parse text with
+        | Ok p -> p
+        | Error msg -> Fmt.failwith "E19 protocol %s: %s" case msg
+      in
+      let inputs = Fuzz.Gen.inputs in
+      let facts =
+        Analyze.Indep.of_prog
+          ~inputs:
+            (List.filter_map
+               (fun pid -> inputs ~pid ~instance:1)
+               (List.init prog.Analyze.Ir.n Fun.id))
+          prog
+      in
+      (* agreement-only: these protocols decide certified constants, so
+         validity (output ∈ inputs) is vacuously false and would stop
+         exploration at the first leaf; k-agreement is the verdict that
+         exercises the full bounded state space *)
+      let check_agreement config =
+        match Spec.Properties.agreement_errors ~k:1 config with
+        | [] -> Ok ()
+        | e :: _ -> Error e
+      in
+      run_case ~case ~depth ~facts ~inputs ~check:check_agreement
+        ~fields:
+          [
+            ("protocol", Obs.Json.String (Analyze.Ir.to_string prog));
+            ("n", Obs.Json.Int prog.Analyze.Ir.n);
+            ("registers", Obs.Json.Int prog.Analyze.Ir.registers);
+          ]
+        (fun () -> Fuzz.Gen.config prog))
+    proto_cases;
+  let ratio =
+    if !total_refined = 0 then 1.0
+    else float_of_int !total_base /. float_of_int !total_refined
+  in
+  rows :=
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "indep-total");
+        ("explored_base", Obs.Json.Int !total_base);
+        ("explored_refined", Obs.Json.Int !total_refined);
+        ("states_ratio", Obs.Json.Float ratio);
+        ("verdict_match", Obs.Json.Float (if !verdicts_match then 1.0 else 0.0));
+      ]
+    :: !rows;
+  Fmt.pr "total: base %d, refined %d, ratio %.3f, verdicts %s@." !total_base
+    !total_refined ratio
+    (if !verdicts_match then "identical" else "DIVERGED");
+  write_bench ~experiment:"indep" ~file:"BENCH_indep.json" (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* E14: native conformance harness — linearizability-checker           *)
 (* throughput and native op latency under each chaos profile.          *)
 
@@ -1267,6 +1450,7 @@ let tables =
     ("consensus-exact", consensus_exact);
     ("snapshot-ablation", snapshot_ablation);
     ("explore", explore_table);
+    ("indep", indep_table);
     ("conform", conform_table);
     ("analyze", analyze_table);
     ("perf", perf_table);
@@ -1384,11 +1568,29 @@ let fuzz_floors =
       };
     ]
 
+(* Floors for E19: the state reduction is a same-binary ratio of
+   explored-state counts (machine-independent), and verdict identity
+   is exact — the refinement must never flip a verdict. *)
+let indep_floors =
+  [
+    {
+      Obs.History.selector = [ ("bench", "indep-total") ];
+      metric = "states_ratio";
+      min = 1.1;
+    };
+    {
+      Obs.History.selector = [ ("bench", "indep-total") ];
+      metric = "verdict_match";
+      min = 1.0;
+    };
+  ]
+
 let gated_experiments =
   [
     ("perf", (perf_floors, perf_table));
     ("service", (service_floors, service_table));
     ("fuzz", (fuzz_floors, fuzz_table));
+    ("indep", (indep_floors, indep_table));
   ]
 
 let floors_cmd () =

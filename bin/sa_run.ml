@@ -486,8 +486,97 @@ let analyze_mutants ~witness ~params =
       ok && rejected)
     true Analyze.Mutants.all
 
-let analyze backend algos all n m k max_n mutants json_path witness no_dynamic =
+(* The dataflow engine is versioned with the protocol grammar it
+   consumes, so SARIF logs and corpus caches key on the same string. *)
+let analyzer_version = Fuzz.Gen.version
+
+let write_text path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+(* --protocol mode: run the dataflow engine (lib/analyze IR, not the
+   free-monad registry) on one first-order protocol string. *)
+let analyze_protocol ~ir ~indep ~optimize ~witness ~sarif_path ~json_path s =
+  let prog =
+    match Analyze.Ir.parse s with
+    | Ok p -> p
+    | Error msg ->
+      Fmt.epr "protocol parse error: %s@." msg;
+      exit 2
+  in
+  let artifact = "protocol:" ^ Analyze.Ir.to_string prog in
+  let d = Analyze.Dataflow.analyze prog in
+  Fmt.pr "%a@." Analyze.Dataflow.pp d;
+  if ir then
+    Fmt.pr "@.control-flow graph:@.%a@." Analyze.Ir.pp_cfg
+      (Analyze.Ir.cfg_of_prog prog);
+  let facts = Analyze.Indep.of_dataflow d in
+  let flow_diags = Analyze.Indep.lint d in
+  if indep then begin
+    Fmt.pr "@.independence facts: %a@." Analyze.Indep.pp_facts facts;
+    if flow_diags = [] then Fmt.pr "no flow diagnostics@."
+    else begin
+      Fmt.pr "flow diagnostics:@.";
+      print_diags ~witness flow_diags
+    end
+  end;
+  let opt = if optimize then Some (Analyze.Optim.optimize prog) else None in
+  Option.iter (fun r -> Fmt.pr "@.%a@." Analyze.Optim.pp r) opt;
+  (match sarif_path with
+  | None -> ()
+  | Some path ->
+    write_text path
+      (Analyze.Sarif.to_string ~tool_version:analyzer_version
+         (List.map (fun dg -> (artifact, dg)) flow_diags));
+    Fmt.pr "wrote %s@." path);
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let row =
+      Obs.Json.Obj
+        ([
+           ("kind", Obs.Json.String "protocol");
+           ("protocol", Obs.Json.String (Analyze.Ir.to_string prog));
+           ("registers", Obs.Json.Int prog.Analyze.Ir.registers);
+           ("n", Obs.Json.Int prog.Analyze.Ir.n);
+           ("widened", Obs.Json.Bool facts.Analyze.Indep.widened);
+           ( "const_regs",
+             Obs.Json.Arr
+               (List.map
+                  (fun (r, _) -> Obs.Json.Int r)
+                  facts.Analyze.Indep.const_regs) );
+           ( "dead_regs",
+             Obs.Json.Arr
+               (List.map (fun r -> Obs.Json.Int r) facts.Analyze.Indep.dead_regs)
+           );
+           ("flow_diags", Obs.Json.Int (List.length flow_diags));
+         ]
+        @
+        match opt with
+        | None -> []
+        | Some r ->
+          [
+            ("optimized", Obs.Json.String (Analyze.Ir.to_string r.Analyze.Optim.optimized));
+            ("folded", Obs.Json.Int r.Analyze.Optim.folded);
+            ("dropped", Obs.Json.Int r.Analyze.Optim.dropped);
+          ])
+    in
+    Obs.Bench_out.write ~experiment:"analyze-protocol" ~path [ row ];
+    Fmt.pr "wrote %s@." path)
+
+let analyze backend algos all n m k max_n mutants json_path witness no_dynamic
+    protocol ir indep optimize sarif_path =
   set_memory_backend backend;
+  (match protocol with
+  | Some s ->
+    analyze_protocol ~ir ~indep ~optimize ~witness ~sarif_path ~json_path s;
+    exit 0
+  | None ->
+    if optimize then begin
+      Fmt.epr "--optimize rewrites first-order protocols; pass one with --protocol@.";
+      exit 2
+    end);
   let algos = match algos with [] -> None | l -> Some l in
   (match algos with
   | Some l ->
@@ -537,6 +626,45 @@ let analyze backend algos all n m k max_n mutants json_path witness no_dynamic =
                | None -> ())
              summary.Analyze.Absint.writes)
   end;
+  let selected p =
+    Analyze.Registry.all
+    |> List.filter (fun (e : Analyze.Registry.entry) ->
+           (match algos with None -> true | Some l -> List.mem e.name l)
+           && e.applicable p)
+  in
+  if ir && not all then begin
+    let p = Agreement.Params.make ~n ~m ~k in
+    selected p
+    |> List.iter (fun (e : Analyze.Registry.entry) ->
+           let lowered =
+             Analyze.Ir.lower ~rounds:e.Analyze.Registry.rounds
+               (e.Analyze.Registry.config p)
+           in
+           Fmt.pr "@.%s lowered IR:@." e.Analyze.Registry.name;
+           Array.iter (fun l -> Fmt.pr "%a@." Analyze.Ir.pp_lowered l) lowered)
+  end;
+  if indep && not all then begin
+    let p = Agreement.Params.make ~n ~m ~k in
+    selected p
+    |> List.iter (fun (e : Analyze.Registry.entry) ->
+           Fmt.pr "@.%s independence facts: %a@." e.Analyze.Registry.name
+             Analyze.Indep.pp_facts
+             (Analyze.Indep.of_config (e.Analyze.Registry.config p)))
+  end;
+  (match sarif_path with
+  | None -> ()
+  | Some path ->
+    let results =
+      List.concat_map
+        (fun (r : Analyze.Report.row) ->
+          List.map
+            (fun dg -> ("algo:" ^ r.Analyze.Report.algo, dg))
+            r.Analyze.Report.diags)
+        rows
+    in
+    write_text path
+      (Analyze.Sarif.to_string ~tool_version:analyzer_version results);
+    Fmt.pr "wrote %s (%d results)@." path (List.length results));
   let bad = Analyze.Report.violations rows in
   List.iter
     (fun (r : Analyze.Report.row) ->
@@ -635,16 +763,63 @@ let analyze_cmd =
       & info [ "no-dynamic" ]
           ~doc:"Skip the concrete runs; static analysis and lints only.")
   in
+  let protocol =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"PROG"
+          ~doc:
+            "Analyze a first-order protocol string (the fuzz generator's \
+             compact form, e.g. 'r2 n2 : R0; W1<-in; D last') with the \
+             dataflow engine instead of the registry algorithms.")
+  in
+  let ir =
+    Arg.(
+      value & flag
+      & info [ "ir" ]
+          ~doc:
+            "Print the intermediate representation: the protocol's \
+             control-flow graph (with --protocol) or each algorithm's \
+             abstractly-lowered point trees.")
+  in
+  let indep =
+    Arg.(
+      value & flag
+      & info [ "indep" ]
+          ~doc:
+            "Print the conditional-independence facts the DPOR refinement \
+             consumes (constant/dead registers, redundant scans), plus the \
+             flow/* diagnostics with --protocol.")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Rewrite the protocol (dead-register write elimination, constant \
+             folding, redundant-scan collapse) and print the edit list.  \
+             Requires --protocol.")
+  in
+  let sarif_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:"Write the lint diagnostics as a SARIF 2.1.0 log to FILE.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically analyze the algorithms: abstract-interpretation register \
           footprints checked against the paper bounds and against dynamically \
-          measured registers, plus well-formedness and anonymity lints.  Exits \
-          1 on any violation.")
+          measured registers, plus well-formedness and anonymity lints.  With \
+          --protocol, run the dataflow engine (reaching definitions, \
+          liveness, value sets) on a first-order protocol instead.  Exits 1 \
+          on any violation.")
     Term.(
       const analyze $ memory_backend_arg $ algos $ all $ n $ m $ k $ max_n $ mutants
-      $ json_path $ witness $ no_dynamic)
+      $ json_path $ witness $ no_dynamic $ protocol $ ir $ indep $ optimize
+      $ sarif_path)
 
 (* ------------------------------------------------------------------ *)
 (* The `conform` subcommand: native conformance harness (lib/conform). *)
@@ -913,8 +1088,45 @@ let serve_cmd =
 (* The `fuzz` subcommand: coverage-guided differential fuzzing of the
    simulator stack (lib/fuzz). *)
 
-let fuzz_one ~budget ~seed ~corpus_out oracle =
-  let outcome = Fuzz.Driver.run ~oracle ~budget ~seed () in
+(* Corpus files are `credit | program | schedule` lines (see
+   --corpus-out); `#` lines and blanks are comments.  Malformed lines
+   are skipped with a warning rather than failing the campaign — a
+   stale cache from an older generator grammar should degrade, not
+   break, and CI keys the cache on Fuzz.Gen.version anyway. *)
+let read_corpus path =
+  let ic = open_in path in
+  let seeds = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       incr lineno;
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char '|' line with
+         | [ _credit; prog_s; sched_s ] -> (
+           match
+             ( Fuzz.Gen.parse (String.trim prog_s),
+               Fuzz.Gen.schedule_of_string (String.trim sched_s) )
+           with
+           | Ok p, Ok s -> seeds := (p, s) :: !seeds
+           | Error msg, _ | _, Error msg ->
+             Fmt.epr "%s:%d: skipping corpus line (%s)@." path !lineno msg)
+         | _ ->
+           Fmt.epr "%s:%d: skipping malformed corpus line@." path !lineno
+     done
+   with End_of_file -> close_in ic);
+  List.rev !seeds
+
+let fuzz_one ~budget ~seed ~corpus_in ~corpus_out oracle =
+  let replay =
+    match corpus_in with
+    | None -> []
+    | Some path ->
+      let seeds = read_corpus path in
+      Fmt.pr "replaying %d corpus seed(s) from %s@." (List.length seeds) path;
+      seeds
+  in
+  let outcome = Fuzz.Driver.run ~replay ~oracle ~budget ~seed () in
   Fmt.pr "%a@." Fuzz.Driver.pp_stats outcome.Fuzz.Driver.stats;
   Option.iter
     (fun path ->
@@ -936,7 +1148,7 @@ let fuzz_one ~budget ~seed ~corpus_out oracle =
     Fmt.pr "%a@." Fuzz.Driver.pp_witness w;
     false
 
-let fuzz oracle_s budget seed corpus_out mutants =
+let fuzz oracle_s budget seed corpus_in corpus_out mutants =
   if mutants then begin
     let results = Fuzz.Oracle.mutant_sweep ~budget ~seed in
     let ok =
@@ -962,7 +1174,7 @@ let fuzz oracle_s budget seed corpus_out mutants =
   in
   let ok =
     List.fold_left
-      (fun ok o -> fuzz_one ~budget ~seed ~corpus_out o && ok)
+      (fun ok o -> fuzz_one ~budget ~seed ~corpus_in ~corpus_out o && ok)
       true oracles
   in
   exit (if ok then 0 else 1)
@@ -974,7 +1186,7 @@ let fuzz_cmd =
       & info [ "oracle" ]
           ~doc:
             "Differential oracle to judge inputs with: analyzer | backend | \
-             linearize | determinism | all.")
+             linearize | determinism | indep | optim | all.")
   in
   let budget =
     Arg.(
@@ -988,6 +1200,18 @@ let fuzz_cmd =
           ~doc:
             "Campaign seed.  A campaign is deterministic in (oracle, budget, \
              seed): re-running reproduces the same witness.")
+  in
+  let corpus_in =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-in" ] ~docv:"FILE"
+          ~doc:
+            "Replay a previous campaign's corpus file before generating: \
+             seeds consume budget, earn coverage, and the interesting ones \
+             re-enter the corpus so mutation builds on them.  This is how CI \
+             persists fuzz progress across runs (cache keyed on the \
+             generator version).")
   in
   let corpus_out =
     Arg.(
@@ -1011,7 +1235,7 @@ let fuzz_cmd =
           protocols + schedules, coverage feedback from state keys and analyzer \
           footprints, and joint 1-minimal shrinking of any divergence.  Exits 1 \
           with a replayable witness on divergence.")
-    Term.(const fuzz $ oracle $ budget $ seed $ corpus_out $ mutants)
+    Term.(const fuzz $ oracle $ budget $ seed $ corpus_in $ corpus_out $ mutants)
 
 let cmd =
   let algo =

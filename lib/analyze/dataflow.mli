@@ -1,0 +1,76 @@
+(** Classic dataflow analyses over the protocol CFG ({!Ir.cfg}).
+
+    One run covers all [n] processes of a symmetric protocol: the
+    per-register collecting store (an {!Absdom}, shared with the
+    abstract interpreter) is fed by the CFG's writes under every
+    process's input, so its value sets over-approximate every
+    interleaving.  Forward analyses: per-point [last] value sets (joint
+    fixpoint with the store), must-self-written registers, reaching
+    definitions.  Backward analyses: shared-register liveness and
+    [last]-liveness.
+
+    Value-set facts ({!const_regs}, {!folded_value}) are sound only
+    when {!field-widened} is false; syntactic facts (liveness, reaching,
+    read/write sets, {!dead_regs}, {!redundant_points}) are exact on
+    the CFG regardless.  docs/ANALYSIS.md §"Dataflow and independence"
+    states the arguments. *)
+
+module IntSet = Absint.IntSet
+
+(** A small set of concrete values with a widening cap; [capped] means
+    membership is incomplete. *)
+type vset = { vals : Shm.Value.t list; capped : bool }
+
+val singleton_value : vset -> Shm.Value.t option
+val pp_vset : Format.formatter -> vset -> unit
+
+type t = {
+  prog : Ir.prog;
+  cfg : Ir.cfg;
+  inputs : Shm.Value.t list;  (** possible invocation inputs, all pids *)
+  reg_values : Shm.Value.t list array;
+      (** collected per-register value sets, ⊥ first *)
+  read_regs : IntSet.t;  (** registers some reachable point reads or scans *)
+  write_regs : IntSet.t;  (** registers some reachable point writes *)
+  last_in : vset array;  (** per point: possible [last] values on entry *)
+  must_self_written : IntSet.t array;
+      (** per point: registers this process wrote on every path to it *)
+  may_write_bot : bool array;  (** per register: some write may store ⊥ *)
+  reaching_in : IntSet.t array array;
+      (** [reaching_in.(p).(r)]: own write points that may reach [p]
+          with no intervening self-write of [r] *)
+  live_out : bool array array;
+      (** [live_out.(p).(r)]: this process may read [r] after [p] *)
+  last_live_out : bool array;
+      (** per point: the current [last] may still be consumed *)
+  widened : bool;  (** some value set hit its cap — value facts degrade *)
+  passes : int;
+}
+
+(** [analyze prog] runs all analyses to fixpoint.  [inputs] defaults to
+    {!Agreement.Runner.default_input} for every pid at instance 1 —
+    the model under which generated protocols execute. *)
+val analyze : ?inputs:Shm.Value.t list -> Ir.prog -> t
+
+(** Possible [last] values {e after} point [id]. *)
+val last_out : t -> int -> vset
+
+(** {1 Derived facts} *)
+
+(** Registers whose every write provably stores one same value (and
+    that value).  Empty when {!field-widened}. *)
+val const_regs : t -> (int * Shm.Value.t) list
+
+(** Registers written by some process but read or scanned by none —
+    their writes are unobservable. *)
+val dead_regs : t -> int list
+
+(** Reachable read/scan points whose observation is never consumed
+    (plus zero-length scans), in point order. *)
+val redundant_points : t -> int list
+
+(** At a [W<-last] or [D last] point: the provably-unique value it
+    stores, if the analysis can name it.  [None] when {!field-widened}. *)
+val folded_value : t -> int -> Shm.Value.t option
+
+val pp : Format.formatter -> t -> unit

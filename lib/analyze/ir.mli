@@ -1,0 +1,106 @@
+(** First-order protocol IR and control-flow graphs of program points.
+
+    The step-list language is shared with the fuzzer ({!Fuzz.Gen}
+    re-exports these types), so the dataflow analyses and the protocol
+    optimizer apply to every generated protocol exactly.  Arbitrary
+    free-monad programs are lowered into per-process point trees by
+    {!lower}, which drives the abstract-stepping hooks of
+    {!Shm.Program} against a collecting memory — the {!Absint}
+    technique, exact up to the recorded truncation flag.
+
+    A {e program point} is one operation occurrence (read, write, scan
+    or decide).  Points are numbered in emission order; at run time a
+    process poised at its [k]-th operation since invoking sits at a
+    point whose unrolled index is [k] — the [Shm.Config.pc] bridge
+    between dynamic steps and static points. *)
+
+(** Where a written or decided value comes from: a small-integer
+    constant, the invocation input, or the process's last observation
+    (⊥ until its first read; a scan observes its first component). *)
+type src = Const of int | Input | Last
+
+type step =
+  | Read of int  (** read one register (becomes [last]) *)
+  | Write of int * src  (** write one register *)
+  | Scan of int * int  (** atomic scan: offset, length *)
+  | Loop of int * step list  (** repeat the body [count] times *)
+  | Decide of src  (** output and halt; the tail is dead code *)
+
+(** A symmetric protocol: [n] identical processes over [registers]
+    single-writer-free registers, each running [steps]. *)
+type prog = { registers : int; n : int; steps : step list }
+
+val src_to_string : src -> string
+val step_to_string : step -> string
+val pp_step : Format.formatter -> step -> unit
+
+(** One-line replay form, e.g. ["r3 n2 : R0; W1<-in; L2[R1]; D last"]. *)
+val to_string : prog -> string
+
+val pp : Format.formatter -> prog -> unit
+
+(** Inverse of {!to_string} (used by corpus files and [sa_run analyze
+    --protocol]); errors mention the offending offset. *)
+val parse : string -> (prog, string) result
+
+(** {1 Control-flow graphs} *)
+
+(** A point's operation — a loop-free projection of {!step}. *)
+type pop =
+  | PRead of int
+  | PWrite of int * src
+  | PScan of int * int
+  | PDecide of src
+
+type point = {
+  op : pop;
+  succs : int list;  (** control-flow successors, sorted *)
+}
+
+type cfg = {
+  points : point array;  (** indexed by point id; entry is point 0 *)
+  reachable : bool array;
+      (** points reachable from the entry (code after a [Decide] is
+          emitted but unreachable) *)
+}
+
+(** Flatten a program into its CFG: one point per operation occurrence
+    (loop bodies once, with a back edge when the count admits a second
+    iteration), [Decide] terminal. *)
+val cfg_of_prog : prog -> cfg
+
+val pop_to_string : pop -> string
+val pp_cfg : Format.formatter -> cfg -> unit
+
+(** {1 Lowering free-monad programs} *)
+
+(** A lowered point's operation: like {!pop} but with the concrete
+    written value (free-monad programs carry values, not sources). *)
+type lop =
+  | LRead of int
+  | LWrite of int * Shm.Value.t
+  | LScan of int * int
+  | LYield of Shm.Value.t
+  | LStop
+
+type lpoint = { lop : lop; lsuccs : int list }
+
+(** One process's point {e tree} (converging paths are not merged).
+    [ltruncated] means the point budget or an analysis bound cut some
+    path short — downstream fact derivation must not claim exactness. *)
+type lowered = { pid : int; lpoints : lpoint array; ltruncated : bool }
+
+(** [lower config] drives every process of [config] through the
+    abstract-step hooks, fabricating results from a collecting memory
+    seeded over two passes (so cross-process writes flow into read
+    branches).  [max_points] (default 2000) bounds points per process;
+    [inputs] and [rounds] are as in {!Absint.analyze}. *)
+val lower :
+  ?max_points:int ->
+  ?inputs:(pid:int -> instance:int -> Shm.Value.t list) ->
+  ?rounds:int ->
+  Shm.Config.t ->
+  lowered array
+
+val lop_to_string : lop -> string
+val pp_lowered : Format.formatter -> lowered -> unit

@@ -1,0 +1,46 @@
+(** The protocol optimizer: dataflow-certified rewrites of {!Ir.prog}.
+
+    Three rewrite families — constant folding ([W<-last] / [D last]
+    with a provable singleton integer value), redundant-scan collapse
+    (reads/scans whose observation is never consumed, and zero-length
+    scans), and dead-register elimination (writes no process ever
+    reads) — iterated to a fixpoint.
+
+    The correctness statement is {e simulation}, not per-schedule
+    output equality (dropping an op shifts later ops relative to a
+    fixed schedule): running the original under any schedule and
+    feeding the optimized program the results of the kept operations
+    yields identical visible behaviour.  [Fuzz.Oracle]'s [optim]
+    oracle enforces this on random protocols via {!kept_mask};
+    docs/ANALYSIS.md states the per-rewrite observability arguments. *)
+
+(** What happened to each step.  [Fold] keeps an op but rewrites its
+    source to a provably-equal constant; [Eloop] recurses. *)
+type edit =
+  | Keep of Ir.step
+  | Fold of Ir.step * Ir.step
+  | Drop of Ir.step
+  | Eloop of int * edit list
+
+type result = {
+  original : Ir.prog;
+  optimized : Ir.prog;
+  edits : edit list;  (** the final changing iteration's edits *)
+  kept : bool list;
+      (** composed keep-mask over the original's {e executed} op
+          sequence (loops unrolled, cut at the first decide); decides
+          and outputs are not positions — only reads, writes, scans *)
+  folded : int;  (** sources rewritten to constants *)
+  dropped : int;  (** executed ops eliminated *)
+  iterations : int;  (** 0 when the program was already optimal *)
+}
+
+(** [optimize prog] — analyses and rewrites until nothing changes (or
+    an iteration cap).  [inputs] as in {!Dataflow.analyze}. *)
+val optimize : ?inputs:Shm.Value.t list -> Ir.prog -> result
+
+(** The composed unrolled keep-mask (the [kept] field). *)
+val kept_mask : result -> bool list
+
+val pp_edit : Format.formatter -> edit -> unit
+val pp : Format.formatter -> result -> unit

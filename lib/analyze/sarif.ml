@@ -1,0 +1,129 @@
+(* SARIF 2.1.0 export of lint diagnostics.
+
+   One run of one tool.  The protocol model has no file/line locations
+   — a diagnostic's site is a program point — so locations carry the
+   logical artifact the CLI analyzed (an algorithm name or a protocol
+   string) and the witness path rides along as a code flow (one
+   thread-flow location per step), which is what SARIF viewers render
+   as "path to the problem".  Schema fields follow
+   https://docs.oasis-open.org/sarif/sarif/v2.1.0/. *)
+
+module J = Obs.Json
+
+let sarif_level = function
+  | Lint.Error -> "error"
+  | Lint.Warning -> "warning"
+  | Lint.Info -> "note"
+
+(* Stable rule metadata: every rule id seen in the diagnostics becomes
+   a reportingDescriptor, so viewers can group findings. *)
+let rule_descriptors diags =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (d : Lint.diag) ->
+      if Hashtbl.mem seen d.Lint.rule then None
+      else begin
+        Hashtbl.add seen d.Lint.rule ();
+        Some
+          (J.Obj
+             [
+               ("id", J.String d.Lint.rule);
+               ( "defaultConfiguration",
+                 J.Obj [ ("level", J.String (sarif_level d.Lint.severity)) ] );
+             ])
+      end)
+    diags
+
+let location ~artifact =
+  J.Obj
+    [
+      ( "physicalLocation",
+        J.Obj
+          [
+            ( "artifactLocation",
+              J.Obj [ ("uri", J.String artifact) ] );
+          ] );
+    ]
+
+let code_flow ~artifact witness =
+  J.Obj
+    [
+      ( "threadFlows",
+        J.Arr
+          [
+            J.Obj
+              [
+                ( "locations",
+                  J.Arr
+                    (List.map
+                       (fun step ->
+                         J.Obj
+                           [
+                             ( "location",
+                               J.Obj
+                                 [
+                                   ( "physicalLocation",
+                                     J.Obj
+                                       [
+                                         ( "artifactLocation",
+                                           J.Obj
+                                             [ ("uri", J.String artifact) ] );
+                                       ] );
+                                   ( "message",
+                                     J.Obj [ ("text", J.String step) ] );
+                                 ] );
+                           ])
+                       witness) );
+              ];
+          ] );
+    ]
+
+let result (artifact, (d : Lint.diag)) =
+  let base =
+    [
+      ("ruleId", J.String d.Lint.rule);
+      ("level", J.String (sarif_level d.Lint.severity));
+      ("message", J.Obj [ ("text", J.String d.Lint.message) ]);
+      ("locations", J.Arr [ location ~artifact ]);
+    ]
+  in
+  let flows =
+    if d.Lint.witness = [] then []
+    else [ ("codeFlows", J.Arr [ code_flow ~artifact d.Lint.witness ]) ]
+  in
+  J.Obj (base @ flows)
+
+(* Each result names the artifact it was found in (e.g.
+   ["algo:oneshot"] or ["protocol:r2 n2 : ..."]). *)
+let log ~tool_version results =
+  let diags = List.map snd results in
+  J.Obj
+    [
+      ("version", J.String "2.1.0");
+      ( "$schema",
+        J.String
+          "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+      );
+      ( "runs",
+        J.Arr
+          [
+            J.Obj
+              [
+                ( "tool",
+                  J.Obj
+                    [
+                      ( "driver",
+                        J.Obj
+                          [
+                            ("name", J.String "sa_run-analyze");
+                            ("version", J.String tool_version);
+                            ("informationUri", J.String "docs/ANALYSIS.md");
+                            ("rules", J.Arr (rule_descriptors diags));
+                          ] );
+                    ] );
+                ("results", J.Arr (List.map result results));
+              ];
+          ] );
+    ]
+
+let to_string ~tool_version results = J.to_pretty_string (log ~tool_version results)

@@ -74,46 +74,58 @@ let shrink ~oracle ~seed ~found_at p0 s0 =
 (* ------------------------------------------------------------------ *)
 (* The loop *)
 
-let run ?sizes ~oracle ~budget ~seed () =
+let run ?sizes ?(replay = []) ~oracle ~budget ~seed () =
   let corpus = Corpus.create ?sizes ~seed () in
   let acc = Coverage.acc_create () in
   let curve = ref [] in
   let interesting = ref 0 in
   let witness = ref None in
   let execs = ref 0 in
+  let judge p sched =
+    let credit = Coverage.add acc (Coverage.signature p sched) in
+    if credit > 0 then begin
+      incr interesting;
+      Corpus.record corpus p sched ~credit;
+      curve := (!execs, Coverage.acc_cardinal acc) :: !curve
+    end;
+    match Oracle.check oracle p sched with
+    | None -> ()
+    | Some msg ->
+      (* shrink reproduces the divergence by construction; keep the
+         unshrunk pair if the oracle flaked (it must not — the
+         determinism oracle exists to catch exactly that) *)
+      let w =
+        match shrink ~oracle ~seed ~found_at:!execs p sched with
+        | Some w -> w
+        | None ->
+          {
+            program = p;
+            schedule = sched;
+            oracle;
+            message = msg;
+            seed;
+            found_at = !execs;
+            shrink_replays = 0;
+            shrink_removed = 0;
+          }
+      in
+      witness := Some w;
+      raise Exit
+  in
   (try
+     (* replayed seeds consume budget first, and coverage admits them
+        into the live corpus so generation mutates from them *)
+     List.iter
+       (fun (p, sched) ->
+         if !execs < budget then begin
+           incr execs;
+           judge p sched
+         end)
+       replay;
      while !execs < budget do
        incr execs;
        let p, sched = Corpus.next corpus in
-       let credit = Coverage.add acc (Coverage.signature p sched) in
-       if credit > 0 then begin
-         incr interesting;
-         Corpus.record corpus p sched ~credit;
-         curve := (!execs, Coverage.acc_cardinal acc) :: !curve
-       end;
-       match Oracle.check oracle p sched with
-       | None -> ()
-       | Some msg ->
-         (* shrink reproduces the divergence by construction; keep the
-            unshrunk pair if the oracle flaked (it must not — the
-            determinism oracle exists to catch exactly that) *)
-         let w =
-           match shrink ~oracle ~seed ~found_at:!execs p sched with
-           | Some w -> w
-           | None ->
-             {
-               program = p;
-               schedule = sched;
-               oracle;
-               message = msg;
-               seed;
-               found_at = !execs;
-               shrink_replays = 0;
-               shrink_removed = 0;
-             }
-         in
-         witness := Some w;
-         raise Exit
+       judge p sched
      done
    with Exit -> ());
   {

@@ -44,8 +44,17 @@ type outcome = {
   witness : witness option;
 }
 
+(** [?replay] — corpus seeds (from a previous campaign's
+    [--corpus-out] file) judged {e before} any generation.  They
+    consume budget, earn coverage, and the interesting ones enter the
+    live corpus so mutation builds on them — this is how
+    [sa_run fuzz --corpus-in] persists progress across CI runs.  A
+    witness found with a non-empty [replay] needs the same seed list
+    to reproduce. *)
 val run :
-  ?sizes:Gen.sizes -> oracle:Oracle.kind -> budget:int -> seed:int -> unit -> outcome
+  ?sizes:Gen.sizes ->
+  ?replay:(Gen.program * Gen.schedule) list ->
+  oracle:Oracle.kind -> budget:int -> seed:int -> unit -> outcome
 
 (** Joint 1-minimal shrink of a known-failing pair; [None] iff the
     pair does not fail [oracle] (nothing to shrink). *)

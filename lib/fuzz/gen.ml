@@ -7,18 +7,26 @@
    in bounds, all iteration bounded, decide-then-halt — hold by
    construction here, and nowhere else needs to re-establish them. *)
 
-type src = Const of int | Input | Last
+(* The step language is the static analyzer's IR, re-exported: every
+   generated protocol is directly a dataflow/optimizer subject, and
+   the corpus's textual form round-trips through [Analyze.Ir.parse]. *)
+type src = Analyze.Ir.src = Const of int | Input | Last
 
-type step =
+type step = Analyze.Ir.step =
   | Read of int
   | Write of int * src
   | Scan of int * int
   | Loop of int * step list
   | Decide of src
 
-type program = { registers : int; n : int; steps : step list }
+type program = Analyze.Ir.prog = { registers : int; n : int; steps : step list }
 
 type schedule = int list
+
+(* Bump when generation, mutation or the textual form changes shape:
+   corpus files carry it, and CI keys its corpus cache on it — stale
+   seeds are regenerated rather than replayed wrongly. *)
+let version = "2"
 
 (* ------------------------------------------------------------------ *)
 (* Generation *)
@@ -183,25 +191,23 @@ let run ?backend p schedule =
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
 
-let src_to_string = function
-  | Const c -> string_of_int c
-  | Input -> "in"
-  | Last -> "last"
-
-let rec step_to_string = function
-  | Read r -> Fmt.str "R%d" r
-  | Write (r, s) -> Fmt.str "W%d<-%s" r (src_to_string s)
-  | Scan (off, len) -> Fmt.str "S%d+%d" off len
-  | Loop (count, body) ->
-    Fmt.str "L%d[%s]" count (String.concat "; " (List.map step_to_string body))
-  | Decide s -> Fmt.str "D %s" (src_to_string s)
-
-let pp_step ppf s = Fmt.string ppf (step_to_string s)
-
-let to_string p =
-  Fmt.str "r%d n%d : %s" p.registers p.n
-    (String.concat "; " (List.map step_to_string p.steps))
-
-let pp ppf p = Fmt.string ppf (to_string p)
+let pp_step = Analyze.Ir.pp_step
+let to_string = Analyze.Ir.to_string
+let pp = Analyze.Ir.pp
+let parse = Analyze.Ir.parse
 
 let schedule_to_string s = String.concat " " (List.map string_of_int s)
+
+let schedule_of_string s =
+  let fields =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun f -> f <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: tl -> (
+      match int_of_string_opt f with
+      | Some pid -> go (pid :: acc) tl
+      | None -> Error (Fmt.str "bad schedule entry %S" f))
+  in
+  go [] fields

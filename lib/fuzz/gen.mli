@@ -19,10 +19,14 @@
 
 (** Where a written or decided value comes from: a small constant, the
     invocation input, or the last value this process read (⊥ before the
-    first read; scans observe their first component). *)
-type src = Const of int | Input | Last
+    first read; scans observe their first component).
 
-type step =
+    The step language {e is} the static analyzer's IR
+    ({!Analyze.Ir}), re-exported: every generated protocol is directly
+    a dataflow/optimizer subject. *)
+type src = Analyze.Ir.src = Const of int | Input | Last
+
+type step = Analyze.Ir.step =
   | Read of int
   | Write of int * src
   | Scan of int * int  (** offset, length *)
@@ -30,7 +34,7 @@ type step =
       (** bounded iteration: the body runs exactly [count] times *)
   | Decide of src  (** yield the value and halt *)
 
-type program = {
+type program = Analyze.Ir.prog = {
   registers : int;
   n : int;  (** processes; all run [steps], with distinct inputs *)
   steps : step list;
@@ -38,6 +42,10 @@ type program = {
 
 type schedule = int list
 (** pids in intended step order; unrunnable entries are skipped *)
+
+(** Bumped when generation, mutation or the textual form changes
+    shape; corpus files carry it and CI keys its corpus cache on it. *)
+val version : string
 
 (** {1 Generation} *)
 
@@ -103,4 +111,11 @@ val pp : Format.formatter -> program -> unit
     currency printed with witnesses. *)
 val to_string : program -> string
 
+(** Inverse of {!to_string} ({!Analyze.Ir.parse}): corpus seeds and
+    command-line protocols round-trip. *)
+val parse : string -> (program, string) result
+
 val schedule_to_string : schedule -> string
+
+(** Inverse of {!schedule_to_string} (space-separated pids). *)
+val schedule_of_string : string -> (schedule, string) result

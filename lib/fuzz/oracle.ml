@@ -2,15 +2,17 @@ module S = Set.Make (Int)
 module V = Shm.Value
 module L = Spec.Linearize
 
-type kind = Analyzer | Backend | Linearize | Determinism
+type kind = Analyzer | Backend | Linearize | Determinism | Indep | Optim
 
-let all = [ Analyzer; Backend; Linearize; Determinism ]
+let all = [ Analyzer; Backend; Linearize; Determinism; Indep; Optim ]
 
 let name = function
   | Analyzer -> "analyzer"
   | Backend -> "backend"
   | Linearize -> "linearize"
   | Determinism -> "determinism"
+  | Indep -> "indep"
+  | Optim -> "optim"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -18,6 +20,8 @@ let of_string s =
   | "backend" | "memory" -> Some Backend
   | "linearize" | "lin" -> Some Linearize
   | "determinism" | "det" -> Some Determinism
+  | "indep" | "independence" -> Some Indep
+  | "optim" | "optimizer" -> Some Optim
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -241,12 +245,131 @@ let determinism p sched =
     then Some "unshare changed the written set"
     else None
 
+(* ------------------------------------------------------------------ *)
+(* (e) Independence-refinement soundness: exploring with the dataflow
+   engine's conditional-independence relation must reach the same
+   verdict kind as the dynamic-footprint baseline.  The refinement only
+   prunes redundant interleavings, so a violation exists under one arm
+   iff it exists under the other (which counterexample is found first
+   may differ). *)
+
+let indep_depth = 6
+
+let indep p _sched =
+  let facts = Analyze.Indep.of_prog p in
+  let refine = Analyze.Indep.refinement ~facts () in
+  let explore static_indep =
+    Spec.Modelcheck.run
+      ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 })
+      ~depth:indep_depth ~inputs:Gen.inputs ?static_indep
+      ~check:(Spec.Properties.check_safety ~k:1)
+      (Gen.config p)
+  in
+  let verdict = function
+    | Spec.Modelcheck.Ok_bounded _ -> "ok"
+    | Spec.Modelcheck.Counterexample { error; _ } -> "violation: " ^ error
+  in
+  match (explore None, explore (Some refine)) with
+  | Spec.Modelcheck.Ok_bounded base, Spec.Modelcheck.Ok_bounded refined ->
+    (* pruning must never *grow* the state space *)
+    if refined.Spec.Modelcheck.explored > base.Spec.Modelcheck.explored then
+      Some
+        (Fmt.str "refined arm explored more states (%d > %d)"
+           refined.Spec.Modelcheck.explored base.Spec.Modelcheck.explored)
+    else None
+  | Spec.Modelcheck.Counterexample _, Spec.Modelcheck.Counterexample _ -> None
+  | base, refined ->
+    Some
+      (Fmt.str "verdicts diverge: dynamic-only %s, with static refinement %s"
+         (verdict base) (verdict refined))
+
+(* ------------------------------------------------------------------ *)
+(* (f) Optimizer simulation equivalence.  Dropping an op shifts later
+   ops relative to a fixed schedule, so standalone per-schedule output
+   equality is not the right statement.  The sound statement is
+   simulation: run the original under the schedule, feed the optimized
+   program the results of exactly the kept operations, and demand that
+   its visible behaviour — operation shapes, registers, written
+   values, outputs — is identical.  Folded ops must write the same
+   value; dropped ops must be invisible (the optimized copy never
+   expects them). *)
+
+let optim p sched =
+  let r = Analyze.Optim.optimize p in
+  let mask = Array.of_list (Analyze.Optim.kept_mask r) in
+  let n = p.Gen.n in
+  let orig = ref (Gen.config p) in
+  let opts = Array.init n (fun pid -> Gen.compile r.Analyze.Optim.optimized ~pid) in
+  let pos = Array.make n 0 in
+  let err = ref None in
+  let fail fmt = Fmt.kstr (fun s -> if !err = None then err := Some s) fmt in
+  let feed pid next =
+    match next with
+    | Some prog -> opts.(pid) <- prog
+    | None -> fail "p%d: optimized program rejected a fed result" pid
+  in
+  List.iter
+    (fun pid ->
+      if !err = None && pid >= 0 && pid < n then
+        match Shm.Config.proc !orig pid with
+        | Shm.Program.Stop -> ()
+        | Shm.Program.Await _ -> (
+          let inst = Shm.Config.instance !orig pid + 1 in
+          match Gen.inputs ~pid ~instance:inst with
+          | None -> ()
+          | Some v ->
+            let c, _ = Shm.Config.invoke !orig pid v in
+            orig := c;
+            feed pid (Shm.Program.start opts.(pid) v))
+        | Shm.Program.Yield (v, _) -> (
+          let c, _ = Shm.Config.step !orig pid in
+          orig := c;
+          match opts.(pid) with
+          | Shm.Program.Yield (v', rest) ->
+            if V.equal v v' then opts.(pid) <- rest
+            else
+              fail "p%d: outputs differ (%a vs optimized %a)" pid V.pp v V.pp v'
+          | _ -> fail "p%d: original outputs %a, optimized does not" pid V.pp v)
+        | Shm.Program.Op (op, _) -> (
+          let mem = Shm.Config.mem !orig in
+          let kept = pos.(pid) < Array.length mask && mask.(pos.(pid)) in
+          if pos.(pid) >= Array.length mask then
+            fail "p%d: executed more ops than the keep-mask covers" pid;
+          pos.(pid) <- pos.(pid) + 1;
+          let c, _ = Shm.Config.step !orig pid in
+          orig := c;
+          if kept && !err = None then
+            match (op, Shm.Program.poised_op opts.(pid)) with
+            | Shm.Program.Read reg, Some (Shm.Program.Read reg') when reg = reg'
+              ->
+              feed pid (Shm.Program.feed_read opts.(pid) (Shm.Memory.read mem reg))
+            | Shm.Program.Write (reg, v), Some (Shm.Program.Write (reg', v'))
+              when reg = reg' ->
+              if V.equal v v' then
+                feed pid (Shm.Program.feed_write_ack opts.(pid))
+              else
+                fail "p%d: kept write R%d stores %a, optimized %a" pid reg V.pp
+                  v V.pp v'
+            | Shm.Program.Scan (off, len), Some (Shm.Program.Scan (off', len'))
+              when off = off' && len = len' ->
+              feed pid
+                (Shm.Program.feed_scan opts.(pid) (Shm.Memory.scan mem ~off ~len))
+            | _, poised ->
+              fail "p%d: kept op %a but optimized poised at %a" pid
+                Shm.Program.pp_op op
+                Fmt.(option ~none:(any "nothing") Shm.Program.pp_op)
+                poised))
+    sched;
+  !err
+
 let check kind p sched =
   match kind with
   | Analyzer -> analyzer p sched
   | Backend -> backend p sched
   | Linearize -> linearize p sched
   | Determinism -> determinism p sched
+  | Indep -> indep p sched
+  | Optim -> optim p sched
 
 (* ------------------------------------------------------------------ *)
 (* Seeded-mutant regression *)

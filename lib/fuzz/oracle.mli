@@ -20,9 +20,21 @@
       deterministically corrupted copy.
     - {!Determinism} — re-running the same input reproduces the trace
       byte-for-byte, and {!Shm.Config.unshare} preserves observable
-      memory. *)
+      memory.
+    - {!Indep} — exploring with the dataflow engine's
+      conditional-independence refinement ([Analyze.Indep.refinement]
+      threaded through [Spec.Dpor]'s [?static_indep]) reaches the same
+      verdict kind as the dynamic-footprint baseline, and never
+      explores {e more} states.
+    - {!Optim} — simulation equivalence of [Analyze.Optim]: running
+      the original under the schedule and feeding the optimized
+      program the results of exactly the kept operations yields
+      identical visible behaviour (op shapes, registers, written
+      values, outputs).  Dropping an op shifts later ops against a
+      fixed schedule, so standalone output equality is deliberately
+      not the statement — simulation is. *)
 
-type kind = Analyzer | Backend | Linearize | Determinism
+type kind = Analyzer | Backend | Linearize | Determinism | Indep | Optim
 
 val all : kind list
 val name : kind -> string

@@ -13,6 +13,7 @@ type t = {
   mem : Memory.t;
   procs : Program.t array;
   instance : int array;                     (* completed+current invocation count *)
+  pc : int array;                           (* ops performed in the current invocation *)
   inputs : (int * int * Value.t) list;      (* (pid, instance, input), reversed *)
   outputs : (int * int * Value.t) list;     (* (pid, instance, output), reversed *)
 }
@@ -22,6 +23,7 @@ let create ?backend ~registers ~procs () =
     mem = Memory.create ?backend registers;
     procs = Array.copy procs;
     instance = Array.make (Array.length procs) 0;
+    pc = Array.make (Array.length procs) 0;
     inputs = [];
     outputs = [];
   }
@@ -37,6 +39,8 @@ let unshare t = { t with mem = Memory.unshare t.mem }
 let proc t pid = t.procs.(pid)
 
 let instance t pid = t.instance.(pid)
+
+let pc t pid = t.pc.(pid)
 
 let inputs t = List.rev t.inputs
 
@@ -70,7 +74,9 @@ let invoke t pid v =
     procs.(pid) <- k v;
     let instance = Array.copy t.instance in
     instance.(pid) <- inst;
-    let t = { t with procs; instance; inputs = (pid, inst, v) :: t.inputs } in
+    let pc = Array.copy t.pc in
+    pc.(pid) <- 0;
+    let t = { t with procs; instance; pc; inputs = (pid, inst, v) :: t.inputs } in
     (t, Event.Invoke { pid; instance = inst; input = v })
   | Program.Stop | Program.Op _ | Program.Yield _ ->
     invalid_arg (Fmt.str "Config.invoke: p%d is not idle" pid)
@@ -81,10 +87,15 @@ let invoke t pid v =
    in one allocation instead of stacking [set_proc] + functional
    update. *)
 let step t pid =
+  (* [with_proc] is the shared-memory-op path: it also advances the
+     process's program point (its op counter), the stable identity the
+     static analyzer's IR points line up with. *)
   let with_proc t p mem =
     let procs = Array.copy t.procs in
     procs.(pid) <- p;
-    { t with procs; mem }
+    let pc = Array.copy t.pc in
+    pc.(pid) <- t.pc.(pid) + 1;
+    { t with procs; mem; pc }
   in
   match t.procs.(pid) with
   | Program.Stop -> invalid_arg (Fmt.str "Config.step: p%d halted" pid)
@@ -120,7 +131,9 @@ let clone_proc t ~from_ ~to_ =
   procs.(to_) <- t.procs.(from_);
   let instance = Array.copy t.instance in
   instance.(to_) <- t.instance.(from_);
-  { t with procs; instance }
+  let pc = Array.copy t.pc in
+  pc.(to_) <- t.pc.(from_);
+  { t with procs; instance; pc }
 
 (* Install an explicit program into a slot; the lower-bound machinery
    uses this to plant a clone paused at an earlier point of a process's
@@ -130,7 +143,11 @@ let plant t ~slot program ~instance:inst =
   procs.(slot) <- program;
   let instance = Array.copy t.instance in
   instance.(slot) <- inst;
-  { t with procs; instance }
+  (* a planted program is a snapshot of unknown progress; its op
+     counter restarts rather than inheriting the slot's old count *)
+  let pc = Array.copy t.pc in
+  pc.(slot) <- 0;
+  { t with procs; instance; pc }
 
 (* Splice helper for the lower-bound constructions: a block write by
    process set [writers] to registers [regs] (each process performs the

@@ -24,6 +24,14 @@ val proc : t -> int -> Program.t
 (** Number of invocations process [pid] has begun (0 initially). *)
 val instance : t -> int -> int
 
+(** [pc t pid] is the number of shared-memory operations (reads, writes
+    and scans) process [pid] has performed in its current invocation —
+    a stable program-point identity: the step a process is poised at is
+    its [pc]-th operation since the last invoke.  Resets to [0] on
+    {!invoke} and {!plant}; {!clone_proc} copies it with the local
+    state. *)
+val pc : t -> int -> int
+
 (** All invocations [(pid, instance, input)], chronological. *)
 val inputs : t -> (int * int * Value.t) list
 

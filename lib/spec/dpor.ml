@@ -69,6 +69,7 @@ type stats = {
   max_depth : int;
   cache_hits : int;    (* nodes short-circuited by the state cache *)
   sleep_pruned : int;  (* branches pruned by sleep sets *)
+  refined : int;       (* sleep retentions owed to ?static_indep alone *)
   steals : int;        (* successful steals (work-migration events) *)
   domains : int;
 }
@@ -154,6 +155,10 @@ type ctx = {
   check : Config.t -> (unit, string) result;
   use_cache : bool;
   key_mode : key_mode;
+  (* conditional-independence refinement: may the poised ops of two
+     processes be swapped in the state whose memory is [mem] without
+     changing the resulting configuration?  [None] = footprints only. *)
+  static_indep : (mem:Memory.t -> Program.op -> Program.op -> bool) option;
   replay : bool;          (* journaled backend + several domains *)
   roots : Config.t array; (* per-domain root copies (replay mode) *)
   deques : deque array;
@@ -176,6 +181,7 @@ type acc = {
   mutable max_depth : int;
   mutable cache_hits : int;
   mutable sleep_pruned : int;
+  mutable refined : int;
   mutable steals : int;
 }
 
@@ -346,7 +352,27 @@ let process ctx cache acc ~id ~push w node =
             let t0 = if profiling then Obs.Prof.now_ns () else 0 in
             let sleep =
               Iset.filter
-                (fun q -> Program.independent (fp q) (fp pid))
+                (fun q ->
+                  Program.independent (fp q) (fp pid)
+                  ||
+                  (* conditional refinement: footprints collide, but the
+                     two poised ops commute to the identical state in
+                     the *current* memory (e.g. equal-value writes, a
+                     no-op write against a read) — sound here precisely
+                     because sleep sets only need commutation at this
+                     node, unlike the persistent ample-set choice *)
+                  match ctx.static_indep with
+                  | None -> false
+                  | Some refine -> (
+                    match
+                      ( Program.poised_op (Config.proc config q),
+                        Program.poised_op (Config.proc config pid) )
+                    with
+                    | Some oq, Some opid
+                      when refine ~mem:(Config.mem config) oq opid ->
+                      acc.refined <- acc.refined + 1;
+                      true
+                    | _ -> false))
                 (Iset.union node.sleep explored_siblings)
             in
             if profiling then
@@ -390,6 +416,7 @@ let worker ctx id =
       max_depth = 0;
       cache_hits = 0;
       sleep_pruned = 0;
+      refined = 0;
       steals = 0;
     }
   in
@@ -491,6 +518,7 @@ let merge_stats ~domains accs =
         max_depth = max s.max_depth a.max_depth;
         cache_hits = s.cache_hits + a.cache_hits;
         sleep_pruned = s.sleep_pruned + a.sleep_pruned;
+        refined = s.refined + a.refined;
         steals = s.steals + a.steals;
         domains = s.domains;
       })
@@ -500,6 +528,7 @@ let merge_stats ~domains accs =
       max_depth = 0;
       cache_hits = 0;
       sleep_pruned = 0;
+      refined = 0;
       steals = 0;
       domains;
     }
@@ -513,11 +542,13 @@ let export_metrics m (stats : stats) =
   bump "explore.leaves" stats.leaves;
   bump "explore.cache_hits" stats.cache_hits;
   bump "explore.sleep_pruned" stats.sleep_pruned;
+  bump "explore.refined" stats.refined;
   bump "explore.steals" stats.steals;
   Obs.Metrics.Gauge.set (Obs.Metrics.gauge m "explore.domains") (float_of_int stats.domains)
 
 let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
-    ?(completion_steps = 50_000) ?metrics ?prof ?series ~inputs ~check config =
+    ?(completion_steps = 50_000) ?static_indep ?metrics ?prof ?series ~inputs
+    ~check config =
   if depth < 0 then invalid_arg "Dpor.explore: negative depth";
   let jobs = max 1 jobs in
   let deques = Array.init jobs (fun _ -> { lock = Mutex.create (); items = [] }) in
@@ -571,6 +602,7 @@ let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
       check;
       use_cache = cache;
       key_mode = key;
+      static_indep;
       replay;
       roots;
       deques;

@@ -37,6 +37,9 @@ type stats = {
   max_depth : int;
   cache_hits : int;    (** nodes short-circuited by the state cache *)
   sleep_pruned : int;  (** branches pruned by sleep sets *)
+  refined : int;
+      (** sleep retentions granted by [?static_indep] alone (the
+          footprints collided but the refinement proved commutation) *)
   steals : int;        (** successful steals (work-migration events) *)
   domains : int;
 }
@@ -57,6 +60,18 @@ val pp_outcome : Format.formatter -> outcome -> unit
     [jobs > 1] which one is found first may vary between runs; whether
     one exists does not).
 
+    [static_indep], when given, refines the sleep-set computation with
+    a {e conditional} independence relation: [refine ~mem a b] must
+    return [true] only when executing poised ops [a] and [b] (of two
+    different processes) in either order from a state with memory
+    [mem] yields the {e identical} configuration.  Dynamic footprints
+    remain the baseline and the soundness reference — the refinement
+    is consulted only for footprint-colliding pairs, and never widens
+    ample sets (conditional independence is not persistent).
+    [Analyze.Indep.refinement] derives a sound relation from the
+    dataflow engine; the QCheck commutation property in
+    [test/test_analyze.ml] pins the contract.
+
     Observability (all off by default, zero-cost when absent):
     [prof] receives the merged per-phase breakdown of where
     exploration time went ({!Obs.Prof}); [series] receives strided
@@ -75,6 +90,7 @@ val explore :
   ?jobs:int ->
   ?key:key_mode ->
   ?completion_steps:int ->
+  ?static_indep:(mem:Shm.Memory.t -> Shm.Program.op -> Shm.Program.op -> bool) ->
   ?metrics:Obs.Metrics.t ->
   ?prof:Obs.Prof.t ->
   ?series:Obs.Prof.Series.t ->

@@ -131,8 +131,8 @@ let export_metrics m (stats : stats) =
 
 let stats_of = function Ok_bounded s -> s | Counterexample { stats; _ } -> stats
 
-let run ~engine ~depth ?key ~inputs ?completion_steps ?metrics ?prof ?series ~check
-    config =
+let run ~engine ~depth ?key ~inputs ?completion_steps ?static_indep ?metrics
+    ?prof ?series ~check config =
   match engine with
   | Naive ->
     let out = exhaustive ~depth ~inputs ?completion_steps ~check config in
@@ -150,8 +150,8 @@ let run ~engine ~depth ?key ~inputs ?completion_steps ?metrics ?prof ?series ~ch
       }
     in
     match
-      Dpor.explore ~depth ~cache ~jobs ?key ?completion_steps ?metrics ?prof ?series
-        ~inputs ~check config
+      Dpor.explore ~depth ~cache ~jobs ?key ?completion_steps ?static_indep
+        ?metrics ?prof ?series ~inputs ~check config
     with
     | Dpor.Complete s -> Ok_bounded (to_stats s)
     | Dpor.Violation (ce, s) ->

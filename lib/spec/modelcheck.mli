@@ -71,15 +71,19 @@ val stats_of : outcome -> stats
     outcome type as {!exhaustive}.  When [metrics] is given, the final
     counters are exported into it under [explore.*] names (both
     engines).  [key] selects the {!Dpor} cache-key flavour (default
-    [`Incremental]; ignored by [Naive]).  [prof] and [series] thread
-    through to {!Dpor.explore} (phase breakdown and exploration time
-    series; ignored by [Naive]). *)
+    [`Incremental]; ignored by [Naive]).  [static_indep] threads the
+    conditional-independence refinement through to {!Dpor.explore}
+    (ignored by [Naive], whose enumeration is the reference
+    semantics).  [prof] and [series] thread through to {!Dpor.explore}
+    (phase breakdown and exploration time series; ignored by
+    [Naive]). *)
 val run :
   engine:engine ->
   depth:int ->
   ?key:Dpor.key_mode ->
   inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
   ?completion_steps:int ->
+  ?static_indep:(mem:Shm.Memory.t -> Shm.Program.op -> Shm.Program.op -> bool) ->
   ?metrics:Obs.Metrics.t ->
   ?prof:Obs.Prof.t ->
   ?series:Obs.Prof.Series.t ->

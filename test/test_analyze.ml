@@ -364,6 +364,274 @@ let prop_static_footprint_sound =
           IS.for_all (fun r -> Analyze.Absint.IntSet.mem r static) dynamic)
         scheds)
 
+(* ================================================================== *)
+(* The dataflow engine: IR, analyses, flow lints, optimizer, and the
+   conditional-independence relation (lib/analyze ISSUE 9 surface). *)
+
+module Ir = Analyze.Ir
+module DF = Analyze.Dataflow
+module Ind = Analyze.Indep
+
+let parse_ok s =
+  match Ir.parse s with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+let ir_parse_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Ir.to_string (parse_ok s)))
+    [
+      "r2 n2 : R0; W1<-in; D last";
+      "r3 n3 : W0<-7; L2[W1<-7; R0]; D last";
+      "r4 n2 : S1+2; L3[R2; W3<-last]; W0<-5; D 9";
+    ];
+  List.iter
+    (fun s ->
+      match Ir.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse accepted %S" s)
+    [ ""; "r2 n2 : R0; garbage"; "r2 n2 R0"; "r2 n2 : W0<-; D last" ]
+
+let ir_cfg_shape () =
+  let cfg = Ir.cfg_of_prog (parse_ok "r2 n1 : R0; L2[W1<-last; R1]; D last") in
+  (* points: 0 R0, 1 W1, 2 R1, 3 D.  The loop's last point branches
+     back to its entry and forward to the decide; the decide is
+     terminal. *)
+  Alcotest.(check int) "points" 4 (Array.length cfg.Ir.points);
+  Alcotest.(check (list int))
+    "loop backedge + exit" [ 1; 3 ]
+    (List.sort compare cfg.Ir.points.(2).Ir.succs);
+  Alcotest.(check (list int)) "decide terminal" [] cfg.Ir.points.(3).Ir.succs;
+  Alcotest.(check bool) "all reachable" true
+    (Array.for_all Fun.id cfg.Ir.reachable);
+  let cfg2 = Ir.cfg_of_prog (parse_ok "r2 n1 : D 1; W0<-2") in
+  Alcotest.(check bool) "code after a decide is unreachable" false
+    cfg2.Ir.reachable.(1)
+
+let dataflow_const_dead_folded () =
+  let d = DF.analyze (parse_ok "r3 n2 : W0<-7; W2<-9; R0; D last") in
+  Alcotest.(check (list int)) "dead" [ 2 ] (DF.dead_regs d);
+  Alcotest.(check bool) "not widened" false d.DF.widened;
+  (match List.assoc_opt 0 (DF.const_regs d) with
+  | Some v -> Alcotest.(check bool) "R0 const 7" true (V.equal v (vi 7))
+  | None -> Alcotest.fail "R0 not reported constant");
+  (* the decide (point 3) reads [last] straight off the constant R0 *)
+  (match DF.folded_value d 3 with
+  | Some v -> Alcotest.(check bool) "decide folds to 7" true (V.equal v (vi 7))
+  | None -> Alcotest.fail "decide did not fold");
+  let d2 = DF.analyze (parse_ok "r2 n2 : W0<-in; R0; D last") in
+  Alcotest.(check bool) "input-fed register not constant" true
+    (List.assoc_opt 0 (DF.const_regs d2) = None)
+
+let dataflow_redundant () =
+  (* the first read's observation is overwritten before any use *)
+  let d = DF.analyze (parse_ok "r2 n2 : R0; R1; D last") in
+  Alcotest.(check (list int)) "clobbered read" [ 0 ] (DF.redundant_points d);
+  let d2 = DF.analyze (parse_ok "r2 n2 : R0; W1<-last; R1; D last") in
+  Alcotest.(check (list int)) "consumed reads kept" []
+    (DF.redundant_points d2)
+
+let flow_lint_rules () =
+  let d = DF.analyze (parse_ok "r3 n2 : W1<-5; R0; R0; D last") in
+  let diags = Ind.lint d in
+  let rules =
+    List.map (fun (dg : Analyze.Lint.diag) -> dg.Analyze.Lint.rule) diags
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) r true (List.mem r rules))
+    [
+      "flow/dead-register-write";
+      "flow/redundant-scan";
+      "flow/constant-register";
+    ];
+  List.iter
+    (fun (dg : Analyze.Lint.diag) ->
+      Alcotest.(check bool)
+        (dg.Analyze.Lint.rule ^ ": non-empty witness")
+        true
+        (dg.Analyze.Lint.witness <> []))
+    diags;
+  let clean = DF.analyze (parse_ok "r1 n2 : W0<-in; R0; D last") in
+  Alcotest.(check int) "clean protocol" 0 (List.length (Ind.lint clean))
+
+let optim_rewrites () =
+  let module Opt = Analyze.Optim in
+  let r = Opt.optimize (parse_ok "r3 n2 : W2<-9; W0<-4; R0; D last") in
+  Alcotest.(check string) "fully folded" "r3 n2 : D 4"
+    (Ir.to_string r.Opt.optimized);
+  Alcotest.(check bool) "some fold" true (r.Opt.folded >= 1);
+  Alcotest.(check bool) "some drop" true (r.Opt.dropped >= 1);
+  let id = Opt.optimize (parse_ok "r1 n2 : W0<-in; R0; D last") in
+  Alcotest.(check string) "already-optimal program unchanged"
+    "r1 n2 : W0<-in; R0; D last"
+    (Ir.to_string id.Opt.optimized);
+  Alcotest.(check int) "no iterations" 0 id.Opt.iterations
+
+let sarif_document () =
+  let d = DF.analyze (parse_ok "r3 n2 : W1<-5; R0; R0; D last") in
+  let results = List.map (fun dg -> ("protocol:test", dg)) (Ind.lint d) in
+  let s = Analyze.Sarif.to_string ~tool_version:"test" results in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains_substring s needle))
+    [
+      "2.1.0";
+      "sa_run-analyze";
+      "flow/dead-register-write";
+      "codeFlows";
+      "artifactLocation";
+      "protocol:test";
+    ]
+
+let refinement_units () =
+  let t = Alcotest.(check bool) in
+  let refine = Ind.refinement () in
+  let mem = Shm.Memory.write (Shm.Memory.create 3) 0 (vi 3) in
+  t "equal writes commute" true
+    (refine ~mem (P.Write (1, vi 9)) (P.Write (1, vi 9)));
+  t "unequal writes do not" false
+    (refine ~mem (P.Write (1, vi 9)) (P.Write (1, vi 8)));
+  t "different registers are footprint territory" false
+    (refine ~mem (P.Write (0, vi 3)) (P.Write (1, vi 3)));
+  t "no-op write vs read" true (refine ~mem (P.Write (0, vi 3)) (P.Read 0));
+  t "symmetric" true (refine ~mem (P.Read 0) (P.Write (0, vi 3)));
+  t "changing write vs read" false
+    (refine ~mem (P.Write (0, vi 4)) (P.Read 0));
+  t "no-op write vs covering scan" true
+    (refine ~mem (P.Write (0, vi 3)) (P.Scan (0, 2)));
+  t "no-op write vs non-covering scan" false
+    (refine ~mem (P.Write (0, vi 3)) (P.Scan (1, 2)));
+  (* the constant-register certificate is re-checked at the call site:
+     writes that disagree with it never qualify *)
+  let facts = { Ind.empty with Ind.const_regs = [ (2, vi 6) ] } in
+  let refine' = Ind.refinement ~facts () in
+  t "certified writes commute" true
+    (refine' ~mem (P.Write (2, vi 6)) (P.Write (2, vi 6)));
+  t "certificate mismatch rejected" false
+    (refine' ~mem (P.Write (2, vi 5)) (P.Write (2, vi 6)))
+
+let indep_facts_of_prog () =
+  let facts =
+    Ind.of_prog (parse_ok "r3 n3 : W0<-3; W2<-8; L3[W0<-3; R0]; D last")
+  in
+  Alcotest.(check bool) "R0 certified constant" true
+    (match List.assoc_opt 0 facts.Ind.const_regs with
+    | Some v -> V.equal v (vi 3)
+    | None -> false);
+  Alcotest.(check (list int)) "dead register" [ 2 ] facts.Ind.dead_regs;
+  Alcotest.(check bool) "not widened" false facts.Ind.widened
+
+(* ?static_indep end-to-end: identical verdict, strictly fewer states
+   on a protocol whose writes are all no-ops after the first. *)
+let dpor_static_indep_prunes () =
+  let prog = parse_ok "r2 n3 : W0<-3; L3[W0<-3; R0]; D last" in
+  let facts = Ind.of_prog prog in
+  let check c =
+    match Spec.Properties.agreement_errors ~k:1 c with
+    | [] -> Ok ()
+    | e :: _ -> Error e
+  in
+  let run static_indep =
+    Spec.Modelcheck.run
+      ~engine:(Spec.Modelcheck.Dpor { cache = true; jobs = 1 })
+      ~depth:10 ~inputs:Fuzz.Gen.inputs ?static_indep ~check
+      (Fuzz.Gen.config prog)
+  in
+  let base = run None and refined = run (Some (Ind.refinement ~facts ())) in
+  (match (base, refined) with
+  | Spec.Modelcheck.Ok_bounded _, Spec.Modelcheck.Ok_bounded _ -> ()
+  | _ -> Alcotest.fail "verdicts diverged (or a counterexample appeared)");
+  let explored o = (Spec.Modelcheck.stats_of o).Spec.Modelcheck.explored in
+  Alcotest.(check bool)
+    (Fmt.str "refined explores fewer states (%d < %d)" (explored refined)
+       (explored base))
+    true
+    (explored refined < explored base)
+
+(* The soundness property behind the sleep-set refinement: whenever
+   [Indep.refinement] accepts a pair of poised ops, executing them in
+   either order yields configurations with identical canonical
+   representations ([Statehash.repr]: memory dump + per-process
+   observation digests + instances + io) — on both memory backends.
+   States are drawn by walking a generated schedule. *)
+let prop_static_indep_commutes =
+  let print (p, s) =
+    Fmt.str "%s | %s" (Fuzz.Gen.to_string p) (Fuzz.Gen.schedule_to_string s)
+  in
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Shm.Rng.create seed in
+        let p = Fuzz.Gen.generate rng in
+        (p, Fuzz.Gen.gen_schedule rng ~n:p.Ir.n))
+      QCheck.Gen.(0 -- 1_000_000)
+  in
+  QCheck.Test.make ~count:60
+    ~name:"statically-independent enabled pairs commute (both backends)"
+    (QCheck.make ~print gen)
+    (fun (p, sched) ->
+      let refine = Ind.refinement ~facts:(Ind.of_prog p) () in
+      let diamonds_ok config =
+        let n = Shm.Config.n config in
+        let mem = Shm.Config.mem config in
+        let ok = ref true in
+        for a = 0 to n - 1 do
+          for b = a + 1 to n - 1 do
+            match
+              ( P.poised_op (Shm.Config.proc config a),
+                P.poised_op (Shm.Config.proc config b) )
+            with
+            | Some oa, Some ob when refine ~mem oa ob ->
+              let run order =
+                let base = Shm.Config.unshare config in
+                List.fold_left
+                  (fun (c, h) pid ->
+                    let c', ev = Shm.Config.step c pid in
+                    (c', Spec.Statehash.record h ~before:c c' ev))
+                  (base, Spec.Statehash.create ~audit:true base)
+                  order
+              in
+              let c1, h1 = run [ a; b ] and c2, h2 = run [ b; a ] in
+              if
+                not
+                  (String.equal
+                     (Spec.Statehash.repr h1 c1)
+                     (Spec.Statehash.repr h2 c2))
+              then ok := false
+            | _ -> ()
+          done
+        done;
+        !ok
+      in
+      List.for_all
+        (fun backend ->
+          let rec walk config = function
+            | [] -> true
+            | pid :: rest ->
+              diamonds_ok config
+              && walk
+                   (Spec.Counterex.step_pid ~inputs:Fuzz.Gen.inputs config pid)
+                   rest
+          in
+          walk (Fuzz.Gen.config ~backend p) sched)
+        [ Shm.Memory.Persistent; Shm.Memory.Journaled ])
+
+(* The acceptance sweeps: the optimizer's simulation oracle and the
+   independence-soundness oracle stay silent on ≥ 100 generated
+   protocols, deterministically under SA_TEST_SEED. *)
+let oracle_sweep kind count () =
+  let rng = Shm.Rng.create base_seed in
+  for i = 1 to count do
+    let p = Fuzz.Gen.generate rng in
+    let s = Fuzz.Gen.gen_schedule rng ~n:p.Ir.n in
+    match Fuzz.Oracle.check kind p s with
+    | None -> ()
+    | Some msg ->
+      Alcotest.failf "divergence at protocol %d: %s@.%s | %s" i msg
+        (Fuzz.Gen.to_string p)
+        (Fuzz.Gen.schedule_to_string s)
+  done
+
 let suite =
   [
     test "abstract stepping hooks" hooks_feed;
@@ -385,4 +653,21 @@ let suite =
     test "mutant: pid leak rejected with witness"
       mutant_pid_leak_rejected_with_witness;
     to_alcotest prop_static_footprint_sound;
+    test "ir: parse/print round-trip and errors" ir_parse_roundtrip;
+    test "ir: cfg shape (backedge, terminal decide)" ir_cfg_shape;
+    test "dataflow: constants, dead registers, folding"
+      dataflow_const_dead_folded;
+    test "dataflow: redundant observations" dataflow_redundant;
+    test "lint: flow/* rules fire with witnesses" flow_lint_rules;
+    test "optimizer: folds, drops, optimal fixpoint" optim_rewrites;
+    test "sarif: well-formed 2.1.0 document" sarif_document;
+    test "indep: refinement unit rules" refinement_units;
+    test "indep: facts from a protocol" indep_facts_of_prog;
+    test "dpor: static independence prunes, verdict unchanged"
+      dpor_static_indep_prunes;
+    test "oracle: optimizer equivalence on 120 protocols"
+      (oracle_sweep Fuzz.Oracle.Optim 120);
+    test "oracle: independence soundness on 120 protocols"
+      (oracle_sweep Fuzz.Oracle.Indep 120);
+    to_alcotest prop_static_indep_commutes;
   ]

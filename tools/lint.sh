@@ -63,6 +63,22 @@ if grep -En "(^|[^[:alnum:]_])(mutable[[:space:]]|ref([^_[:alnum:]]|$))" $shm_pu
   fail=1
 fi
 
+# 5. interface documentation in the analysis layers ----------------
+# Every lib/analyze and lib/spec interface opens with a top-level
+# odoc comment: the static-analysis and model-checking surfaces carry
+# their soundness statements in the .mli, and `dune build @doc` only
+# checks syntax, not presence.
+for mli in lib/analyze/*.mli lib/spec/*.mli; do
+  first=$(grep -m1 -v '^[[:space:]]*$' "$mli")
+  case "$first" in
+    "(**"*) ;;
+    *)
+      echo "lint: $mli does not open with a top-level odoc comment" >&2
+      fail=1
+      ;;
+  esac
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "lint: ok"
 fi
