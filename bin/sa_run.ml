@@ -495,9 +495,49 @@ let write_text path s =
   output_string oc s;
   close_out oc
 
+(* --protocol execution: run or model-check the protocol under the
+   selected engine (free-monad interpreter or bytecode vm); both see
+   the fuzzer's input space, so the two engines' verdicts are directly
+   comparable (the vm oracle enforces run equivalence; this surface
+   makes it inspectable by hand). *)
+let run_protocol ~engine prog =
+  let r = Agreement.Runner.run_proto ~engine prog in
+  Fmt.pr "@.run (%s engine): %d steps, %s; %d register(s) written {%a}@."
+    (Agreement.Runner.engine_name engine)
+    r.Agreement.Runner.steps
+    (match r.Agreement.Runner.stopped with
+    | Shm.Exec.All_quiescent -> "quiescent"
+    | Shm.Exec.Fuel_exhausted -> "fuel exhausted")
+    (List.length r.Agreement.Runner.written)
+    Fmt.(list ~sep:comma int)
+    r.Agreement.Runner.written;
+  List.iter
+    (fun (pid, inst, v) ->
+      Fmt.pr "  p%d decides %a (instance %d)@." pid Shm.Value.pp v inst)
+    r.Agreement.Runner.io_outputs
+
+let explore_protocol ~engine ~depth prog =
+  let mc_engine = Spec.Modelcheck.Dpor { cache = true; jobs = 1 } in
+  let outcome =
+    match (engine : Agreement.Runner.engine) with
+    | Agreement.Runner.Interp ->
+      Spec.Modelcheck.run ~engine:mc_engine ~depth ~inputs:Fuzz.Gen.inputs
+        ~check:(Spec.Properties.check_safety ~k:1)
+        (Fuzz.Gen.config prog)
+    | Agreement.Runner.Vm ->
+      Spec.Modelcheck.run_vm ~engine:mc_engine ~depth ~inputs:Fuzz.Gen.inputs
+        ~check:(Spec.Properties.check_safety_io ~k:1)
+        prog
+  in
+  Fmt.pr "@.explore (%s engine, depth %d): %a@."
+    (Agreement.Runner.engine_name engine)
+    depth Spec.Modelcheck.pp_outcome outcome;
+  match outcome with Spec.Modelcheck.Ok_bounded _ -> () | _ -> exit 1
+
 (* --protocol mode: run the dataflow engine (lib/analyze IR, not the
    free-monad registry) on one first-order protocol string. *)
-let analyze_protocol ~ir ~indep ~optimize ~witness ~sarif_path ~json_path s =
+let analyze_protocol ~ir ~indep ~optimize ~witness ~sarif_path ~json_path
+    ~engine ~run ~explore_depth s =
   let prog =
     match Analyze.Ir.parse s with
     | Ok p -> p
@@ -563,18 +603,33 @@ let analyze_protocol ~ir ~indep ~optimize ~witness ~sarif_path ~json_path s =
           ])
     in
     Obs.Bench_out.write ~experiment:"analyze-protocol" ~path [ row ];
-    Fmt.pr "wrote %s@." path)
+    Fmt.pr "wrote %s@." path);
+  if run then run_protocol ~engine prog;
+  Option.iter (fun depth -> explore_protocol ~engine ~depth prog) explore_depth
 
 let analyze backend algos all n m k max_n mutants json_path witness no_dynamic
-    protocol ir indep optimize sarif_path =
+    protocol ir indep optimize sarif_path engine_s run explore_depth =
   set_memory_backend backend;
+  let engine =
+    match Agreement.Runner.engine_of_string engine_s with
+    | Some e -> e
+    | None ->
+      Fmt.epr "unknown engine %S; valid: interp | vm@." engine_s;
+      exit 2
+  in
   (match protocol with
   | Some s ->
-    analyze_protocol ~ir ~indep ~optimize ~witness ~sarif_path ~json_path s;
+    analyze_protocol ~ir ~indep ~optimize ~witness ~sarif_path ~json_path
+      ~engine ~run ~explore_depth s;
     exit 0
   | None ->
     if optimize then begin
       Fmt.epr "--optimize rewrites first-order protocols; pass one with --protocol@.";
+      exit 2
+    end;
+    if run || explore_depth <> None then begin
+      Fmt.epr "--run/--explore-depth execute first-order protocols; pass one \
+               with --protocol@.";
       exit 2
     end);
   let algos = match algos with [] -> None | l -> Some l in
@@ -807,6 +862,34 @@ let analyze_cmd =
       & info [ "sarif" ] ~docv:"FILE"
           ~doc:"Write the lint diagnostics as a SARIF 2.1.0 log to FILE.")
   in
+  let engine =
+    Arg.(
+      value & opt string "interp"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine for --run/--explore-depth: $(b,interp) (the \
+             free-monad reference interpreter) or $(b,vm) (the bytecode \
+             engine, see docs/PERFORMANCE.md).  Requires --protocol.")
+  in
+  let run =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:
+            "Also execute the protocol (round-robin schedule, the fuzzer's \
+             input space) under --engine and print steps, written registers \
+             and decisions.  Requires --protocol.")
+  in
+  let explore_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "explore-depth" ] ~docv:"DEPTH"
+          ~doc:
+            "Also model-check the protocol (DPOR, 1-agreement safety) to \
+             DEPTH scheduler steps under --engine; exits 1 on a violation.  \
+             Requires --protocol.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -819,7 +902,7 @@ let analyze_cmd =
     Term.(
       const analyze $ memory_backend_arg $ algos $ all $ n $ m $ k $ max_n $ mutants
       $ json_path $ witness $ no_dynamic $ protocol $ ir $ indep $ optimize
-      $ sarif_path)
+      $ sarif_path $ engine $ run $ explore_depth)
 
 (* ------------------------------------------------------------------ *)
 (* The `conform` subcommand: native conformance harness (lib/conform). *)

@@ -17,16 +17,21 @@
    at run time — the bridge between a dynamic step and its static
    point. *)
 
-type src = Const of int | Input | Last
+(* The language itself now lives in [Shm.Vm] (PR 10): the bytecode
+   compiler and the free-monad compiler must agree on one set of
+   constructors, and shm sits below every layer that consumes them.
+   These equations keep [Analyze.Ir.Read] et al. valid constructors —
+   nothing downstream (Dataflow, Optim, Fuzz.Gen) changes. *)
+type src = Shm.Vm.src = Const of int | Input | Last
 
-type step =
+type step = Shm.Vm.step =
   | Read of int
   | Write of int * src
   | Scan of int * int
   | Loop of int * step list
   | Decide of src
 
-type prog = { registers : int; n : int; steps : step list }
+type prog = Shm.Vm.proto = { registers : int; n : int; steps : step list }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering (the fuzzer's compact one-line replay form)               *)

@@ -16,10 +16,14 @@
 
 (** Where a written or decided value comes from: a small-integer
     constant, the invocation input, or the process's last observation
-    (⊥ until its first read; a scan observes its first component). *)
-type src = Const of int | Input | Last
+    (⊥ until its first read; a scan observes its first component).
 
-type step =
+    The constructors are re-exported from {!Shm.Vm}, where the
+    language is defined: the same value is an analyzer subject, a fuzz
+    corpus entry, and a bytecode-compilation subject. *)
+type src = Shm.Vm.src = Const of int | Input | Last
+
+type step = Shm.Vm.step =
   | Read of int  (** read one register (becomes [last]) *)
   | Write of int * src  (** write one register *)
   | Scan of int * int  (** atomic scan: offset, length *)
@@ -28,7 +32,7 @@ type step =
 
 (** A symmetric protocol: [n] identical processes over [registers]
     single-writer-free registers, each running [steps]. *)
-type prog = { registers : int; n : int; steps : step list }
+type prog = Shm.Vm.proto = { registers : int; n : int; steps : step list }
 
 val src_to_string : src -> string
 val step_to_string : step -> string

@@ -58,6 +58,51 @@ val run_anonymous :
   Params.t ->
   Shm.Exec.result
 
+(** {1 First-order protocols, either engine}
+
+    A first-order protocol ({!Shm.Vm.proto} — the language shared by
+    the fuzzer and the analyzer) runs under two engines: the
+    free-monad interpreter (the reference) and the bytecode vm
+    ({!Shm.Vm}).  {!run_proto} drives either under the same schedule
+    and inputs and returns the engine-neutral summary, so callers —
+    the bench harness, [sa_run --engine] — switch engines without
+    changing anything else. *)
+
+type engine = Interp | Vm
+
+val engine_name : engine -> string
+
+(** ["interp"]/["interpreter"] or ["vm"]/["bytecode"]. *)
+val engine_of_string : string -> engine option
+
+type proto_result = {
+  steps : int;
+  stopped : Shm.Exec.stop_reason;
+  trace : Shm.Event.t list;  (** chronological; empty unless [record] *)
+  memory : Shm.Value.t array;  (** final register contents *)
+  written : int list;  (** registers ever written, ascending *)
+  io_inputs : (int * int * Shm.Value.t) list;
+      (** [(pid, instance, v)]; chronological from the interpreter,
+          (instance, pid)-ordered from the vm — compare as multisets *)
+  io_outputs : (int * int * Shm.Value.t) list;
+}
+
+(** [run_proto p] runs [p] to quiescence (or [max_steps], default
+    200k) under [engine] (default [Interp]).  Defaults: round-robin
+    schedule, one invocation per process with {!default_input} —
+    the fuzzer's input space.  [backend] selects the interpreter's
+    memory representation (the vm's state is always flat). *)
+val run_proto :
+  ?engine:engine ->
+  ?backend:Shm.Memory.backend ->
+  ?record:bool ->
+  ?sched:Shm.Schedule.t ->
+  ?sink:(Shm.Event.t -> unit) ->
+  ?max_steps:int ->
+  ?inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  Shm.Vm.proto ->
+  proto_result
+
 (** Outputs of one instance, with multiplicity, in completion order. *)
 val outputs_of_instance : Shm.Exec.result -> instance:int -> Shm.Value.t list
 

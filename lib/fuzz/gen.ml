@@ -121,41 +121,14 @@ let oob_steps p =
   collect [] p.steps
 
 (* ------------------------------------------------------------------ *)
-(* Compilation: CPS over the step list, threading the process's "last
-   observation" (⊥ until the first read; a scan observes its first
-   component).  Loops unroll at compile time — counts are constants. *)
+(* Compilation now lives in [Shm.Vm] (PR 10): the free-monad compiler
+   is the reference semantics the bytecode engine is pinned to, so
+   both live next to each other in shm and this module delegates.
+   [Vm.to_program] is CPS over the step list, threading the process's
+   "last observation"; loops unroll at compile time. *)
 
-module P = Shm.Program
-module V = Shm.Value
-
-let value_of src ~input ~last =
-  match src with Const c -> V.int c | Input -> input | Last -> last
-
-let compile p ~pid:_ =
-  let rec seq steps ~input ~last k =
-    match steps with
-    | [] -> k last
-    | Read r :: tl -> P.read r (fun v -> seq tl ~input ~last:v k)
-    | Write (r, s) :: tl ->
-      P.write r (value_of s ~input ~last) (fun () -> seq tl ~input ~last k)
-    | Scan (off, len) :: tl ->
-      P.scan ~off ~len (fun view ->
-          let last = if len = 0 then last else view.(0) in
-          seq tl ~input ~last k)
-    | Loop (count, body) :: tl ->
-      let rec iter i last =
-        if i = 0 then seq tl ~input ~last k
-        else seq body ~input ~last (fun last -> iter (i - 1) last)
-      in
-      iter count last
-    | Decide s :: _ -> P.yield (value_of s ~input ~last) P.stop
-  in
-  P.await (fun input -> seq p.steps ~input ~last:V.bot (fun _ -> P.stop))
-
-let config ?backend p =
-  Shm.Config.create ?backend ~registers:p.registers
-    ~procs:(Array.init p.n (fun pid -> compile p ~pid))
-    ()
+let compile = Shm.Vm.to_program
+let config = Shm.Vm.config
 
 let inputs ~pid ~instance =
   if instance = 1 then Some (Agreement.Runner.default_input ~pid ~instance)

@@ -2,9 +2,9 @@ module S = Set.Make (Int)
 module V = Shm.Value
 module L = Spec.Linearize
 
-type kind = Analyzer | Backend | Linearize | Determinism | Indep | Optim
+type kind = Analyzer | Backend | Linearize | Determinism | Indep | Optim | Vm
 
-let all = [ Analyzer; Backend; Linearize; Determinism; Indep; Optim ]
+let all = [ Analyzer; Backend; Linearize; Determinism; Indep; Optim; Vm ]
 
 let name = function
   | Analyzer -> "analyzer"
@@ -13,6 +13,7 @@ let name = function
   | Determinism -> "determinism"
   | Indep -> "indep"
   | Optim -> "optim"
+  | Vm -> "vm"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -22,6 +23,7 @@ let of_string s =
   | "determinism" | "det" -> Some Determinism
   | "indep" | "independence" -> Some Indep
   | "optim" | "optimizer" -> Some Optim
+  | "vm" | "bytecode" -> Some Vm
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -362,6 +364,101 @@ let optim p sched =
     sched;
   !err
 
+(* ------------------------------------------------------------------ *)
+(* (g) Bytecode engine differential: the vm ([Shm.Vm.compile] +
+   [Shm.Vm.run]) must be event-equivalent to the free-monad
+   interpreter under the same cursor schedule — same step count, same
+   stop reason, same trace, same final memory and written set, same
+   i/o records (as multisets; the vm keeps them in (instance, pid)
+   order, not chronologically).  [Vm.compile] rejects out-of-bounds
+   registers and negative loop counts statically where the interpreter
+   only fails when (if) execution reaches them, so those programs —
+   mutation can produce them — carry no equivalence claim and pass
+   vacuously. *)
+
+let rec has_negative_loop steps =
+  List.exists
+    (function
+      | Gen.Loop (count, body) -> count < 0 || has_negative_loop body
+      | _ -> false)
+    steps
+
+let triple_compare (p1, i1, v1) (p2, i2, v2) =
+  match compare (p1 : int) p2 with
+  | 0 -> ( match compare (i1 : int) i2 with 0 -> V.compare v1 v2 | c -> c)
+  | c -> c
+
+let io_multiset_equal a b =
+  let sa = List.sort triple_compare a and sb = List.sort triple_compare b in
+  List.length sa = List.length sb
+  && List.for_all2
+       (fun (p1, i1, v1) (p2, i2, v2) -> p1 = p2 && i1 = i2 && V.equal v1 v2)
+       sa sb
+
+let cursor_schedule p sched =
+  let cursor = ref sched in
+  {
+    Shm.Schedule.name = "fuzz-replay";
+    next =
+      (fun ~step:_ ~runnable ->
+        let rec pick () =
+          match !cursor with
+          | [] -> None
+          | pid :: tl ->
+            cursor := tl;
+            if pid >= 0 && pid < p.Gen.n && runnable pid then Some pid
+            else pick ()
+        in
+        pick ());
+  }
+
+let vm p sched =
+  if Gen.oob_steps p <> [] || has_negative_loop p.Gen.steps then None
+  else begin
+    let ri = Gen.run p sched in
+    let e = Shm.Vm.env (Shm.Vm.compile p) ~inputs:Gen.inputs in
+    let rv =
+      Shm.Vm.run ~record:true
+        ~max_steps:(List.length sched + 1)
+        ~sched:(cursor_schedule p sched) e
+    in
+    if ri.Shm.Exec.steps <> rv.Shm.Vm.steps then
+      Some
+        (Fmt.str "interp vs vm: steps %d vs %d" ri.Shm.Exec.steps
+           rv.Shm.Vm.steps)
+    else if ri.Shm.Exec.stopped <> rv.Shm.Vm.stopped then
+      Some "interp vs vm: stop reasons differ"
+    else
+      match trace_diff ri.Shm.Exec.trace rv.Shm.Vm.trace with
+      | Some d -> Some (Fmt.str "interp vs vm: %s" d)
+      | None ->
+        let f = rv.Shm.Vm.final in
+        let si = final_scan ri in
+        if
+          Array.length si <> Array.length f.Shm.Vm.memory
+          || not (Array.for_all2 V.equal si f.Shm.Vm.memory)
+        then Some "interp vs vm: final memories differ"
+        else if
+          not
+            (S.equal
+               (Shm.Memory.written_set (Shm.Config.mem ri.Shm.Exec.config))
+               (S.of_list f.Shm.Vm.written))
+        then Some "interp vs vm: written sets differ"
+        else if
+          not
+            (io_multiset_equal
+               (Shm.Config.inputs ri.Shm.Exec.config)
+               f.Shm.Vm.inputs)
+        then Some "interp vs vm: invocation records differ"
+        else if
+          not
+            (io_multiset_equal
+               (Shm.Config.outputs ri.Shm.Exec.config)
+               f.Shm.Vm.outputs)
+        then Some "interp vs vm: output records differ"
+        else None
+  end
+
 let check kind p sched =
   match kind with
   | Analyzer -> analyzer p sched
@@ -370,6 +467,7 @@ let check kind p sched =
   | Determinism -> determinism p sched
   | Indep -> indep p sched
   | Optim -> optim p sched
+  | Vm -> vm p sched
 
 (* ------------------------------------------------------------------ *)
 (* Seeded-mutant regression *)

@@ -32,9 +32,16 @@
       identical visible behaviour (op shapes, registers, written
       values, outputs).  Dropping an op shifts later ops against a
       fixed schedule, so standalone output equality is deliberately
-      not the statement — simulation is. *)
+      not the statement — simulation is.
+    - {!Vm} — the bytecode engine ({!Shm.Vm}) is event-equivalent to
+      the free-monad interpreter under the same cursor schedule: same
+      step count, stop reason, trace, final memory, written set, and
+      i/o records (as multisets).  Programs [Shm.Vm.compile] rejects
+      statically (out-of-bounds registers, negative loop counts —
+      mutation can produce both) carry no equivalence claim and pass
+      vacuously, like truncated analyses under {!Analyzer}. *)
 
-type kind = Analyzer | Backend | Linearize | Determinism | Indep | Optim
+type kind = Analyzer | Backend | Linearize | Determinism | Indep | Optim | Vm
 
 val all : kind list
 val name : kind -> string

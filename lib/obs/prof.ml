@@ -17,9 +17,18 @@
    depth, nodes processed, cache hits and sleep-set prunes, for
    plotting an exploration's shape over time. *)
 
-type phase = Interp | Footprint | Hash | Cache | Replay | Steal | Check
+type phase =
+  | Interp
+  | Footprint
+  | Hash
+  | Cache
+  | Replay
+  | Steal
+  | Check
+  | Vm_step
+  | Vm_batch
 
-let n_phases = 7
+let n_phases = 9
 
 let index = function
   | Interp -> 0
@@ -29,8 +38,10 @@ let index = function
   | Replay -> 4
   | Steal -> 5
   | Check -> 6
+  | Vm_step -> 7
+  | Vm_batch -> 8
 
-let phases = [ Interp; Footprint; Hash; Cache; Replay; Steal; Check ]
+let phases = [ Interp; Footprint; Hash; Cache; Replay; Steal; Check; Vm_step; Vm_batch ]
 
 let name = function
   | Interp -> "interp"
@@ -40,6 +51,8 @@ let name = function
   | Replay -> "replay"
   | Steal -> "steal"
   | Check -> "check"
+  | Vm_step -> "vm.step"
+  | Vm_batch -> "vm.batch"
 
 let describe = function
   | Interp -> "step interpretation (Config.step / invoke)"
@@ -49,6 +62,8 @@ let describe = function
   | Replay -> "rebuilding stolen nodes by schedule replay"
   | Steal -> "deque operations + steal attempts"
   | Check -> "leaf completion + property checking"
+  | Vm_step -> "bytecode stepping (Vm.step, key maintenance included)"
+  | Vm_batch -> "vm frontier batching (arena snapshots, stack ops)"
 
 type t = { ns : int array; count : int array }
 

@@ -11,8 +11,20 @@
       if profiling then Prof.add p Prof.Interp (Prof.now_ns () - t0)
     ]} *)
 
-(** Where exploration time goes (see {!describe}). *)
-type phase = Interp | Footprint | Hash | Cache | Replay | Steal | Check
+(** Where exploration time goes (see {!describe}).  [Vm_step] and
+    [Vm_batch] attribute the bytecode engine's time: stepping (state
+    key maintenance included) vs frontier batching (arena snapshots,
+    stack bookkeeping). *)
+type phase =
+  | Interp
+  | Footprint
+  | Hash
+  | Cache
+  | Replay
+  | Steal
+  | Check
+  | Vm_step
+  | Vm_batch
 
 val phases : phase list
 val name : phase -> string

@@ -101,17 +101,25 @@ let push_deque dq n =
   dq.items <- n :: dq.items;
   Mutex.unlock dq.lock
 
-let pop_deque dq =
+(* Pop up to [k] of the freshest nodes under one lock acquisition —
+   batched frontier expansion (PR 10).  With [k = 1] this is the
+   classic pop; larger batches amortize the lock and process a run of
+   sibling nodes back-to-back (they were pushed together, so their
+   configurations share structure and stay cache-warm).  The returned
+   list is freshest-first, preserving DFS order. *)
+let pop_deque_batch dq k =
   Mutex.lock dq.lock;
-  let r =
-    match dq.items with
-    | [] -> None
-    | n :: rest ->
-      dq.items <- rest;
-      Some n
+  let rec take k items acc =
+    if k = 0 then (List.rev acc, items)
+    else
+      match items with
+      | [] -> (List.rev acc, [])
+      | n :: rest -> take (k - 1) rest (n :: acc)
   in
+  let taken, rest = take k dq.items [] in
+  dq.items <- rest;
   Mutex.unlock dq.lock;
-  r
+  taken
 
 (* A thief takes the *oldest* half — shallow nodes with the largest
    subtrees — leaving the owner its freshest (cache-warm) half. *)
@@ -150,6 +158,7 @@ type ckey = Kinc of Statehash.key | Kfull of Digest.t
 
 type ctx = {
   bound : int;
+  batch : int;  (* nodes popped per deque lock acquisition *)
   completion_steps : int;
   inputs : pid:int -> instance:int -> Value.t option;
   check : Config.t -> (unit, string) result;
@@ -479,12 +488,18 @@ let worker ctx id =
   let rec loop () =
     if Atomic.get ctx.found <> None then ()
     else
-      match pop_deque my with
-      | Some node ->
-        process ctx cache acc ~id ~push w node;
-        Atomic.decr ctx.pending;
+      match pop_deque_batch my ctx.batch with
+      | _ :: _ as nodes ->
+        (* every popped node must be drained from [pending], even the
+           ones skipped because a violation landed mid-batch *)
+        List.iter
+          (fun node ->
+            if Atomic.get ctx.found = None then
+              process ctx cache acc ~id ~push w node;
+            Atomic.decr ctx.pending)
+          nodes;
         loop ()
-      | None ->
+      | [] ->
         if Atomic.get ctx.pending = 0 then ()
         else begin
           (match try_steal () with
@@ -546,11 +561,12 @@ let export_metrics m (stats : stats) =
   bump "explore.steals" stats.steals;
   Obs.Metrics.Gauge.set (Obs.Metrics.gauge m "explore.domains") (float_of_int stats.domains)
 
-let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
+let explore ~depth ?(cache = true) ?(jobs = 1) ?(batch = 1) ?(key = `Incremental)
     ?(completion_steps = 50_000) ?static_indep ?metrics ?prof ?series ~inputs
     ~check config =
   if depth < 0 then invalid_arg "Dpor.explore: negative depth";
   let jobs = max 1 jobs in
+  let batch = max 1 batch in
   let deques = Array.init jobs (fun _ -> { lock = Mutex.create (); items = [] }) in
   (* A journaled config can only be touched by the domain that owns its
      version family; with several domains every worker gets its own
@@ -597,6 +613,7 @@ let explore ~depth ?(cache = true) ?(jobs = 1) ?(key = `Incremental)
   let ctx =
     {
       bound = depth;
+      batch;
       completion_steps;
       inputs;
       check;

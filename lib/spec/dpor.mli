@@ -55,8 +55,12 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
     [cache] (default [true]) enables state caching; [key] (default
     [`Incremental]) selects the cache-key flavour; [jobs] (default 1)
-    is the number of domains; [metrics], when given, receives the
-    merged [explore.*] counters.  The first violation found wins (with
+    is the number of domains; [batch] (default 1) is the number of
+    nodes popped per deque lock acquisition — larger batches amortize
+    locking and keep sibling configurations cache-warm, at the cost of
+    a slightly broader live frontier (and, on the journaled backend,
+    occasionally longer reroot chains); [metrics], when given,
+    receives the merged [explore.*] counters.  The first violation found wins (with
     [jobs > 1] which one is found first may vary between runs; whether
     one exists does not).
 
@@ -88,6 +92,7 @@ val explore :
   depth:int ->
   ?cache:bool ->
   ?jobs:int ->
+  ?batch:int ->
   ?key:key_mode ->
   ?completion_steps:int ->
   ?static_indep:(mem:Shm.Memory.t -> Shm.Program.op -> Shm.Program.op -> bool) ->

@@ -162,3 +162,44 @@ let run ~engine ~depth ?key ~inputs ?completion_steps ?static_indep ?metrics
           config = ce.Counterex.config;
           stats = to_stats s;
         })
+
+(* ---- the same front door over the bytecode engine ---- *)
+
+(* [run_vm] is [run] for first-order protocols executed by [Shm.Vm]:
+   [Naive] maps to Vmexplore with the reduction off (literal schedule
+   enumeration, the reference), [Dpor {cache; jobs}] to the reduced
+   engine.  The check is applied to decoded i/o records
+   (Properties.check_safety_io fits directly); outcomes and metric
+   names match [run], so callers switch engines without reshaping
+   results. *)
+let run_vm ~engine ~depth ?batch ?rounds ?completion_steps ?metrics ?prof
+    ?series ~inputs ~check p =
+  let to_stats (s : Vmexplore.stats) =
+    {
+      explored = s.Vmexplore.explored;
+      leaves = s.Vmexplore.leaves;
+      max_depth = s.Vmexplore.max_depth;
+      cache_hits = s.Vmexplore.cache_hits;
+      pruned = s.Vmexplore.sleep_pruned;
+      steals = 0;  (* the vm engine splits statically: no stealing *)
+    }
+  in
+  let outcome =
+    match engine with
+    | Naive ->
+      Vmexplore.explore ~depth ~reduce:false ~cache:false ~jobs:1 ?batch
+        ?rounds ?completion_steps ?metrics ?prof ?series ~inputs ~check p
+    | Dpor { cache; jobs } ->
+      Vmexplore.explore ~depth ~reduce:true ~cache ~jobs ?batch ?rounds
+        ?completion_steps ?metrics ?prof ?series ~inputs ~check p
+  in
+  match outcome with
+  | Vmexplore.Complete s -> Ok_bounded (to_stats s)
+  | Vmexplore.Violation (ce, s) ->
+    Counterexample
+      {
+        schedule = ce.Counterex.schedule;
+        error = ce.Counterex.error;
+        config = ce.Counterex.config;
+        stats = to_stats s;
+      }

@@ -90,3 +90,30 @@ val run :
   check:(Shm.Config.t -> (unit, string) result) ->
   Shm.Config.t ->
   outcome
+
+(** [run_vm ~engine …] is {!run} over the bytecode engine
+    ({!Shm.Vm} / {!Vmexplore}) for first-order protocols: [Naive]
+    enumerates every schedule with the reduction off, [Dpor] applies
+    the reduction ([cache], [jobs] as for the interpreter engine; the
+    vm splits work statically, so [stats.steals] is always 0).
+    [check] sees the decoded i/o records —
+    {!Properties.check_safety_io} fits directly.  [batch] is the
+    frontier batch size (default 8), [rounds] the invocations per
+    process (default 1).  Metric names match {!run}, plus
+    [explore.batches] and [explore.arena_hwm_words]. *)
+val run_vm :
+  engine:engine ->
+  depth:int ->
+  ?batch:int ->
+  ?rounds:int ->
+  ?completion_steps:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
+  ?series:Obs.Prof.Series.t ->
+  inputs:(pid:int -> instance:int -> Shm.Value.t option) ->
+  check:
+    (inputs:(int * int * Shm.Value.t) list ->
+     outputs:(int * int * Shm.Value.t) list ->
+     (unit, string) result) ->
+  Shm.Vm.proto ->
+  outcome

@@ -8,6 +8,16 @@
 (** Deduplicate, preserving first-occurrence order. *)
 val distinct_values : Shm.Value.t list -> Shm.Value.t list
 
+(** Instance → (inputs, outputs) over bare (pid, instance, value)
+    record lists — engine-neutral: the interpreter passes
+    [Config.inputs]/[Config.outputs], the vm the decoded lists of
+    [Shm.Vm.final].  The checkers only inspect per-instance multisets,
+    so record order does not matter. *)
+val by_instance_io :
+  inputs:(int * int * Shm.Value.t) list ->
+  outputs:(int * int * Shm.Value.t) list ->
+  (int * Shm.Value.t list * Shm.Value.t list) list
+
 (** Instance → (inputs, outputs), in instance order, with multiplicity
     and chronological inner order. *)
 val by_instance :
@@ -18,6 +28,14 @@ val validity_errors : Shm.Config.t -> string list
 
 (** One message per instance with more than [k] distinct outputs. *)
 val agreement_errors : k:int -> Shm.Config.t -> string list
+
+(** Validity ∧ k-Agreement over bare i/o record lists (the vm leaf
+    check; {!check_safety} is this applied to a configuration). *)
+val check_safety_io :
+  k:int ->
+  inputs:(int * int * Shm.Value.t) list ->
+  outputs:(int * int * Shm.Value.t) list ->
+  (unit, string) result
 
 (** Validity ∧ k-Agreement over every instance. *)
 val check_safety : k:int -> Shm.Config.t -> (unit, string) result
